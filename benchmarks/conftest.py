@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module reproduces one figure (F1–F3) or evaluation claim
+(E1–E10) from DESIGN.md's experiment index. Benchmarks print the table or
+trace the paper's text implies, assert its qualitative *shape* (who wins,
+how costs scale, where behaviour changes), and attach the measured numbers
+to pytest-benchmark's ``extra_info`` for the JSON report.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render one paper-style results table to stdout."""
+    out = sys.stdout
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    line = "+".join("-" * (w + 2) for w in widths)
+    out.write(f"\n=== {title} ===\n")
+    out.write(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)) + "\n")
+    out.write(line + "\n")
+    for row in rows:
+        out.write(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)) + "\n")
+    out.flush()
+
+
+def once(benchmark, fn):
+    """Run a heavy scenario exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

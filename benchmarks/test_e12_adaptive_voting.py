@@ -1,0 +1,105 @@
+"""E12 (extension) — §4/[32]: precision vs fault tolerance in voting.
+
+"Similarly, we are considering the possibility of adaptive voting such as
+outlined in [32]." — Parameswaran, Blough & Bakken's trade-off: a tolerance
+tight enough to catch subtle lies sometimes refuses to decide on honest
+noise; a loose one always decides but hides small lies. Adaptive voting
+escalates from tight to loose only as needed.
+
+Measured, across honest-noise levels and lie magnitudes: decision rate and
+lie-detection rate for fixed-tight, fixed-loose, and adaptive voting.
+"""
+
+import random
+
+from benchmarks.conftest import once, print_table
+from repro.giop.typecodes import TC_DOUBLE
+from repro.itdos.vvm import adaptive_majority_vote, compile_comparator, majority_vote
+
+ROUNDS = 300
+SCHEDULE = [(1e-9, 1e-9), (1e-6, 1e-6), (1e-3, 1e-3)]
+TIGHT = SCHEDULE[0]
+LOOSE = SCHEDULE[-1]
+
+
+def simulate(rng, noise, lie):
+    """One voting round: 3 honest replicas with `noise` spread + 1 liar
+    offset by `lie` (0 = no liar, honest straggler instead)."""
+    truth = rng.uniform(-1000.0, 1000.0)
+    ballots = [
+        (f"h{i}", truth + rng.gauss(0.0, noise * max(1.0, abs(truth))))
+        for i in range(3)
+    ]
+    if lie:
+        ballots.append(("byz", truth * (1.0 + lie)))
+    else:
+        ballots.append(("h3", truth + rng.gauss(0.0, noise * max(1.0, abs(truth)))))
+    rng.shuffle(ballots)
+    return ballots
+
+
+def rates(noise, lie, seed=0):
+    rng = random.Random(seed)
+    out = {"tight": [0, 0], "loose": [0, 0], "adaptive": [0, 0]}  # decided, caught
+    for _ in range(ROUNDS):
+        ballots = simulate(rng, noise, lie)
+        for name, vote in [
+            ("tight", lambda b: majority_vote(b, 2, compile_comparator(TC_DOUBLE, *TIGHT))),
+            ("loose", lambda b: majority_vote(b, 2, compile_comparator(TC_DOUBLE, *LOOSE))),
+            ("adaptive", lambda b: adaptive_majority_vote(b, 2, TC_DOUBLE, SCHEDULE).decision),
+        ]:
+            decision = vote(ballots)
+            if decision.decided:
+                out[name][0] += 1
+                if lie and "byz" in decision.dissenters:
+                    out[name][1] += 1
+    return {k: (d / ROUNDS, c / ROUNDS) for k, (d, c) in out.items()}
+
+
+def test_e12_adaptive_voting_tradeoff(benchmark):
+    def scenario():
+        table = {}
+        for noise_label, noise in [("1e-12 (quiet)", 1e-12), ("1e-7 (noisy)", 1e-7)]:
+            for lie_label, lie in [("none", 0.0), ("tiny 1e-5", 1e-5), ("gross 0.1", 0.1)]:
+                table[(noise_label, lie_label)] = rates(noise, lie)
+        return table
+
+    table = once(benchmark, scenario)
+    rows = []
+    for (noise_label, lie_label), r in table.items():
+        rows.append(
+            [
+                noise_label,
+                lie_label,
+                f"{r['tight'][0] * 100:.0f}% / {r['tight'][1] * 100:.0f}%",
+                f"{r['loose'][0] * 100:.0f}% / {r['loose'][1] * 100:.0f}%",
+                f"{r['adaptive'][0] * 100:.0f}% / {r['adaptive'][1] * 100:.0f}%",
+            ]
+        )
+    print_table(
+        "E12 — decided% / lie-caught% over 300 rounds (3 honest + 1 liar)",
+        ["honest noise", "lie size", "fixed tight (1e-9)", "fixed loose (1e-3)", "adaptive"],
+        rows,
+    )
+    quiet_tiny = table[("1e-12 (quiet)", "tiny 1e-5")]
+    noisy_none = table[("1e-7 (noisy)", "none")]
+    # The trade-off, measured:
+    # 1. tight voting catches the tiny lie but cannot decide on noisy rounds;
+    assert quiet_tiny["tight"][1] == 1.0
+    assert noisy_none["tight"][0] < 0.2
+    # 2. loose voting always decides but misses the tiny lie;
+    assert noisy_none["loose"][0] == 1.0
+    assert quiet_tiny["loose"][1] < 0.1
+    # 3. adaptive gets both: full availability AND tiny-lie detection where
+    #    the honest replicas are quiet.
+    assert noisy_none["adaptive"][0] == 1.0
+    assert quiet_tiny["adaptive"][1] == 1.0
+    # Gross lies are caught by everyone.
+    for name in ("tight", "loose", "adaptive"):
+        caught = table[("1e-12 (quiet)", "gross 0.1")][name][1]
+        decided = table[("1e-12 (quiet)", "gross 0.1")][name][0]
+        if decided > 0.9:
+            assert caught > 0.9
+    benchmark.extra_info["table"] = {
+        f"{a}|{b}": r for (a, b), r in table.items()
+    }

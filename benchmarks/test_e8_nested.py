@@ -1,0 +1,107 @@
+"""E8 — §3.1/§3.3: nested invocations through the two-thread technique.
+
+"ITDOS provides the ability for one replication domain to be a client to
+another replication domain. ... a replicated state machine processing a
+request [can] receive the intermediate reply over the same reliable and
+totally ordered multicast channel on which it received the original
+request, before returning from that original request."
+
+Measured: end-to-end latency vs nesting depth (0 = plain call; depth d
+chains through d additional replication domains), and the execute-once
+property at every level.
+"""
+
+from benchmarks.conftest import once, print_table
+from repro.giop.idl import InterfaceDef, Operation, Parameter
+from repro.giop.typecodes import TC_LONG
+from repro.itdos.bootstrap import ItdosSystem
+from repro.orb.servant import Servant
+from repro.workloads.scenarios import standard_repository
+
+RELAY = InterfaceDef(
+    "Relay",
+    (Operation("work", (Parameter("x", TC_LONG),), TC_LONG),),
+)
+
+MAX_DEPTH = 2
+
+
+class RelayServant(Servant):
+    """Adds its stage number; nests to the next domain when one exists."""
+
+    interface = RELAY
+
+    def __init__(self, element=None, next_ref=None, stage=0):
+        self._element = element
+        self._next_ref = next_ref
+        self.stage = stage
+        self.calls = 0
+
+    def work(self, x):
+        self.calls += 1
+        if self._next_ref is None:
+            return x + 1
+        downstream = self._element.stub(self._next_ref)
+        result = yield downstream.work(x)
+        return result + 1
+
+
+def build_chain(depth: int, seed: int) -> ItdosSystem:
+    """depth+1 domains: relay-0 (entry) -> relay-1 -> ... -> relay-depth."""
+    repo = standard_repository()
+    repo.register(RELAY)
+    system = ItdosSystem(seed=seed, repository=repo)
+    next_ref = None
+    for stage in reversed(range(depth + 1)):
+        def servants(element, stage=stage, next_ref=next_ref):
+            return {
+                b"relay": RelayServant(element=element, next_ref=next_ref, stage=stage)
+            }
+
+        system.add_server_domain(f"relay-{stage}", f=1, servants=servants)
+        next_ref = system.ref(f"relay-{stage}", b"relay")
+    return system
+
+
+def measure_depth(depth: int, calls: int = 4):
+    system = build_chain(depth, seed=40 + depth)
+    client = system.add_client("driver")
+    stub = client.stub(system.ref("relay-0", b"relay"))
+    assert stub.work(0) == depth + 1  # warm-up: all connections established
+    latencies = []
+    for i in range(calls):
+        start = system.network.now
+        result = stub.work(i)
+        latencies.append(system.network.now - start)
+        assert result == i + depth + 1
+    system.settle(2.0)
+    # Execute-once at every stage, on every element.
+    for stage in range(depth + 1):
+        for element in system.domain_elements(f"relay-{stage}"):
+            servant = element.orb.adapter.servant_for(b"relay")
+            assert servant.calls == calls + 1, (stage, element.pid, servant.calls)
+    return sum(latencies) / len(latencies)
+
+
+def test_e8_nested_invocation_depth(benchmark):
+    def scenario():
+        return {depth: measure_depth(depth) for depth in range(MAX_DEPTH + 1)}
+
+    latencies = once(benchmark, scenario)
+    rows = [
+        [depth, depth + 1, f"{latency * 1000:.2f}"]
+        for depth, latency in latencies.items()
+    ]
+    print_table(
+        "E8 — invocation latency vs nesting depth (f=1 everywhere)",
+        ["nesting depth", "replication domains traversed", "latency (ms, simulated)"],
+        rows,
+    )
+    # Shape: each nesting level adds roughly one more ordered round trip —
+    # monotone increase, super-constant but sub-exponential.
+    assert latencies[1] > 1.5 * latencies[0]
+    assert latencies[2] > latencies[1]
+    assert latencies[2] < 6 * latencies[0]
+    benchmark.extra_info["latency_ms"] = {
+        str(d): latency * 1000 for d, latency in latencies.items()
+    }

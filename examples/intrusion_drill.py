@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Intrusion drill: detect, prove, expel, and rekey a compromised replica.
+
+The full §3.6 story in one run:
+
+1. element ``calc-e2`` is compromised (returns corrupted values);
+2. the client's voter masks the lie (f+1 honest agreement) *and* identifies
+   the dissenter;
+3. the client sends the Group Manager a ``change_request`` whose proof is
+   the set of signed replies;
+4. the GM verifies the signatures, unmarshals the replies with its own
+   marshalling engine, re-votes, and expels the element by rekeying every
+   communication group without it;
+5. the expelled element can no longer decrypt traffic; service continues;
+6. a malicious client then tries to expel a *correct* element with forged
+   proof — and is denied.
+
+Run:  python examples/intrusion_drill.py
+"""
+
+from repro.itdos.faults import LyingElement, forged_change_request
+from repro.workloads.scenarios import CalculatorServant, standard_repository
+from repro.itdos.bootstrap import ItdosSystem
+
+
+def main() -> None:
+    system = ItdosSystem(seed=5, repository=standard_repository())
+    system.add_server_domain(
+        "calc",
+        f=1,
+        servants=lambda element: {b"calc": CalculatorServant()},
+        byzantine={2: LyingElement},  # calc-e2 is compromised
+    )
+    print("Domain 'calc' (f=1):", list(system.directory.domain("calc").element_ids))
+    print("  calc-e2 is COMPROMISED: it corrupts every result it returns.\n")
+
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+
+    print("Step 1-2: invoke; the voter masks and detects the faulty value")
+    result = stub.add(2.0, 3.0)
+    print(f"  add(2, 3) = {result}   <- correct despite the intrusion")
+
+    system.settle(3.0)
+    reports = client.endpoint.change_requests_sent
+    print(f"\nStep 3: client filed {len(reports)} change_request(s)")
+    print(f"  accused: {list(reports[0].accused)}, proof: "
+          f"{len(reports[0].proof)} signed replies")
+
+    print("\nStep 4: Group Manager verdicts")
+    for gm in system.gm_elements:
+        print(f"  {gm.pid}: expelled={sorted(gm.state.expelled)} "
+              f"keys_issued={len(gm.keys_issued)}")
+
+    conn_id = next(iter(client.endpoint.connections))
+    print("\nStep 5: rekey lockout")
+    print(f"  client's current key generation: "
+          f"{client.key_store.current_key(conn_id).key_id}")
+    expelled = system.elements["calc-e2"]
+    expelled_key = expelled.key_store.current_key(conn_id)
+    print(f"  calc-e2's key generation      : "
+          f"{expelled_key.key_id if expelled_key else 'none'} (stale)")
+    served_before = len(expelled.dispatched)
+    print(f"  service continues: add(10, 20) = {stub.add(10.0, 20.0)}")
+    system.settle(1.0)
+    print(f"  calc-e2 processed {len(expelled.dispatched) - served_before} of the "
+          "new (rekeyed) requests")
+
+    print("\nStep 6: a malicious client forges proof against calc-e0")
+    mallory = system.add_client("mallory")
+    mallory.stub(system.ref("calc", b"calc")).add(1.0, 1.0)
+    verdicts = []
+    mallory.endpoint.gm_engine.invoke(
+        forged_change_request("mallory", "calc", ("calc-e0",)).to_payload(),
+        verdicts.append,
+    )
+    system.run_until(lambda: bool(verdicts))
+    print(f"  Group Manager verdict: {verdicts[0].decode()}")
+    print(f"  calc-e0 still serving: add(7, 7) = {stub.add(7.0, 7.0)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: a singleton client invoking a replicated, heterogeneous server.
+
+This is Figure 1 of the paper in ~40 lines: a CORBA client holds an object
+reference to a *replication domain* of 3f+1 = 4 elements running on four
+different (simulated) platforms. The ITDOS middleware transparently:
+
+1. asks the Group Manager to establish a virtual connection (Figure 3),
+2. combines threshold key shares into the communication key,
+3. encrypts the request and submits it into the domain's BFT ordering,
+4. votes the four (inexactly equal) replies and returns one result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.workloads.scenarios import build_calc_system
+
+
+def main() -> None:
+    system = build_calc_system(f=1, seed=42)
+    print("Deployment:")
+    print(f"  Group Manager : {list(system.directory.gm_domain.element_ids)}")
+    calc = system.directory.domain("calc")
+    print(f"  'calc' domain : {list(calc.element_ids)}  (f={calc.f})")
+    for pid in calc.element_ids:
+        platform = system.directory.platform_of(pid)
+        print(f"      {pid}: {platform.name} ({platform.byte_order}-endian)")
+
+    client = system.add_client("alice")
+    ref = system.ref("calc", b"calc")
+    print(f"\nObject reference: {ref.stringify()[:60]}...")
+    stub = client.stub(ref)
+
+    print("\nInvocations (each one is ordered by PBFT and voted):")
+    print(f"  add(2, 3)              = {stub.add(2.0, 3.0)}")
+    print(f"  divide(1, 3)           = {stub.divide(1.0, 3.0)!r}")
+    print(f"  mean([1.1, 2.2, 3.3])  = {stub.mean([1.1, 2.2, 3.3])!r}")
+    stub.store(10.0)
+    stub.store(20.0)
+    print(f"  history()              = {stub.history()}")
+
+    conn_id = next(iter(client.endpoint.connections))
+    key = client.key_store.current_key(conn_id)
+    print("\nTransport facts:")
+    print(f"  connection id          = {conn_id}")
+    print(f"  communication key id   = {key.key_id} (threshold-generated)")
+    print(f"  open_requests sent     = {client.endpoint.open_requests_sent} "
+          "(connection reused across all calls)")
+    print(f"  simulated time elapsed = {system.network.now * 1000:.2f} ms")
+    print(f"  network messages sent  = {system.network.stats.messages_sent}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Baselines the paper compares ITDOS against.
+
+* :mod:`~repro.baselines.byte_voter` — Immune/Rampart-style byte-by-byte
+  voting on raw marshalled messages, which "does not work correctly in the
+  presence of heterogeneity or inexact values" (§3.6, experiment E3);
+* :mod:`~repro.baselines.traditional_gm` — the "traditional" Group Manager
+  design of §3.5, where every GM element knows each full communication key,
+  so one compromise exposes everything (experiment E5);
+* :mod:`~repro.baselines.plain_iiop` — the unreplicated CORBA baseline
+  (no ordering, no voting, no encryption) used to price intrusion tolerance
+  (experiment E10).
+"""
+
+from repro.baselines.byte_voter import ByteVoter, byte_majority_vote
+from repro.baselines.traditional_gm import (
+    ThresholdKeyAuthority,
+    TraditionalKeyAuthority,
+)
+from repro.orb.iiop import IiopClient, IiopServer
+
+__all__ = [
+    "ByteVoter",
+    "IiopClient",
+    "IiopServer",
+    "ThresholdKeyAuthority",
+    "TraditionalKeyAuthority",
+    "byte_majority_vote",
+]

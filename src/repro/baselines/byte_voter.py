@@ -1,0 +1,90 @@
+"""Byte-by-byte voting: the baseline that fails under heterogeneity.
+
+Immune [25], Rampart [35, 36], and the raw Castro–Liskov library [6] compare
+replica outputs as raw bytes. With homogeneous replicas this is fine; with
+heterogeneous replicas, equal *values* marshal to different *bytes* (byte
+order) and equal-up-to-precision floats differ bit-wise, so correct replicas
+look like dissenters. Experiment E3 measures the resulting failure rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ByteVoteDecision:
+    decided: bool
+    value: bytes | None = None
+    supporters: tuple[str, ...] = ()
+    dissenters: tuple[str, ...] = ()
+
+
+def byte_majority_vote(
+    ballots: list[tuple[str, bytes]], threshold: int
+) -> ByteVoteDecision:
+    """Find raw bytes supported by at least ``threshold`` senders."""
+    if threshold < 1:
+        raise ValueError("threshold must be >= 1")
+    counts: dict[bytes, list[str]] = {}
+    order: list[bytes] = []
+    for sender, blob in ballots:
+        if blob not in counts:
+            counts[blob] = []
+            order.append(blob)
+        counts[blob].append(sender)
+    for blob in order:
+        supporters = counts[blob]
+        if len(supporters) >= threshold:
+            dissenters = tuple(
+                sender for sender, b in ballots if b != blob
+            )
+            return ByteVoteDecision(
+                decided=True,
+                value=blob,
+                supporters=tuple(supporters),
+                dissenters=dissenters,
+            )
+    return ByteVoteDecision(decided=False)
+
+
+class ByteVoter:
+    """Drop-in replacement for the ITDOS reply voter, comparing raw bytes.
+
+    Mirrors :class:`repro.itdos.voter.ReplyVoter`'s decision thresholds
+    (f+1 identical) but at the byte level — *before* unmarshalling, which is
+    exactly what the paper says cannot work for heterogeneous domains.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        on_decide: Callable[[ByteVoteDecision], None],
+    ) -> None:
+        self.n = n
+        self.f = f
+        self.on_decide = on_decide
+        self.current_request_id: int | None = None
+        self._ballots: list[tuple[str, bytes]] = []
+        self._decided = False
+        self.undecidable_requests = 0
+
+    def begin(self, request_id: int) -> None:
+        self.current_request_id = request_id
+        self._ballots = []
+        self._decided = False
+
+    def offer(self, sender: str, request_id: int, blob: bytes) -> None:
+        if request_id != self.current_request_id or self._decided:
+            return
+        self._ballots.append((sender, blob))
+        decision = byte_majority_vote(self._ballots, self.f + 1)
+        if decision.decided:
+            self._decided = True
+            self.on_decide(decision)
+        elif len(self._ballots) >= self.n:
+            # Every replica answered and still no f+1 identical byte
+            # strings: the byte voter is stuck (the E3 failure mode).
+            self.undecidable_requests += 1

@@ -1,0 +1,9 @@
+"""The unreplicated IIOP baseline, re-exported for benchmark symmetry.
+
+The implementation lives in :mod:`repro.orb.iiop`; this module exists so
+benchmarks import every baseline from :mod:`repro.baselines`.
+"""
+
+from repro.orb.iiop import IiopClient, IiopServer, IiopTransport
+
+__all__ = ["IiopClient", "IiopServer", "IiopTransport"]

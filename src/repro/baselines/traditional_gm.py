@@ -1,0 +1,90 @@
+"""Key-exposure models: traditional vs threshold Group Manager (§3.5).
+
+The paper's argument: in a *traditional* design "each of the Group Manager
+replication domain elements agree on each communication key and distribute
+the entire key"; compromising **one** element exposes every key it knows.
+The ITDOS design gives each element only a DPRF share, so an attacker needs
+``f+1`` elements. These two classes model exactly the attacker-knowledge
+computation for experiment E5 — with real key material, derived the same
+way each design would derive it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.digests import digest
+from repro.crypto.dprf import DprfError, DprfPublic, DprfShareholder, combine_shares, dprf_setup
+from repro.crypto.groups import DlGroup
+
+
+class TraditionalKeyAuthority:
+    """Every GM element stores every full communication key."""
+
+    def __init__(self, element_ids: list[str], seed: int = 0) -> None:
+        self.element_ids = list(element_ids)
+        self._rng = random.Random(seed)
+        # key_id -> key material, replicated at every element.
+        self._keys: dict[int, bytes] = {}
+        self._next = 0
+
+    def generate_key(self) -> int:
+        """Agree on a new communication key (full key at every element)."""
+        self._next += 1
+        self._keys[self._next] = self._rng.randbytes(32)
+        return self._next
+
+    def key_material(self, key_id: int) -> bytes:
+        return self._keys[key_id]
+
+    def keys_recoverable_by(self, compromised: set[str]) -> set[int]:
+        """Which keys does an attacker holding these elements learn?"""
+        if any(e in self.element_ids for e in compromised):
+            return set(self._keys)  # one element knows everything
+        return set()
+
+
+class ThresholdKeyAuthority:
+    """ITDOS's design: per-element DPRF shares, combination needs f+1."""
+
+    def __init__(
+        self, element_ids: list[str], f: int, group: DlGroup, seed: int = 0
+    ) -> None:
+        if len(element_ids) < 3 * f + 1:
+            raise ValueError("need 3f+1 GM elements")
+        self.element_ids = list(element_ids)
+        self.f = f
+        rng = random.Random(seed)
+        self.public: DprfPublic
+        holders: list[DprfShareholder]
+        self.public, holders = dprf_setup(group, n=len(element_ids), f=f, rng=rng)
+        self._holders = dict(zip(self.element_ids, holders))
+        self._nonces: dict[int, bytes] = {}
+        self._next = 0
+
+    def generate_key(self) -> int:
+        """Allocate a new key (identified by its evaluation nonce)."""
+        self._next += 1
+        self._nonces[self._next] = digest(b"key-nonce-%d" % self._next)
+        return self._next
+
+    def key_material(self, key_id: int) -> bytes:
+        nonce = self._nonces[key_id]
+        shares = [
+            self._holders[e].evaluate(nonce)
+            for e in self.element_ids[: self.f + 1]
+        ]
+        return combine_shares(self.public, nonce, shares).material
+
+    def keys_recoverable_by(self, compromised: set[str]) -> set[int]:
+        """An attacker combines the shares it holds — or fails below f+1."""
+        holders = [self._holders[e] for e in compromised if e in self._holders]
+        recovered = set()
+        for key_id, nonce in self._nonces.items():
+            shares = [h.evaluate(nonce) for h in holders]
+            try:
+                combine_shares(self.public, nonce, shares)
+            except DprfError:
+                continue
+            recovered.add(key_id)
+        return recovered

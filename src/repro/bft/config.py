@@ -1,0 +1,72 @@
+"""Static configuration of one BFT replication group."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BftConfig:
+    """Everything a replica must know about its group before it starts.
+
+    ``replica_ids`` is the agreed membership *in order* — the primary of
+    view ``v`` is ``replica_ids[v % n]``. ``f`` is the tolerated number of
+    simultaneous Byzantine replicas; the constructor enforces the paper's
+    ``n >= 3f + 1`` bound (§2, [4]).
+    """
+
+    group_id: str
+    replica_ids: tuple[str, ...]
+    f: int
+    checkpoint_interval: int = 16
+    view_change_timeout: float = 0.25
+    client_retry_timeout: float = 0.5
+    # "none" | "hmac" | "rsa" — how protocol messages are authenticated.
+    auth_mode: str = "none"
+    # Multicast address used for replica-to-replica protocol traffic; when
+    # None, the group id doubles as the address.
+    multicast_address: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.f < 0:
+            raise ValueError("f must be non-negative")
+        if len(set(self.replica_ids)) != len(self.replica_ids):
+            raise ValueError("duplicate replica ids")
+        if self.n < 3 * self.f + 1:
+            raise ValueError(
+                f"need n >= 3f+1 replicas: n={self.n}, f={self.f}"
+            )
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.auth_mode not in ("none", "hmac", "rsa"):
+            raise ValueError(f"unknown auth_mode {self.auth_mode!r}")
+
+    @property
+    def n(self) -> int:
+        return len(self.replica_ids)
+
+    @property
+    def quorum(self) -> int:
+        """Size of a prepared/committed/checkpoint quorum: ``2f + 1``."""
+        return 2 * self.f + 1
+
+    @property
+    def reply_quorum(self) -> int:
+        """Matching replies a client needs: ``f + 1``."""
+        return self.f + 1
+
+    @property
+    def log_window(self) -> int:
+        """Watermark window: sequence numbers accepted above the stable
+        checkpoint. Two checkpoint intervals, as in the PBFT paper."""
+        return 2 * self.checkpoint_interval
+
+    @property
+    def address(self) -> str:
+        return self.multicast_address or self.group_id
+
+    def primary_of_view(self, view: int) -> str:
+        return self.replica_ids[view % self.n]
+
+    def replica_index(self, pid: str) -> int:
+        return self.replica_ids.index(pid)

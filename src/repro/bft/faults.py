@@ -1,0 +1,81 @@
+"""Byzantine replica behaviours for fault-injection experiments.
+
+Correct-process code never checks "am I faulty?" flags; faults are expressed
+as subclasses overriding behaviour — the same structure the adversary has in
+the Byzantine model (full control over up to f replicas, §2).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bft.messages import BftReply
+from repro.bft.replica import BftReplica
+
+
+class SilentReplica(BftReplica):
+    """Participates in nothing: the crash end of the Byzantine spectrum."""
+
+    def on_message(self, src: str, payload: Any) -> None:
+        return
+
+
+class CorruptReplyReplica(BftReplica):
+    """Orders correctly but sends garbage results to clients.
+
+    Detected only by clients comparing reply values — the paper's primary
+    fault-detection path ("faulty processes ... detected primarily by
+    processes external to it; ... clients receiving a faulty result", §2).
+    """
+
+    def _p2p(self, dst: str, message: Any) -> None:
+        if isinstance(message, BftReply):
+            message = BftReply(
+                view=message.view,
+                timestamp=message.timestamp,
+                client_id=message.client_id,
+                sender=message.sender,
+                result=b"\xde\xad" + message.result,
+            )
+        super()._p2p(dst, message)
+
+
+class StutteringPrimaryReplica(BftReplica):
+    """As primary, never orders requests (but otherwise participates).
+
+    Forces the backups' view-change timers to fire — the liveness path.
+    """
+
+    def _order(self, request: Any) -> None:
+        return
+
+
+class EquivocatingPrimaryReplica(BftReplica):
+    """As primary, assigns the same sequence number twice.
+
+    Correct backups accept at most one pre-prepare per (view, seq), so
+    equivocation cannot produce two committed requests at one seq; it can
+    only stall progress and trigger a view change.
+    """
+
+    def _order(self, request: Any) -> None:
+        if self.next_seq >= 1:
+            self.next_seq -= 1  # reuse the previous sequence number
+        super()._order(request)
+
+
+class SlowReplica(BftReplica):
+    """Delays all sends by a fixed lag: Byzantine-slow, not crashed.
+
+    Exercises the voter's refusal to wait for all 3f+1 messages (§3.6:
+    waiting for stragglers "would cause the system to be vulnerable to ...
+    faulty processes that may be deliberately slow").
+    """
+
+    lag: float = 0.5
+
+    def _mcast(self, message: Any) -> None:
+        self.set_timer(self.lag, lambda: BftReplica._mcast(self, message))
+
+    def _p2p(self, dst: str, message: Any) -> None:
+        self.set_timer(self.lag, lambda: BftReplica._p2p(self, dst, message))

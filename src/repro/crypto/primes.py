@@ -1,0 +1,75 @@
+"""Probabilistic primality testing and prime generation.
+
+Used by RSA key generation and discrete-log group parameter generation.
+Miller–Rabin with enough rounds that error probability is far below any
+simulation-relevant threshold.
+"""
+
+from __future__ import annotations
+
+import random
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+]
+
+
+def is_probable_prime(n: int, rng: random.Random | None = None, rounds: int = 40) -> bool:
+    """Miller–Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random(0xC0FFEE ^ (n & 0xFFFFFFFF))
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def gen_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime of exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError("bits must be >= 8")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force top bit and oddness
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+def gen_schnorr_group(qbits: int, pbits: int, rng: random.Random) -> tuple[int, int, int]:
+    """Generate (p, q, g): q prime, p = k*q + 1 prime, g of order q mod p."""
+    if pbits <= qbits + 8:
+        raise ValueError("pbits must exceed qbits comfortably")
+    q = gen_prime(qbits, rng)
+    kbits = pbits - qbits
+    while True:
+        k = rng.getrandbits(kbits) | (1 << (kbits - 1))
+        p = k * q + 1
+        if p.bit_length() == pbits and is_probable_prime(p, rng):
+            break
+    cofactor = (p - 1) // q
+    while True:
+        h = rng.randrange(2, p - 1)
+        g = pow(h, cofactor, p)
+        if g != 1:
+            return p, q, g

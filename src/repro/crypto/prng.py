@@ -1,0 +1,81 @@
+"""Deterministic pseudo-random generator.
+
+Each Group Manager replication domain element owns a PRNG seeded (and
+periodically re-seeded) by the distributed coin-toss protocol (§3.5); its
+outputs become the common inputs to the distributed PRF. The generator is
+SHA-256 in counter mode: ``block_i = SHA256(seed || i)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+
+class DeterministicPrng:
+    """SHA-256-CTR pseudo-random generator.
+
+    Two instances with the same seed produce identical streams — which is
+    exactly what the Group Manager requires: every element must feed the
+    *same* nonce sequence to its PRF share evaluator.
+    """
+
+    def __init__(self, seed: bytes) -> None:
+        if not seed:
+            raise ValueError("seed must be non-empty")
+        self._seed = bytes(seed)
+        self._counter = 0
+        self._buffer = b""
+
+    def reseed(self, seed: bytes) -> None:
+        """Replace the seed (periodic re-initialisation, §3.5)."""
+        if not seed:
+            raise ValueError("seed must be non-empty")
+        self._seed = bytes(seed)
+        self._counter = 0
+        self._buffer = b""
+
+    def next_bytes(self, n: int) -> bytes:
+        """Produce the next ``n`` bytes of the stream."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        while len(self._buffer) < n:
+            block = hashlib.sha256(
+                self._seed + struct.pack(">Q", self._counter)
+            ).digest()
+            self._counter += 1
+            self._buffer += block
+        out, self._buffer = self._buffer[:n], self._buffer[n:]
+        return out
+
+    def next_int(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)`` via rejection sampling."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        nbytes = (bound.bit_length() + 7) // 8
+        # Rejection sampling: draw until below the largest multiple of bound.
+        limit = (256**nbytes // bound) * bound
+        while True:
+            candidate = int.from_bytes(self.next_bytes(nbytes), "big")
+            if candidate < limit:
+                return candidate % bound
+
+    def next_nonce(self) -> bytes:
+        """A 32-byte value; successive calls never repeat for a given seed."""
+        return self.next_bytes(32)
+
+    # -- state capture (replicated state machines need to checkpoint the
+    # generator's position so a recovered replica resumes the same stream) --
+
+    def position(self) -> int:
+        """Bytes consumed so far (buffer-exact)."""
+        return self._counter * 32 - len(self._buffer)
+
+    def seek(self, position: int) -> None:
+        """Fast-forward a freshly seeded generator to ``position``."""
+        if position < 0:
+            raise ValueError("position must be non-negative")
+        self._counter = 0
+        self._buffer = b""
+        if position:
+            self.next_bytes(position)

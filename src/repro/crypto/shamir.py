@@ -1,0 +1,75 @@
+"""Shamir secret sharing over ``Z_q``.
+
+The Group Manager's master PRF key is a Shamir secret: each GM replication
+domain element holds one share, and any ``f+1`` of ``n`` shares determine the
+secret while any ``f`` reveal nothing (§3.5: "An attacker must compromise
+multiple elements to generate a communication key").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Share:
+    """One point ``(index, value)`` on the sharing polynomial; index >= 1."""
+
+    index: int
+    value: int
+
+
+def share_secret(
+    secret: int, threshold: int, n: int, q: int, rng: random.Random
+) -> tuple[list[Share], list[int]]:
+    """Split ``secret`` into ``n`` shares, any ``threshold`` of which recover it.
+
+    Returns ``(shares, coefficients)`` — the coefficients (``a_0 = secret``)
+    are needed by Feldman commitment generation and must be discarded by a
+    dealer afterwards.
+    """
+    if threshold < 1 or threshold > n:
+        raise ValueError("require 1 <= threshold <= n")
+    if not 0 <= secret < q:
+        raise ValueError("secret must be in [0, q)")
+    coefficients = [secret] + [rng.randrange(q) for _ in range(threshold - 1)]
+    shares = [Share(index=i, value=_poly_eval(coefficients, i, q)) for i in range(1, n + 1)]
+    return shares, coefficients
+
+
+def _poly_eval(coefficients: list[int], x: int, q: int) -> int:
+    """Horner evaluation of the polynomial at ``x`` mod ``q``."""
+    acc = 0
+    for coeff in reversed(coefficients):
+        acc = (acc * x + coeff) % q
+    return acc
+
+
+def lagrange_coefficient(indices: list[int], i: int, q: int, at: int = 0) -> int:
+    """``λ_i`` such that ``f(at) = Σ λ_i · f(i)`` over the index set."""
+    if i not in indices:
+        raise ValueError(f"index {i} not in interpolation set")
+    if len(set(indices)) != len(indices):
+        raise ValueError("duplicate indices")
+    num, den = 1, 1
+    for j in indices:
+        if j == i:
+            continue
+        num = (num * (at - j)) % q
+        den = (den * (i - j)) % q
+    return (num * pow(den, -1, q)) % q
+
+
+def recover_secret(shares: list[Share], q: int, at: int = 0) -> int:
+    """Interpolate the polynomial at ``at`` (default: the secret at 0)."""
+    if not shares:
+        raise ValueError("no shares")
+    indices = [s.index for s in shares]
+    if len(set(indices)) != len(indices):
+        raise ValueError("duplicate share indices")
+    acc = 0
+    for share in shares:
+        lam = lagrange_coefficient(indices, share.index, q, at)
+        acc = (acc + lam * share.value) % q
+    return acc

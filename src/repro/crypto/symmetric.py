@@ -1,0 +1,102 @@
+"""Authenticated symmetric encryption for communication keys.
+
+§3.5: "Symmetric key encryption using group communication keys provides
+client-server confidentiality." The construction is encrypt-then-MAC:
+
+* keystream: ``SHA256(enc_key || nonce || block_counter)`` (CTR mode),
+* tag: ``HMAC(mac_key, nonce || ciphertext)``,
+* ``enc_key``/``mac_key`` derived from the communication key by domain
+  separation, so one shared secret yields independent subkeys.
+
+Wire format: ``nonce(16) || ciphertext || tag(32)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+from repro.crypto.digests import constant_time_equal, hmac_digest
+
+NONCE_SIZE = 16
+TAG_SIZE = 32
+KEY_SIZE = 32
+
+
+class AuthenticationError(Exception):
+    """Ciphertext failed integrity verification."""
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """A communication key (§3.5) plus its bookkeeping identity.
+
+    ``key_id`` identifies the key *generation* for a client/server
+    association; rekeying after expulsion bumps the generation so stale
+    ciphertext is rejected cheaply.
+    """
+
+    material: bytes
+    key_id: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.material) != KEY_SIZE:
+            raise ValueError(f"key must be {KEY_SIZE} bytes")
+
+    @property
+    def enc_key(self) -> bytes:
+        return hashlib.sha256(self.material + b"|enc").digest()
+
+    @property
+    def mac_key(self) -> bytes:
+        return hashlib.sha256(self.material + b"|mac").digest()
+
+    def canonical_fields(self) -> dict:
+        # Only the id is ever serialised; material never goes on the wire.
+        return {"key_id": self.key_id}
+
+
+def _keystream(enc_key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    for counter in range((length + 31) // 32):
+        blocks.append(
+            hashlib.sha256(enc_key + nonce + struct.pack(">Q", counter)).digest()
+        )
+    return b"".join(blocks)[:length]
+
+
+def encrypt(key: SymmetricKey, plaintext: bytes, nonce: bytes) -> bytes:
+    """Encrypt and authenticate ``plaintext``.
+
+    The caller supplies the nonce: in the deterministic simulation each
+    connection derives nonces from its strictly increasing request
+    identifiers, which also guarantees uniqueness per key.
+    """
+    if len(nonce) != NONCE_SIZE:
+        raise ValueError(f"nonce must be {NONCE_SIZE} bytes")
+    stream = _keystream(key.enc_key, nonce, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = hmac_digest(key.mac_key, nonce + ciphertext)
+    return nonce + ciphertext + tag
+
+
+def decrypt(key: SymmetricKey, blob: bytes) -> bytes:
+    """Verify and decrypt; raises :class:`AuthenticationError` on tamper."""
+    if len(blob) < NONCE_SIZE + TAG_SIZE:
+        raise AuthenticationError("ciphertext too short")
+    nonce = blob[:NONCE_SIZE]
+    ciphertext = blob[NONCE_SIZE:-TAG_SIZE]
+    tag = blob[-TAG_SIZE:]
+    expected = hmac_digest(key.mac_key, nonce + ciphertext)
+    if not constant_time_equal(tag, expected):
+        raise AuthenticationError("bad authentication tag")
+    stream = _keystream(key.enc_key, nonce, len(ciphertext))
+    return bytes(c ^ s for c, s in zip(ciphertext, stream))
+
+
+def nonce_from_counter(counter: int) -> bytes:
+    """Derive a unique nonce from a strictly increasing counter."""
+    if counter < 0:
+        raise ValueError("counter must be non-negative")
+    return struct.pack(">QQ", 0, counter)

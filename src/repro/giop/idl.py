@@ -1,0 +1,112 @@
+"""IDL-level interface definitions.
+
+A CORBA system is programmed against IDL interfaces; stubs and skeletons are
+generated from them. Here interfaces are declared directly in Python — the
+moral equivalent of a compiled IDL file — and drive three consumers:
+
+* the ORB's dynamic stubs (marshal arguments per operation signature),
+* servant dispatch (unmarshal + validate before invoking the method),
+* the Group Manager's standalone marshalling engine, which needs
+  operation signatures looked up *by interface name* to re-vote on
+  expulsion proofs (§3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.giop.typecodes import TC_VOID, TypeCode, TypeCodeError
+
+
+class IdlError(Exception):
+    """Malformed interface definition or unknown operation/interface."""
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One ``in`` parameter of an operation (out/inout are not modelled)."""
+
+    name: str
+    tc: TypeCode
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A named operation with typed parameters and a typed result."""
+
+    name: str
+    params: tuple[Parameter, ...] = ()
+    result: TypeCode = TC_VOID
+    oneway: bool = False
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.params]
+        if len(set(names)) != len(names):
+            raise IdlError(f"duplicate parameter names in operation {self.name}")
+        if self.oneway and self.result is not TC_VOID:
+            raise IdlError(f"oneway operation {self.name} cannot return a value")
+
+    def validate_args(self, args: tuple[Any, ...]) -> None:
+        if len(args) != len(self.params):
+            raise TypeCodeError(
+                f"operation {self.name} takes {len(self.params)} args, got {len(args)}"
+            )
+        for param, arg in zip(self.params, args):
+            try:
+                param.tc.validate(arg)
+            except TypeCodeError as exc:
+                raise TypeCodeError(f"{self.name}({param.name}): {exc}") from exc
+
+
+@dataclass(frozen=True)
+class InterfaceDef:
+    """A named collection of operations."""
+
+    name: str
+    operations: tuple[Operation, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [op.name for op in self.operations]
+        if len(set(names)) != len(names):
+            raise IdlError(f"duplicate operations in interface {self.name}")
+
+    def operation(self, name: str) -> Operation:
+        for op in self.operations:
+            if op.name == name:
+                return op
+        raise IdlError(f"interface {self.name} has no operation {name!r}")
+
+    def has_operation(self, name: str) -> bool:
+        return any(op.name == name for op in self.operations)
+
+
+@dataclass
+class InterfaceRepository:
+    """Name -> InterfaceDef registry; the simulation's interface repository.
+
+    Shared read-only by all ORBs and by the Group Manager's marshalling
+    engine — the deployed analogue is the CORBA Interface Repository plus
+    out-of-band IDL distribution.
+    """
+
+    _interfaces: dict[str, InterfaceDef] = field(default_factory=dict)
+
+    def register(self, interface: InterfaceDef) -> InterfaceDef:
+        existing = self._interfaces.get(interface.name)
+        if existing is not None and existing != interface:
+            raise IdlError(f"conflicting registration for interface {interface.name}")
+        self._interfaces[interface.name] = interface
+        return interface
+
+    def lookup(self, name: str) -> InterfaceDef:
+        try:
+            return self._interfaces[name]
+        except KeyError:
+            raise IdlError(f"unknown interface {name!r}") from None
+
+    def knows(self, name: str) -> bool:
+        return name in self._interfaces
+
+    def __len__(self) -> int:
+        return len(self._interfaces)

@@ -1,0 +1,353 @@
+"""GIOP message formats (Request / Reply subset, version 1.2-shaped).
+
+Wire layout::
+
+    GIOP header:  "GIOP" | major | minor | flags | msg_type | ulong size
+    Request body: ulong request_id | boolean response_expected |
+                  octets object_key | string operation |
+                  string interface_name  (ITDOS extension, §3.6) |
+                  CDR-encoded in-args per the operation signature
+    Reply body:   ulong request_id | ulong reply_status |
+                  result / exception payload
+
+Flag bit 0 carries the sender's byte order (1 = little endian), which is the
+mechanism that lets heterogeneous peers interoperate — and the reason equal
+values can have unequal bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any
+
+from repro.giop.cdr import CdrDecoder, CdrEncoder, CdrError
+from repro.giop.idl import IdlError, InterfaceRepository
+from repro.giop.typecodes import TC_VOID, TypeCodeError
+
+MAGIC = b"GIOP"
+VERSION = (1, 2)
+HEADER_SIZE = 12
+
+
+class GiopError(Exception):
+    """Malformed GIOP message."""
+
+
+class MsgType(IntEnum):
+    REQUEST = 0
+    REPLY = 1
+    CANCEL_REQUEST = 2
+    LOCATE_REQUEST = 3
+    LOCATE_REPLY = 4
+    CLOSE_CONNECTION = 5
+    MESSAGE_ERROR = 6
+    FRAGMENT = 7
+
+
+class ReplyStatus(IntEnum):
+    NO_EXCEPTION = 0
+    USER_EXCEPTION = 1
+    SYSTEM_EXCEPTION = 2
+    LOCATION_FORWARD = 3
+
+
+@dataclass(frozen=True)
+class RequestMessage:
+    """A decoded GIOP Request with already-unmarshalled arguments."""
+
+    request_id: int
+    response_expected: bool
+    object_key: bytes
+    operation: str
+    interface_name: str
+    args: tuple[Any, ...]
+    byte_order: str
+
+    def trace_label(self) -> str:
+        return f"Request({self.interface_name}.{self.operation}#{self.request_id})"
+
+    def canonical_fields(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "response_expected": self.response_expected,
+            "object_key": self.object_key,
+            "operation": self.operation,
+            "interface_name": self.interface_name,
+            "args": list(self.args),
+        }
+
+
+class LocateStatus(IntEnum):
+    UNKNOWN_OBJECT = 0
+    OBJECT_HERE = 1
+    OBJECT_FORWARD = 2
+
+
+@dataclass(frozen=True)
+class LocateRequestMessage:
+    """GIOP LocateRequest: does this endpoint serve the object key?"""
+
+    request_id: int
+    object_key: bytes
+    byte_order: str
+
+    def trace_label(self) -> str:
+        return f"LocateRequest(#{self.request_id})"
+
+
+@dataclass(frozen=True)
+class LocateReplyMessage:
+    """GIOP LocateReply."""
+
+    request_id: int
+    locate_status: LocateStatus
+    byte_order: str
+
+    def trace_label(self) -> str:
+        return f"LocateReply(#{self.request_id},{self.locate_status.name})"
+
+
+@dataclass(frozen=True)
+class CloseConnectionMessage:
+    """GIOP CloseConnection: orderly shutdown notice (header only)."""
+
+    byte_order: str
+
+    def trace_label(self) -> str:
+        return "CloseConnection"
+
+
+@dataclass(frozen=True)
+class MessageErrorMessage:
+    """GIOP MessageError: the peer sent something unparseable (header only)."""
+
+    byte_order: str
+
+    def trace_label(self) -> str:
+        return "MessageError"
+
+
+@dataclass(frozen=True)
+class ReplyMessage:
+    """A decoded GIOP Reply with an already-unmarshalled result."""
+
+    request_id: int
+    reply_status: ReplyStatus
+    # NO_EXCEPTION: the operation result (None for void).
+    # USER_EXCEPTION / SYSTEM_EXCEPTION: (exception_id, description).
+    result: Any
+    operation: str
+    interface_name: str
+    byte_order: str
+
+    def trace_label(self) -> str:
+        return f"Reply({self.interface_name}.{self.operation}#{self.request_id})"
+
+    def canonical_fields(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "reply_status": int(self.reply_status),
+            "result": list(self.result) if isinstance(self.result, tuple) else self.result,
+            "operation": self.operation,
+            "interface_name": self.interface_name,
+        }
+
+
+def _encode_header(encoder: CdrEncoder, msg_type: MsgType, body: bytes) -> bytes:
+    flags = 0x01 if encoder.byte_order == "little" else 0x00
+    prefix = "<" if encoder.byte_order == "little" else ">"
+    return (
+        MAGIC
+        + bytes(VERSION)
+        + bytes([flags, int(msg_type)])
+        + struct.pack(prefix + "I", len(body))
+        + body
+    )
+
+
+def encode_request(
+    repository: InterfaceRepository,
+    interface_name: str,
+    operation: str,
+    args: tuple[Any, ...],
+    request_id: int,
+    object_key: bytes = b"",
+    response_expected: bool = True,
+    byte_order: str = "big",
+) -> bytes:
+    """Marshal a complete GIOP Request message.
+
+    Argument values are validated and encoded against the operation
+    signature found in the interface repository.
+    """
+    interface = repository.lookup(interface_name)
+    op = interface.operation(operation)
+    op.validate_args(args)
+    body = CdrEncoder(byte_order)
+    body.write_primitive("ulong", request_id)
+    body.write_primitive("boolean", response_expected)
+    body.write_octets(object_key)
+    body.write_primitive("string", operation)
+    body.write_primitive("string", interface_name)
+    for param, arg in zip(op.params, args):
+        body.encode(param.tc, arg)
+    return _encode_header(body, MsgType.REQUEST, body.getvalue())
+
+
+def encode_reply(
+    repository: InterfaceRepository,
+    interface_name: str,
+    operation: str,
+    request_id: int,
+    result: Any = None,
+    reply_status: ReplyStatus = ReplyStatus.NO_EXCEPTION,
+    byte_order: str = "big",
+) -> bytes:
+    """Marshal a complete GIOP Reply message."""
+    interface = repository.lookup(interface_name)
+    op = interface.operation(operation)
+    body = CdrEncoder(byte_order)
+    body.write_primitive("ulong", request_id)
+    body.write_primitive("ulong", int(reply_status))
+    # Replies echo operation/interface so the standalone marshalling engine
+    # (and the voter) can interpret them without request-side context.
+    body.write_primitive("string", operation)
+    body.write_primitive("string", interface_name)
+    if reply_status == ReplyStatus.NO_EXCEPTION:
+        if op.result is not TC_VOID:
+            body.encode(op.result, result)
+    else:
+        exception_id, description = result
+        body.write_primitive("string", exception_id)
+        body.write_primitive("string", description)
+    return _encode_header(body, MsgType.REPLY, body.getvalue())
+
+
+def encode_locate_request(
+    request_id: int, object_key: bytes, byte_order: str = "big"
+) -> bytes:
+    body = CdrEncoder(byte_order)
+    body.write_primitive("ulong", request_id)
+    body.write_octets(object_key)
+    return _encode_header(body, MsgType.LOCATE_REQUEST, body.getvalue())
+
+
+def encode_locate_reply(
+    request_id: int, locate_status: LocateStatus, byte_order: str = "big"
+) -> bytes:
+    body = CdrEncoder(byte_order)
+    body.write_primitive("ulong", request_id)
+    body.write_primitive("ulong", int(locate_status))
+    return _encode_header(body, MsgType.LOCATE_REPLY, body.getvalue())
+
+
+def encode_close_connection(byte_order: str = "big") -> bytes:
+    body = CdrEncoder(byte_order)
+    return _encode_header(body, MsgType.CLOSE_CONNECTION, b"")
+
+
+def encode_message_error(byte_order: str = "big") -> bytes:
+    body = CdrEncoder(byte_order)
+    return _encode_header(body, MsgType.MESSAGE_ERROR, b"")
+
+
+def decode_message(
+    repository: InterfaceRepository, data: bytes
+) -> RequestMessage | ReplyMessage:
+    """Parse and unmarshal one GIOP message (the receiver-makes-right side).
+
+    This is exactly the "marshalling engine" of §3.6: given only the wire
+    bytes and the interface repository, recover typed values — the Group
+    Manager uses it to re-vote on proof messages outside any ORB.
+    """
+    if len(data) < HEADER_SIZE:
+        raise GiopError("message shorter than GIOP header")
+    if data[:4] != MAGIC:
+        raise GiopError(f"bad magic {data[:4]!r}")
+    major, minor = data[4], data[5]
+    if (major, minor) != VERSION:
+        raise GiopError(f"unsupported GIOP version {major}.{minor}")
+    flags = data[6]
+    byte_order = "little" if flags & 0x01 else "big"
+    try:
+        msg_type = MsgType(data[7])
+    except ValueError as exc:
+        raise GiopError(f"unknown message type {data[7]}") from exc
+    prefix = "<" if byte_order == "little" else ">"
+    (size,) = struct.unpack(prefix + "I", data[8:12])
+    body = data[HEADER_SIZE:]
+    if len(body) != size:
+        raise GiopError(f"size mismatch: header says {size}, body is {len(body)}")
+    decoder = CdrDecoder(body, byte_order)
+    try:
+        if msg_type == MsgType.REQUEST:
+            return _decode_request(repository, decoder, byte_order)
+        if msg_type == MsgType.REPLY:
+            return _decode_reply(repository, decoder, byte_order)
+        if msg_type == MsgType.LOCATE_REQUEST:
+            return LocateRequestMessage(
+                request_id=decoder.read_primitive("ulong"),
+                object_key=decoder.read_octets(),
+                byte_order=byte_order,
+            )
+        if msg_type == MsgType.LOCATE_REPLY:
+            return LocateReplyMessage(
+                request_id=decoder.read_primitive("ulong"),
+                locate_status=LocateStatus(decoder.read_primitive("ulong")),
+                byte_order=byte_order,
+            )
+        if msg_type == MsgType.CLOSE_CONNECTION:
+            return CloseConnectionMessage(byte_order=byte_order)
+        if msg_type == MsgType.MESSAGE_ERROR:
+            return MessageErrorMessage(byte_order=byte_order)
+    except (CdrError, TypeCodeError, IdlError, ValueError) as exc:
+        raise GiopError(f"cannot decode {msg_type.name}: {exc}") from exc
+    raise GiopError(f"unsupported message type {msg_type.name}")
+
+
+def _decode_request(
+    repository: InterfaceRepository, decoder: CdrDecoder, byte_order: str
+) -> RequestMessage:
+    request_id = decoder.read_primitive("ulong")
+    response_expected = decoder.read_primitive("boolean")
+    object_key = decoder.read_octets()
+    operation = decoder.read_primitive("string")
+    interface_name = decoder.read_primitive("string")
+    op = repository.lookup(interface_name).operation(operation)
+    args = tuple(decoder.decode(param.tc) for param in op.params)
+    return RequestMessage(
+        request_id=request_id,
+        response_expected=response_expected,
+        object_key=object_key,
+        operation=operation,
+        interface_name=interface_name,
+        args=args,
+        byte_order=byte_order,
+    )
+
+
+def _decode_reply(
+    repository: InterfaceRepository, decoder: CdrDecoder, byte_order: str
+) -> ReplyMessage:
+    request_id = decoder.read_primitive("ulong")
+    reply_status = ReplyStatus(decoder.read_primitive("ulong"))
+    operation = decoder.read_primitive("string")
+    interface_name = decoder.read_primitive("string")
+    op = repository.lookup(interface_name).operation(operation)
+    result: Any
+    if reply_status == ReplyStatus.NO_EXCEPTION:
+        result = None if op.result is TC_VOID else decoder.decode(op.result)
+    else:
+        exception_id = decoder.read_primitive("string")
+        description = decoder.read_primitive("string")
+        result = (exception_id, description)
+    return ReplyMessage(
+        request_id=request_id,
+        reply_status=reply_status,
+        result=result,
+        operation=operation,
+        interface_name=interface_name,
+        byte_order=byte_order,
+    )

@@ -1,0 +1,131 @@
+"""Platform heterogeneity profiles.
+
+The paper's core motivation: a replication domain's elements run on
+*different* platforms and language runtimes ("implementation diversity in
+both language and platform", §2.2), so
+
+* their GIOP wire bytes differ (byte order, §3.6), and
+* their floating-point results differ in low-order bits ("the accuracy of
+  floating point and other data types may vary from platform to platform",
+  §3.6).
+
+We have one interpreter on one host, so heterogeneity is *simulated* by a
+:class:`PlatformProfile` attached to each replica: the profile dictates the
+CDR byte order used when marshalling and perturbs floating-point results the
+way a different FP pipeline would — by rounding the mantissa to the
+precision that platform's computation chain effectively carries. The
+perturbation is deterministic per platform (replicas must be deterministic
+state machines), and bounded, so correct replicas produce *inexactly equal*
+results: exactly the regime the Voting Virtual Machine's inexact voting is
+designed for, and the regime in which byte-by-byte voting fails (E3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """Deterministic model of one platform/language implementation."""
+
+    name: str
+    byte_order: str  # CDR marshalling order: "big" or "little"
+    language: str
+    # Effective mantissa bits carried through this platform's FP pipeline.
+    # 52 = bit-exact IEEE double; lower values emulate intermediate
+    # extended-precision rounding differences (x87 vs SSE vs JVM strictfp).
+    float_mantissa_bits: int = 52
+
+    def __post_init__(self) -> None:
+        if self.byte_order not in ("big", "little"):
+            raise ValueError("byte_order must be 'big' or 'little'")
+        if not 8 <= self.float_mantissa_bits <= 52:
+            raise ValueError("float_mantissa_bits must be in [8, 52]")
+
+    def perturb_float(self, value: float) -> float:
+        """Round ``value`` to this platform's effective precision.
+
+        The result differs from the IEEE-exact value by at most one unit in
+        the last *kept* place — a relative error of 2^-mantissa_bits — which
+        keeps correct replicas within any sane inexact-voting tolerance.
+        """
+        if value == 0.0 or not math.isfinite(value):
+            return value
+        if self.float_mantissa_bits >= 52:
+            return value
+        mantissa, exponent = math.frexp(value)
+        scale = 1 << self.float_mantissa_bits
+        rounded = round(mantissa * scale)
+        if abs(rounded) == scale and exponent >= 1024:
+            # Rounding carried into the next binade past DBL_MAX; keep the
+            # exact value rather than overflow to infinity.
+            return value
+        return math.ldexp(rounded / scale, exponent)
+
+    def perturb_result(self, value: Any) -> Any:
+        """Apply float perturbation recursively through structured results."""
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, float):
+            return self.perturb_float(value)
+        if isinstance(value, list):
+            return [self.perturb_result(v) for v in value]
+        if isinstance(value, tuple):
+            return tuple(self.perturb_result(v) for v in value)
+        if isinstance(value, dict):
+            return {k: self.perturb_result(v) for k, v in value.items()}
+        return value
+
+
+# A representative heterogeneous deployment, in the spirit of the paper's
+# Solaris + Linux target platforms (§2) with mixed C++/Java servants.
+SOLARIS_SPARC = PlatformProfile(
+    name="solaris-sparc-cxx", byte_order="big", language="C++",
+    float_mantissa_bits=52,
+)
+LINUX_X86 = PlatformProfile(
+    name="linux-x86-cxx", byte_order="little", language="C++",
+    float_mantissa_bits=48,  # x87 extended-precision spill/round artefacts
+)
+LINUX_X86_JAVA = PlatformProfile(
+    name="linux-x86-java", byte_order="little", language="Java",
+    float_mantissa_bits=50,
+)
+SOLARIS_SPARC_JAVA = PlatformProfile(
+    name="solaris-sparc-java", byte_order="big", language="Java",
+    float_mantissa_bits=50,
+)
+AIX_POWER = PlatformProfile(
+    name="aix-power-cxx", byte_order="big", language="C++",
+    float_mantissa_bits=46,  # fused multiply-add contraction differences
+)
+HOMOGENEOUS = PlatformProfile(
+    name="homogeneous-reference", byte_order="big", language="C++",
+    float_mantissa_bits=52,
+)
+
+PLATFORMS: dict[str, PlatformProfile] = {
+    profile.name: profile
+    for profile in [
+        SOLARIS_SPARC,
+        LINUX_X86,
+        LINUX_X86_JAVA,
+        SOLARIS_SPARC_JAVA,
+        AIX_POWER,
+        HOMOGENEOUS,
+    ]
+}
+
+
+def assign_heterogeneous(count: int) -> list[PlatformProfile]:
+    """A maximally diverse platform assignment for ``count`` replicas."""
+    pool = [SOLARIS_SPARC, LINUX_X86, LINUX_X86_JAVA, SOLARIS_SPARC_JAVA, AIX_POWER]
+    return [pool[i % len(pool)] for i in range(count)]
+
+
+def assign_homogeneous(count: int) -> list[PlatformProfile]:
+    """Identical platforms for every replica (the byte-voting-friendly case)."""
+    return [HOMOGENEOUS] * count

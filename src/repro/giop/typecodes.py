@@ -1,0 +1,195 @@
+"""CORBA TypeCodes: runtime descriptions of IDL types.
+
+A :class:`TypeCode` both *validates* Python values against its IDL type and
+drives the CDR encoder/decoder. The subset implemented covers what the
+paper's scenarios exercise: integral types of all widths, floats, strings,
+booleans, octets, enums, bounded/unbounded sequences, and structs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+class TypeCodeError(Exception):
+    """A value does not conform to its TypeCode."""
+
+
+class TypeCode:
+    """Base class; concrete classes define ``kind`` and value validation."""
+
+    kind: str = "abstract"
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`TypeCodeError` unless ``value`` conforms."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<TypeCode {self.kind}>"
+
+
+@dataclass(frozen=True, repr=False)
+class PrimitiveType(TypeCode):
+    """An integral/float/string/boolean/octet primitive."""
+
+    kind: str  # type: ignore[misc]
+
+    _INT_RANGES = {
+        "octet": (0, 2**8 - 1),
+        "short": (-(2**15), 2**15 - 1),
+        "ushort": (0, 2**16 - 1),
+        "long": (-(2**31), 2**31 - 1),
+        "ulong": (0, 2**32 - 1),
+        "longlong": (-(2**63), 2**63 - 1),
+        "ulonglong": (0, 2**64 - 1),
+    }
+
+    def validate(self, value: Any) -> None:
+        if self.kind == "void":
+            if value is not None:
+                raise TypeCodeError(f"void must be None, got {value!r}")
+            return
+        if self.kind == "boolean":
+            if not isinstance(value, bool):
+                raise TypeCodeError(f"boolean expected, got {type(value).__name__}")
+            return
+        if self.kind in self._INT_RANGES:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise TypeCodeError(f"{self.kind} expected int, got {type(value).__name__}")
+            low, high = self._INT_RANGES[self.kind]
+            if not low <= value <= high:
+                raise TypeCodeError(f"{value} out of range for {self.kind}")
+            return
+        if self.kind in ("float", "double"):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise TypeCodeError(f"{self.kind} expected number, got {type(value).__name__}")
+            return
+        if self.kind == "string":
+            if not isinstance(value, str):
+                raise TypeCodeError(f"string expected, got {type(value).__name__}")
+            return
+        raise TypeCodeError(f"unknown primitive kind {self.kind}")  # pragma: no cover
+
+
+TC_VOID = PrimitiveType("void")
+TC_OCTET = PrimitiveType("octet")
+TC_BOOLEAN = PrimitiveType("boolean")
+TC_SHORT = PrimitiveType("short")
+TC_USHORT = PrimitiveType("ushort")
+TC_LONG = PrimitiveType("long")
+TC_ULONG = PrimitiveType("ulong")
+TC_LONGLONG = PrimitiveType("longlong")
+TC_ULONGLONG = PrimitiveType("ulonglong")
+TC_FLOAT = PrimitiveType("float")
+TC_DOUBLE = PrimitiveType("double")
+TC_STRING = PrimitiveType("string")
+
+PRIMITIVES_BY_KIND = {
+    tc.kind: tc
+    for tc in [
+        TC_VOID, TC_OCTET, TC_BOOLEAN, TC_SHORT, TC_USHORT, TC_LONG,
+        TC_ULONG, TC_LONGLONG, TC_ULONGLONG, TC_FLOAT, TC_DOUBLE, TC_STRING,
+    ]
+}
+
+
+@dataclass(frozen=True, repr=False)
+class SequenceType(TypeCode):
+    """``sequence<element>`` with an optional bound."""
+
+    element: TypeCode
+    bound: int | None = None
+    kind: str = "sequence"
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, (list, tuple)):
+            raise TypeCodeError(f"sequence expected list, got {type(value).__name__}")
+        if self.bound is not None and len(value) > self.bound:
+            raise TypeCodeError(f"sequence length {len(value)} exceeds bound {self.bound}")
+        for item in value:
+            self.element.validate(item)
+
+    def __repr__(self) -> str:
+        bound = f", {self.bound}" if self.bound is not None else ""
+        return f"<TypeCode sequence<{self.element!r}{bound}>>"
+
+
+@dataclass(frozen=True, repr=False)
+class StructType(TypeCode):
+    """A named struct with ordered, typed fields; values are dicts."""
+
+    name: str
+    fields: tuple[tuple[str, TypeCode], ...]
+    kind: str = "struct"
+
+    def __post_init__(self) -> None:
+        names = [n for n, _ in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in struct {self.name}")
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, dict):
+            raise TypeCodeError(f"struct {self.name} expects dict, got {type(value).__name__}")
+        field_names = {n for n, _ in self.fields}
+        extra = set(value) - field_names
+        missing = field_names - set(value)
+        if extra or missing:
+            raise TypeCodeError(
+                f"struct {self.name}: missing={sorted(missing)} extra={sorted(extra)}"
+            )
+        for field_name, tc in self.fields:
+            try:
+                tc.validate(value[field_name])
+            except TypeCodeError as exc:
+                raise TypeCodeError(f"struct {self.name}.{field_name}: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return f"<TypeCode struct {self.name}>"
+
+
+@dataclass(frozen=True, repr=False)
+class EnumType(TypeCode):
+    """A named enumeration; values are label strings, wire form is ulong."""
+
+    name: str
+    labels: tuple[str, ...]
+    kind: str = "enum"
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise ValueError(f"enum {self.name} needs at least one label")
+        if len(set(self.labels)) != len(self.labels):
+            raise ValueError(f"duplicate labels in enum {self.name}")
+
+    def validate(self, value: Any) -> None:
+        if value not in self.labels:
+            raise TypeCodeError(f"{value!r} is not a label of enum {self.name}")
+
+    def ordinal(self, label: str) -> int:
+        self.validate(label)
+        return self.labels.index(label)
+
+    def label(self, ordinal: int) -> str:
+        if not 0 <= ordinal < len(self.labels):
+            raise TypeCodeError(f"ordinal {ordinal} out of range for enum {self.name}")
+        return self.labels[ordinal]
+
+    def __repr__(self) -> str:
+        return f"<TypeCode enum {self.name}>"
+
+
+def contains_float(tc: TypeCode) -> bool:
+    """Does this type embed any floating-point component?
+
+    Float-bearing results are *inexact* across heterogeneous platforms, so
+    digest-based large-object voting (which needs bit-identical values)
+    must fall back to ordinary value voting for them.
+    """
+    if isinstance(tc, PrimitiveType):
+        return tc.kind in ("float", "double")
+    if isinstance(tc, SequenceType):
+        return contains_float(tc.element)
+    if isinstance(tc, StructType):
+        return any(contains_float(field_tc) for _, field_tc in tc.fields)
+    return False

@@ -1,0 +1,272 @@
+"""System bootstrap: assemble a full ITDOS deployment on one simulator.
+
+Deployment-time material (domain membership, RSA keypairs, GM pairwise
+keys, DPRF shares) is generated here — this is the paper's out-of-band
+configuration and PKI (§2.2). Typical use::
+
+    system = ItdosSystem(seed=1)
+    system.add_server_domain(
+        "calc", f=1,
+        servants=lambda element: {b"calc": CalculatorServant()},
+    )
+    client = system.add_client("alice")
+    ref = system.ref("calc", b"calc")
+    stub = client.stub(ref)
+    stub.add(2.0, 3.0)      # runs the simulation until the voted reply
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.crypto.dprf import dprf_setup
+from repro.crypto.groups import SIM_GROUP, DlGroup
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.crypto.signing import RsaSigner
+from repro.giop.idl import InterfaceRepository
+from repro.giop.ior import ObjectRef
+from repro.giop.platforms import (
+    PlatformProfile,
+    assign_heterogeneous,
+    assign_homogeneous,
+)
+from repro.itdos.client import ItdosClient
+from repro.itdos.domain import DomainInfo, SystemDirectory
+from repro.itdos.group_manager import GroupManagerElement
+from repro.itdos.replica import ItdosServerElement
+from repro.orb.core import Orb
+from repro.orb.servant import Servant
+from repro.sim import FixedLatency, Network, NetworkConfig
+from repro.sim.latency import LatencyModel
+
+ServantFactory = Callable[[ItdosServerElement], dict[bytes, Servant]]
+
+
+class ItdosSystem:
+    """A complete simulated ITDOS deployment."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency: LatencyModel | None = None,
+        f_gm: int = 1,
+        repository: InterfaceRepository | None = None,
+        group: DlGroup = SIM_GROUP,
+        rsa_bits: int = 256,
+        vote_abs_tol: float = 1e-9,
+        vote_rel_tol: float = 1e-9,
+        checkpoint_interval: int = 16,
+        heterogeneous: bool = True,
+        large_reply_threshold: int | None = None,
+        rekey_interval: float | None = None,
+        protocol_auth: str = "none",
+        gm_element_class: type[GroupManagerElement] = GroupManagerElement,
+    ) -> None:
+        if protocol_auth not in ("none", "hmac"):
+            raise ValueError(f"unsupported protocol_auth {protocol_auth!r}")
+        self.network = Network(
+            NetworkConfig(seed=seed, latency=latency or FixedLatency(0.001))
+        )
+        self.rng = random.Random(seed ^ 0x17D05)
+        self.rsa_bits = rsa_bits
+        self.heterogeneous = heterogeneous
+        # Replica-to-replica BFT message authentication: "none" trusts the
+        # simulator's honest source addressing; "hmac" uses Castro–Liskov
+        # style pairwise authenticator vectors within each domain.
+        self.protocol_auth = protocol_auth
+        self.directory = SystemDirectory(
+            repository=repository or InterfaceRepository(),
+            vote_abs_tol=vote_abs_tol,
+            vote_rel_tol=vote_rel_tol,
+            checkpoint_interval=checkpoint_interval,
+            large_reply_threshold=large_reply_threshold,
+        )
+        self.clients: dict[str, ItdosClient] = {}
+        self.elements: dict[str, ItdosServerElement] = {}
+        self.gm_elements: list[GroupManagerElement] = []
+        # -- Group Manager domain -------------------------------------------
+        n_gm = 3 * f_gm + 1
+        gm_ids = tuple(f"gm-{i}" for i in range(n_gm))
+        gm_info = DomainInfo(domain_id="gm", element_ids=gm_ids, f=f_gm, kind="gm")
+        self.directory.add_domain(gm_info)
+        public, holders = dprf_setup(group, n=n_gm, f=f_gm, rng=self.rng)
+        self.directory.dprf_public = public
+        group_addr = self.network.create_group(gm_info.domain_id)
+        gm_auth = self._domain_auth(list(gm_ids))
+        for pid, holder in zip(gm_ids, holders):
+            element = gm_element_class(
+                pid,
+                self.directory,
+                holder,
+                coin_rng_seed=self.rng.randrange(2**63),
+                rekey_interval=rekey_interval,
+                auth=gm_auth(pid),
+            )
+            self.network.add_process(element)
+            group_addr.join(pid)
+            self.gm_elements.append(element)
+        for element in self.gm_elements:
+            # Kick the coin-toss bootstrap once the whole group is wired.
+            self.network.scheduler.schedule(0.0, element.start)
+
+    def _domain_auth(self, element_ids: list[str]):
+        """Per-element BFT message-auth factory for one domain."""
+        if self.protocol_auth == "none":
+            return lambda pid: None
+        from repro.bft.auth import HmacAuth
+        from repro.crypto.signing import HmacAuthenticator
+
+        authenticators = HmacAuthenticator.bootstrap(
+            element_ids, seed=self.rng.randrange(2**63)
+        )
+        return lambda pid: HmacAuth(authenticators[pid])
+
+    # -- registration helpers ------------------------------------------------
+
+    def _register_pairwise(self, pid: str) -> None:
+        for gm_pid in self.directory.gm_domain.element_ids:
+            key = (gm_pid, pid)
+            if key not in self.directory.pairwise_keys:
+                self.directory.pairwise_keys[key] = self.rng.randbytes(32)
+
+    def _make_signer(self, pid: str) -> RsaSigner:
+        keypair = generate_rsa_keypair(self.rsa_bits, self.rng)
+        self.directory.keyring.register(pid, keypair.public)
+        return RsaSigner(pid, keypair)
+
+    # -- building blocks --------------------------------------------------------
+
+    def add_server_domain(
+        self,
+        domain_id: str,
+        f: int,
+        servants: ServantFactory,
+        n: int | None = None,
+        platforms: list[PlatformProfile] | None = None,
+        state_mode: str = "queue",
+        app_state_fn: Callable[[ItdosServerElement], Callable[[], Any]] | None = None,
+        app_restore_fn: Callable[[ItdosServerElement], Callable[[Any], None]] | None = None,
+        element_class: type[ItdosServerElement] = ItdosServerElement,
+        byzantine: dict[int, type[ItdosServerElement]] | None = None,
+        queue_max_bytes: int = 1 << 22,
+    ) -> list[ItdosServerElement]:
+        """Create a replicated server: ``n >= 3f+1`` elements (default 3f+1).
+
+        ``servants`` is called once per element to build that element's own
+        servant instances — each element hosts the same objects (§3.4), but
+        as separate (possibly differently-implemented) instances: that is
+        the heterogeneous-implementation story.
+        """
+        count = n if n is not None else 3 * f + 1
+        element_ids = tuple(f"{domain_id}-e{i}" for i in range(count))
+        info = DomainInfo(domain_id=domain_id, element_ids=element_ids, f=f)
+        self.directory.add_domain(info)
+        if platforms is None:
+            platforms = (
+                assign_heterogeneous(count)
+                if self.heterogeneous
+                else assign_homogeneous(count)
+            )
+        group_addr = self.network.create_group(domain_id)
+        byzantine = byzantine or {}
+        created = []
+        domain_auth = self._domain_auth(list(element_ids))
+        for index, pid in enumerate(element_ids):
+            self.directory.platforms[pid] = platforms[index]
+            self._register_pairwise(pid)
+            signer = self._make_signer(pid)
+            orb = Orb(self.directory.repository, platform=platforms[index])
+            cls = byzantine.get(index, element_class)
+            element = cls(
+                pid,
+                self.directory,
+                domain_id,
+                orb,
+                signer,
+                state_mode=state_mode,
+                queue_max_bytes=queue_max_bytes,
+                auth=domain_auth(pid),
+            )
+            if app_state_fn is not None:
+                element.app_state_fn = app_state_fn(element)
+            if app_restore_fn is not None:
+                element.app_restore_fn = app_restore_fn(element)
+            for object_key, servant in servants(element).items():
+                orb.adapter.activate(object_key, servant)
+            self.network.add_process(element)
+            group_addr.join(pid)
+            self.elements[pid] = element
+            created.append(element)
+        return created
+
+    def add_client(self, name: str, platform: PlatformProfile | None = None) -> ItdosClient:
+        if platform is not None:
+            self.directory.platforms[name] = platform
+        self._register_pairwise(name)
+        client = ItdosClient(name, self.directory)
+        self.network.add_process(client)
+        self.clients[name] = client
+        return client
+
+    # -- conveniences --------------------------------------------------------------
+
+    def ref(self, domain_id: str, object_key: bytes) -> ObjectRef:
+        """An object reference to a replicated object."""
+        info = self.directory.domain(domain_id)
+        element = self.elements[info.element_ids[0]]
+        return element.orb.adapter.make_ref(object_key, domain_id=domain_id)
+
+    def domain_elements(self, domain_id: str) -> list[ItdosServerElement]:
+        info = self.directory.domain(domain_id)
+        return [self.elements[pid] for pid in info.element_ids]
+
+    def settle(self, duration: float = 2.0, max_events: int = 2_000_000) -> None:
+        """Run the simulation forward (e.g. to finish the GM bootstrap)."""
+        self.network.run(until=self.network.now + duration, max_events=max_events)
+
+    def run_until(self, predicate: Callable[[], bool], max_events: int = 2_000_000) -> None:
+        self.network.run(stop_when=predicate, max_events=max_events)
+
+    @property
+    def gm_primary(self) -> GroupManagerElement:
+        return self.gm_elements[0]
+
+    def summary(self) -> dict[str, Any]:
+        """Operational snapshot of the whole deployment.
+
+        Used by examples and dashboards: per-domain execution/view status,
+        Group Manager verdict counters, and network traffic totals.
+        """
+        domains = {}
+        for domain_id, info in self.directory.domains.items():
+            if info.kind == "gm":
+                continue
+            elements = [self.elements[pid] for pid in info.element_ids]
+            domains[domain_id] = {
+                "n": info.n,
+                "f": info.f,
+                "dispatched": [len(e.dispatched) for e in elements],
+                "views": [e.view for e in elements],
+                "diverged": [e.pid for e in elements if e.diverged],
+                "crashed": [e.pid for e in elements if e.crashed],
+            }
+        gm = self.gm_elements[0]
+        return {
+            "time": self.network.now,
+            "domains": domains,
+            "group_manager": {
+                "phase": gm.state.phase,
+                "connections": len(gm.state.connections),
+                "expelled": sorted(gm.state.expelled),
+                "readmitted": list(gm.readmissions),
+                "denied_change_requests": gm.denied_change_requests,
+                "keys_issued": len(gm.keys_issued),
+            },
+            "network": {
+                "messages_sent": self.network.stats.messages_sent,
+                "messages_dropped": self.network.stats.messages_dropped,
+                "bytes_sent": self.network.stats.bytes_sent,
+                "multicast_addresses": self.network.multicast_addresses_allocated,
+            },
+        }

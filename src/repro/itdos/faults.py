@@ -1,0 +1,168 @@
+"""Byzantine behaviours at the ITDOS layer.
+
+The interesting intrusions in this system are not protocol-level (PBFT
+masks those below) but *value*-level: a compromised element computes
+correctly enough to stay in the ordering protocol while returning corrupted
+results — the paper's central detection scenario ("clients receiving a
+faulty result", §2). Also included: a malicious singleton client forging
+expulsion proof (§3.6's attack).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.giop.messages import ReplyMessage, decode_message, encode_reply
+from repro.itdos.messages import ChangeRequest, ProofItem
+from repro.itdos.replica import IncomingConnection, ItdosServerElement
+
+
+class LyingElement(ItdosServerElement):
+    """Returns corrupted result values on every request.
+
+    The corruption is applied to the *unmarshalled* result before
+    re-marshalling, so the lie survives heterogeneity: the faulty value is
+    a genuinely different value, not a byte-level artefact.
+
+    Setting :attr:`repaired` stops the lying — the "operator has cleaned
+    the machine" precondition for the readmission extension.
+    """
+
+    repaired = False
+
+    def corrupt(self, value: Any) -> Any:
+        if isinstance(value, bool):
+            return not value
+        if isinstance(value, (int, float)):
+            return value + 1_000_001
+        if isinstance(value, str):
+            return value + "!corrupted"
+        if isinstance(value, list):
+            return [self.corrupt(v) for v in value] or [666]
+        if isinstance(value, dict):
+            return {k: self.corrupt(v) for k, v in value.items()}
+        return value
+
+    def _send_reply(
+        self, record: IncomingConnection, request_id: int, plaintext: bytes
+    ) -> None:
+        if self.repaired:
+            super()._send_reply(record, request_id, plaintext)
+            return
+        try:
+            message = decode_message(self.directory.repository, plaintext)
+        except Exception:  # noqa: BLE001
+            super()._send_reply(record, request_id, plaintext)
+            return
+        if isinstance(message, ReplyMessage) and message.reply_status == 0:
+            try:
+                corrupted = encode_reply(
+                    self.directory.repository,
+                    message.interface_name,
+                    message.operation,
+                    request_id=message.request_id,
+                    result=self.corrupt(message.result),
+                    byte_order=self.orb.platform.byte_order,
+                )
+                plaintext = corrupted
+            except Exception:  # noqa: BLE001 - some results resist corruption
+                pass
+        super()._send_reply(record, request_id, plaintext)
+
+
+class IntermittentLyingElement(LyingElement):
+    """Corrupts only every ``period``-th reply — harder to catch (§3.6:
+    "it is possible that the faulty response is not among those received").
+    """
+
+    period = 3
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._reply_counter = 0
+
+    def _send_reply(
+        self, record: IncomingConnection, request_id: int, plaintext: bytes
+    ) -> None:
+        self._reply_counter += 1
+        if self._reply_counter % self.period == 0:
+            super()._send_reply(record, request_id, plaintext)  # corrupt path
+        else:
+            ItdosServerElement._send_reply(self, record, request_id, plaintext)
+
+
+class RequestCorruptingElement(ItdosServerElement):
+    """Corrupts the arguments of its *nested* requests to other domains.
+
+    Exercises the other detection direction of §2: "other servers receiving
+    a faulty request" — the downstream domain's request voters see this
+    element dissenting from its domain siblings and report it to the GM.
+    """
+
+    def _issue_nested(self, parked, record, request_id, call):
+        corrupted_args = tuple(
+            LyingElement.corrupt(self, arg) for arg in call.args
+        )
+        from repro.orb.servant import PendingCall
+
+        corrupted = PendingCall(
+            ref=call.ref, operation=call.operation, args=corrupted_args
+        )
+        try:
+            super()._issue_nested(parked, record, request_id, corrupted)
+        except Exception:  # noqa: BLE001 - corrupted args may not marshal
+            super()._issue_nested(parked, record, request_id, call)
+
+
+class MuteElement(ItdosServerElement):
+    """Participates in ordering but never answers clients.
+
+    The voter must decide from the other 2f+1 replies without waiting for
+    all 3f+1 (§3.6's refusal to wait for stragglers).
+    """
+
+    def _send_reply(
+        self, record: IncomingConnection, request_id: int, plaintext: bytes
+    ) -> None:
+        return
+
+
+class StateLeakElement(ItdosServerElement):
+    """A malicious-but-undetectable element leaking state (§2.1's caveat).
+
+    It behaves correctly toward clients while copying every decrypted
+    request to an exfiltration sink — the confidentiality compromise the
+    paper warns "can leak server state to unauthorized recipients".
+    """
+
+    exfil_target = "eavesdropper"
+
+    def _dispatch(self, message: Any, record: Any, request_id: int) -> None:
+        self.send(self.exfil_target, ("exfil", message.operation, message.args))
+        super()._dispatch(message, record, request_id)
+
+
+def forged_change_request(
+    requester: str,
+    accused_domain: str,
+    accused: tuple[str, ...],
+    request_id: int = 1,
+) -> ChangeRequest:
+    """A malicious client's attempt to expel *correct* processes (§3.6).
+
+    The proof is garbage: unsigned/fabricated replies. The Group Manager
+    must deny it.
+    """
+    fake_items = tuple(
+        ProofItem(sender=pid, plaintext=b"forged-reply", signature=b"\x00" * 32)
+        for pid in accused
+    )
+    return ChangeRequest(
+        requester=requester,
+        requester_kind="singleton",
+        requester_domain="",
+        accused_domain=accused_domain,
+        accused=accused,
+        request_id=request_id,
+        proof=fake_items,
+    )

@@ -1,0 +1,161 @@
+"""Communication-key lifecycle on the receiving side.
+
+Each participant of a connection (the client and every server element)
+receives one :class:`~repro.itdos.messages.GmShareEnvelope` per Group
+Manager element, decrypts its share with the pairwise key, **verifies** the
+share against the DPRF public parameters, and combines ``f_gm + 1`` valid
+shares into the communication key (§3.5). Rekeying after an expulsion
+simply starts a new assembly under the next ``key_id``; old keys are kept
+briefly for in-flight traffic, then dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.crypto.dprf import DprfError, DprfPublic, KeyShare, combine_shares
+from repro.crypto.symmetric import SymmetricKey
+
+
+@dataclass
+class PendingKeyAssembly:
+    """Shares collected so far for one (connection, key generation)."""
+
+    conn_id: int
+    key_id: int
+    nonce: bytes | None = None
+    shares: dict[int, KeyShare] = field(default_factory=dict)
+    # GM elements whose shares failed verification — "the client and server
+    # replication domain elements ... can verify which Group Manager
+    # replication domain elements acted correctly" (§3.5).
+    invalid_from: list[str] = field(default_factory=list)
+
+    def add(
+        self, public: DprfPublic, gm_element: str, nonce: bytes, share: KeyShare
+    ) -> SymmetricKey | None:
+        """Add one share; returns the combined key when enough are valid."""
+        if self.nonce is None:
+            self.nonce = nonce
+        elif nonce != self.nonce:
+            self.invalid_from.append(gm_element)
+            return None
+        if share.index in self.shares:
+            return None
+        if not public.verify_share(nonce, share):
+            self.invalid_from.append(gm_element)
+            return None
+        self.shares[share.index] = share
+        if len(self.shares) >= public.threshold:
+            try:
+                return combine_shares(
+                    public, self.nonce, list(self.shares.values()), key_id=self.key_id
+                )
+            except DprfError:  # pragma: no cover - shares were pre-verified
+                return None
+        return None
+
+
+@dataclass
+class ConnectionKeys:
+    """All key generations known for one connection."""
+
+    # How many superseded generations stay usable for in-flight traffic.
+    # Expelling f faulty elements can trigger f back-to-back rekeys while a
+    # request is outstanding, so the window must exceed any plausible f;
+    # beyond it, old generations are gone (a rekeyed-out element must not
+    # be able to catch up, §3.5).
+    RETAINED_GENERATIONS = 8
+
+    conn_id: int
+    keys: dict[int, SymmetricKey] = field(default_factory=dict)
+    current_key_id: int = -1
+
+    def install(self, key: SymmetricKey) -> None:
+        self.keys[key.key_id] = key
+        if key.key_id > self.current_key_id:
+            self.current_key_id = key.key_id
+            for old in [
+                k for k in self.keys if k < key.key_id - self.RETAINED_GENERATIONS
+            ]:
+                del self.keys[old]
+
+    def current(self) -> SymmetricKey | None:
+        return self.keys.get(self.current_key_id)
+
+    def get(self, key_id: int) -> SymmetricKey | None:
+        return self.keys.get(key_id)
+
+
+class KeyStore:
+    """Per-process store of connection keys and in-progress assemblies."""
+
+    def __init__(self, public: DprfPublic) -> None:
+        self.public = public
+        self.connections: dict[int, ConnectionKeys] = {}
+        self._pending: dict[tuple[int, int], PendingKeyAssembly] = {}
+        # (conn_id, key_id) -> callbacks to fire when that key installs.
+        self._waiters: dict[tuple[int, int], list[Callable[[SymmetricKey], None]]] = {}
+        self.invalid_share_events: list[tuple[str, int, int]] = []  # (gm, conn, key)
+
+    def offer_share(
+        self, gm_element: str, conn_id: int, key_id: int, nonce: bytes, share: KeyShare
+    ) -> SymmetricKey | None:
+        """Feed one decrypted share; returns the key if it just completed."""
+        existing = self.connections.get(conn_id)
+        if existing is not None and existing.get(key_id) is not None:
+            # Already assembled — but still verify the late share, so that
+            # "the client and server replication domain elements ... can
+            # verify which Group Manager replication domain elements acted
+            # correctly" (§3.5) even for stragglers.
+            if not self.public.verify_share(nonce, share):
+                self.invalid_share_events.append((gm_element, conn_id, key_id))
+            return None
+        pending = self._pending.setdefault(
+            (conn_id, key_id), PendingKeyAssembly(conn_id=conn_id, key_id=key_id)
+        )
+        before_invalid = len(pending.invalid_from)
+        key = pending.add(self.public, gm_element, nonce, share)
+        if len(pending.invalid_from) > before_invalid:
+            self.invalid_share_events.append((gm_element, conn_id, key_id))
+        if key is None:
+            return None
+        del self._pending[(conn_id, key_id)]
+        self.install(key, conn_id)
+        return key
+
+    def install(self, key: SymmetricKey, conn_id: int) -> None:
+        keys = self.connections.setdefault(conn_id, ConnectionKeys(conn_id=conn_id))
+        keys.install(key)
+        for callback in self._waiters.pop((conn_id, key.key_id), []):
+            callback(key)
+        # Waiters for generations we just aged out will never fire; drop
+        # them so a rekey storm cannot accumulate parked callbacks.
+        horizon = key.key_id - ConnectionKeys.RETAINED_GENERATIONS
+        for stale in [
+            (c, k) for (c, k) in self._waiters if c == conn_id and k < horizon
+        ]:
+            del self._waiters[stale]
+
+    def when_key(
+        self, conn_id: int, key_id: int, callback: Callable[[SymmetricKey], None]
+    ) -> None:
+        """Run ``callback`` once the given key generation is installed."""
+        existing = self.connections.get(conn_id)
+        if existing is not None:
+            key = existing.get(key_id)
+            if key is not None:
+                callback(key)
+                return
+        self._waiters.setdefault((conn_id, key_id), []).append(callback)
+
+    def current_key(self, conn_id: int) -> SymmetricKey | None:
+        keys = self.connections.get(conn_id)
+        return keys.current() if keys else None
+
+    def key_for(self, conn_id: int, key_id: int) -> SymmetricKey | None:
+        keys = self.connections.get(conn_id)
+        return keys.get(key_id) if keys else None
+
+    def knows_connection(self, conn_id: int) -> bool:
+        return conn_id in self.connections

@@ -1,0 +1,458 @@
+"""ITDOS transport-level messages and their payload serialisation.
+
+The Castro–Liskov layer carries opaque byte payloads; ITDOS defines what is
+inside them. Every envelope serialises with the canonical encoding
+(:mod:`repro.crypto.encoding`), giving deterministic bytes — two client
+domain elements producing the same logical request produce *identical*
+payload bytes (given the shared connection key and request-id-derived
+nonce), which is what lets the server-side voter collate copies.
+
+Message kinds:
+
+* ``smiop_request`` / ``smiop_reply`` — encrypted GIOP traffic (§3.3);
+  replies carry the sending element's signature over the *plaintext* GIOP
+  reply, making them transferable expulsion proof (§3.6).
+* ``open_request`` / ``change_request`` — connection management traffic to
+  the Group Manager (Figure 3 step 1; §3.6).
+* ``coin_commit`` / ``coin_reveal`` — the GM's distributed randomness
+  bootstrap (§3.5).
+* :class:`GmShareEnvelope` — point-to-point delivery of one Group Manager
+  element's communication-key share (Figure 3 steps 2–3), encrypted under
+  the pairwise key shared at registration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.dleq import DleqProof
+from repro.crypto.dprf import KeyShare
+from repro.crypto.encoding import canonical_bytes, parse_canonical
+
+
+class PayloadError(Exception):
+    """Malformed ITDOS payload."""
+
+
+def encode_payload(kind: str, fields: dict[str, Any]) -> bytes:
+    return canonical_bytes({"kind": kind, **fields})
+
+
+def decode_payload(raw: bytes) -> dict[str, Any]:
+    try:
+        value = parse_canonical(raw)
+    except ValueError as exc:
+        raise PayloadError(str(exc)) from exc
+    if not isinstance(value, dict) or "kind" not in value:
+        raise PayloadError("payload is not a tagged dict")
+    return value
+
+
+# -- SMIOP traffic ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SmiopRequest:
+    """One encrypted GIOP request travelling into a server domain."""
+
+    conn_id: int
+    request_id: int
+    key_id: int
+    ciphertext: bytes
+    sender: str
+
+    KIND = "smiop_request"
+
+    def to_payload(self) -> bytes:
+        return encode_payload(
+            self.KIND,
+            {
+                "conn_id": self.conn_id,
+                "request_id": self.request_id,
+                "key_id": self.key_id,
+                "ciphertext": self.ciphertext,
+                "sender": self.sender,
+            },
+        )
+
+    @staticmethod
+    def from_fields(fields: dict[str, Any]) -> "SmiopRequest":
+        return SmiopRequest(
+            conn_id=fields["conn_id"],
+            request_id=fields["request_id"],
+            key_id=fields["key_id"],
+            ciphertext=fields["ciphertext"],
+            sender=fields["sender"],
+        )
+
+    def trace_label(self) -> str:
+        return f"SmiopRequest(conn={self.conn_id},req={self.request_id})"
+
+
+@dataclass(frozen=True)
+class SmiopReply:
+    """One element's encrypted GIOP reply, signed over the plaintext.
+
+    ``signature`` covers the *decrypted* GIOP reply bytes so that the reply
+    is verifiable by third parties given the plaintext — the Group Manager
+    verifies exactly this when judging expulsion proof (§3.6).
+
+    When ``is_digest`` is set (EXTENSION for §4's large-object problem) the
+    ciphertext encrypts only a 32-byte *value digest* of the result; the
+    client votes digests and fetches the body once via
+    :class:`BodyRequest`/:class:`BodyReply`.
+    """
+
+    conn_id: int
+    request_id: int
+    key_id: int
+    ciphertext: bytes
+    sender: str
+    signature: bytes
+    is_digest: bool = False
+
+    KIND = "smiop_reply"
+
+    def to_payload(self) -> bytes:
+        return encode_payload(
+            self.KIND,
+            {
+                "conn_id": self.conn_id,
+                "request_id": self.request_id,
+                "key_id": self.key_id,
+                "ciphertext": self.ciphertext,
+                "sender": self.sender,
+                "signature": self.signature,
+                "is_digest": self.is_digest,
+            },
+        )
+
+    @staticmethod
+    def from_fields(fields: dict[str, Any]) -> "SmiopReply":
+        return SmiopReply(
+            conn_id=fields["conn_id"],
+            request_id=fields["request_id"],
+            key_id=fields["key_id"],
+            ciphertext=fields["ciphertext"],
+            sender=fields["sender"],
+            signature=fields["signature"],
+            is_digest=fields.get("is_digest", False),
+        )
+
+    def wire_size(self) -> int:
+        return 64 + len(self.ciphertext) + len(self.signature)
+
+    def trace_label(self) -> str:
+        kind = "Digest" if self.is_digest else ""
+        return f"Smiop{kind}Reply(conn={self.conn_id},req={self.request_id},i={self.sender})"
+
+
+@dataclass(frozen=True)
+class BodyRequest:
+    """EXTENSION (§4 large objects): fetch the full reply body once.
+
+    Sent point-to-point by a client after its *digest vote* decided; any
+    supporter of the voted digest can serve the body, which the client
+    verifies against the voted digest — a Byzantine server cannot swap it.
+    """
+
+    conn_id: int
+    request_id: int
+    requester: str
+
+    def trace_label(self) -> str:
+        return f"BodyRequest(conn={self.conn_id},req={self.request_id})"
+
+
+@dataclass(frozen=True)
+class BodyReply:
+    """The (encrypted) full reply body answering a :class:`BodyRequest`."""
+
+    conn_id: int
+    request_id: int
+    key_id: int
+    ciphertext: bytes
+    sender: str
+
+    def wire_size(self) -> int:
+        return 64 + len(self.ciphertext)
+
+    def trace_label(self) -> str:
+        return f"BodyReply(conn={self.conn_id},req={self.request_id},{len(self.ciphertext)}B)"
+
+
+# -- Group Manager traffic ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpenRequest:
+    """Figure 3 step 1: ask the Group Manager to establish a connection."""
+
+    requester: str
+    requester_kind: str  # "singleton" | "domain"
+    requester_domain: str  # "" for singletons
+    target_domain: str
+
+    KIND = "open_request"
+
+    def __post_init__(self) -> None:
+        if self.requester_kind not in ("singleton", "domain"):
+            raise ValueError(f"bad requester_kind {self.requester_kind!r}")
+
+    def to_payload(self) -> bytes:
+        return encode_payload(
+            self.KIND,
+            {
+                "requester": self.requester,
+                "requester_kind": self.requester_kind,
+                "requester_domain": self.requester_domain,
+                "target_domain": self.target_domain,
+            },
+        )
+
+    @staticmethod
+    def from_fields(fields: dict[str, Any]) -> "OpenRequest":
+        return OpenRequest(
+            requester=fields["requester"],
+            requester_kind=fields["requester_kind"],
+            requester_domain=fields["requester_domain"],
+            target_domain=fields["target_domain"],
+        )
+
+    def trace_label(self) -> str:
+        return f"open_request({self.requester}->{self.target_domain})"
+
+
+@dataclass(frozen=True)
+class ProofItem:
+    """One signed plaintext reply inside a change_request proof."""
+
+    sender: str
+    plaintext: bytes  # the GIOP reply wire bytes the element signed
+    signature: bytes
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "sender": self.sender,
+            "plaintext": self.plaintext,
+            "signature": self.signature,
+        }
+
+    @staticmethod
+    def from_dict(fields: dict[str, Any]) -> "ProofItem":
+        return ProofItem(
+            sender=fields["sender"],
+            plaintext=fields["plaintext"],
+            signature=fields["signature"],
+        )
+
+
+@dataclass(frozen=True)
+class ChangeRequest:
+    """§3.6: ask the Group Manager to expel faulty element(s).
+
+    From a singleton requester the ``proof`` must demonstrate the fault
+    (signed replies re-votable by the GM's marshalling engine); from a
+    replication domain, ``f+1`` matching change_requests replace proof.
+    """
+
+    requester: str
+    requester_kind: str  # "singleton" | "domain"
+    requester_domain: str
+    accused_domain: str
+    accused: tuple[str, ...]
+    request_id: int  # the request on which the fault was observed
+    proof: tuple[ProofItem, ...] = ()
+
+    KIND = "change_request"
+
+    def to_payload(self) -> bytes:
+        return encode_payload(
+            self.KIND,
+            {
+                "requester": self.requester,
+                "requester_kind": self.requester_kind,
+                "requester_domain": self.requester_domain,
+                "accused_domain": self.accused_domain,
+                "accused": list(self.accused),
+                "request_id": self.request_id,
+                "proof": [p.to_dict() for p in self.proof],
+            },
+        )
+
+    @staticmethod
+    def from_fields(fields: dict[str, Any]) -> "ChangeRequest":
+        return ChangeRequest(
+            requester=fields["requester"],
+            requester_kind=fields["requester_kind"],
+            requester_domain=fields["requester_domain"],
+            accused_domain=fields["accused_domain"],
+            accused=tuple(fields["accused"]),
+            request_id=fields["request_id"],
+            proof=tuple(ProofItem.from_dict(p) for p in fields["proof"]),
+        )
+
+    def trace_label(self) -> str:
+        return f"change_request(accused={list(self.accused)})"
+
+
+@dataclass(frozen=True)
+class RekeyTick:
+    """EXTENSION (§3.5 "periodically re-initialize"): epoch rekey trigger.
+
+    Every GM element submits a tick per epoch through the GM's own
+    ordering; the first ordered tick of an epoch rotates every connection's
+    communication key, so even an *undetected* compromise only exposes a
+    bounded window of traffic.
+    """
+
+    pid: str
+    epoch: int
+
+    KIND = "rekey_tick"
+
+    def to_payload(self) -> bytes:
+        return encode_payload(self.KIND, {"pid": self.pid, "epoch": self.epoch})
+
+    @staticmethod
+    def from_fields(fields: dict[str, Any]) -> "RekeyTick":
+        return RekeyTick(pid=fields["pid"], epoch=fields["epoch"])
+
+    def trace_label(self) -> str:
+        return f"rekey_tick(epoch={self.epoch})"
+
+
+@dataclass(frozen=True)
+class ReadmitRequest:
+    """EXTENSION (paper §4 future work): re-admit a repaired element.
+
+    The paper's prototype only removes faulty elements ("replacement
+    remains to be implemented"). This reproduction adds the missing half:
+    a repaired element petitions the Group Manager; re-admission rekeys its
+    communication groups *including* it, and the element recovers
+    application state through the ordinary checkpoint/state-transfer path
+    (object mode) or is still flagged diverged (queue mode, per §3.1).
+    The petition is self-signed-by-transport only — trusting a recovered
+    replica is the same assumption proactive recovery [6] makes.
+    """
+
+    requester: str
+    element: str
+    domain_id: str
+
+    KIND = "readmit_request"
+
+    def to_payload(self) -> bytes:
+        return encode_payload(
+            self.KIND,
+            {
+                "requester": self.requester,
+                "element": self.element,
+                "domain_id": self.domain_id,
+            },
+        )
+
+    @staticmethod
+    def from_fields(fields: dict[str, Any]) -> "ReadmitRequest":
+        return ReadmitRequest(
+            requester=fields["requester"],
+            element=fields["element"],
+            domain_id=fields["domain_id"],
+        )
+
+    def trace_label(self) -> str:
+        return f"readmit_request({self.element})"
+
+
+@dataclass(frozen=True)
+class CoinMessage:
+    """Commit or reveal in the GM's distributed randomness bootstrap."""
+
+    phase: str  # "commit" | "reveal"
+    pid: str
+    value: bytes  # commitment digest or revealed coin
+
+    KIND_COMMIT = "coin_commit"
+    KIND_REVEAL = "coin_reveal"
+
+    def to_payload(self) -> bytes:
+        kind = self.KIND_COMMIT if self.phase == "commit" else self.KIND_REVEAL
+        return encode_payload(kind, {"pid": self.pid, "value": self.value})
+
+    @staticmethod
+    def from_fields(kind: str, fields: dict[str, Any]) -> "CoinMessage":
+        phase = "commit" if kind == CoinMessage.KIND_COMMIT else "reveal"
+        return CoinMessage(phase=phase, pid=fields["pid"], value=fields["value"])
+
+
+def parse_payload(raw: bytes) -> Any:
+    """Decode a BFT payload into its typed ITDOS message."""
+    fields = decode_payload(raw)
+    kind = fields["kind"]
+    if kind == SmiopRequest.KIND:
+        return SmiopRequest.from_fields(fields)
+    if kind == SmiopReply.KIND:
+        return SmiopReply.from_fields(fields)
+    if kind == OpenRequest.KIND:
+        return OpenRequest.from_fields(fields)
+    if kind == ChangeRequest.KIND:
+        return ChangeRequest.from_fields(fields)
+    if kind == ReadmitRequest.KIND:
+        return ReadmitRequest.from_fields(fields)
+    if kind == RekeyTick.KIND:
+        return RekeyTick.from_fields(fields)
+    if kind in (CoinMessage.KIND_COMMIT, CoinMessage.KIND_REVEAL):
+        return CoinMessage.from_fields(kind, fields)
+    raise PayloadError(f"unknown payload kind {kind!r}")
+
+
+# -- key share delivery ----------------------------------------------------------------
+
+
+def key_share_to_dict(nonce: bytes, share: KeyShare) -> dict[str, Any]:
+    return {
+        "nonce": nonce,
+        "index": share.index,
+        "value": share.value,
+        "challenge": share.proof.challenge,
+        "response": share.proof.response,
+    }
+
+
+def key_share_from_dict(fields: dict[str, Any]) -> tuple[bytes, KeyShare]:
+    share = KeyShare(
+        index=fields["index"],
+        value=fields["value"],
+        proof=DleqProof(
+            challenge=fields["challenge"], response=fields["response"]
+        ),
+    )
+    return fields["nonce"], share
+
+
+@dataclass(frozen=True)
+class GmShareEnvelope:
+    """One GM element's key share for one (connection, key generation).
+
+    Sent point-to-point to each participant; the share itself is encrypted
+    under the pairwise key the GM element shares with the recipient
+    (footnote 2 of the paper). Connection metadata travels in the clear —
+    it is bound into the share's verification anyway via the nonce.
+    """
+
+    gm_element: str
+    recipient: str
+    conn_id: int
+    key_id: int
+    client: str
+    client_kind: str  # "singleton" | "domain"
+    client_domain: str
+    target_domain: str
+    ciphertext: bytes  # encrypt(pairwise, canonical(key_share_to_dict(...)))
+
+    def wire_size(self) -> int:
+        return 96 + len(self.ciphertext)
+
+    def trace_label(self) -> str:
+        return f"GmShare(conn={self.conn_id},key={self.key_id},gm={self.gm_element})"

@@ -1,0 +1,685 @@
+"""The ITDOS replication domain element.
+
+One :class:`ItdosServerElement` is one deterministic state machine of a
+replicated server (§2). It composes:
+
+* a **PBFT replica** (its base class) ordering the domain's traffic — the
+  Secure Reliable Multicast of Figure 2;
+* the **message queue** that *is* the replicated state (§3.1): the BFT
+  execute upcall appends the ordered payload and returns the static
+  CL-level acknowledgement; the ORB loop then drains the queue;
+* an **ORB** hosting the domain's servants on this element's platform
+  profile (its byte order and float behaviour — the heterogeneity);
+* a **request voter** per connection whose client is itself a replication
+  domain (§3.6);
+* an embedded **SMIOP endpoint** for the element's *client* role in nested
+  invocations (§3.1's two-thread technique: when a servant generator parks
+  awaiting a nested reply, ordered delivery continues into the queue, and
+  only the awaited reply copies may jump the queue).
+
+State modes (experiment E4):
+
+* ``queue`` — the paper's design: checkpoints cover the bounded queue
+  digest; a diverged element cannot be recovered by state transfer and is
+  flagged for expulsion (virtual synchrony, §3.1).
+* ``object`` — the Castro–Liskov baseline: checkpoints carry the full
+  application state; recovery works but costs bytes proportional to object
+  size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.bft.replica import BftReplica
+from repro.crypto.digests import digest
+from repro.crypto.encoding import canonical_bytes, parse_canonical
+from repro.crypto.signing import RsaSigner
+from repro.crypto.symmetric import (
+    AuthenticationError,
+    SymmetricKey,
+    decrypt,
+    encrypt,
+)
+from repro.giop.ior import ObjectRef
+from repro.giop.messages import ReplyMessage, RequestMessage, decode_message
+from repro.itdos.domain import SystemDirectory
+from repro.itdos.keys import KeyStore
+from repro.itdos.messages import (
+    BodyReply,
+    BodyRequest,
+    GmShareEnvelope,
+    PayloadError,
+    SmiopReply,
+    SmiopRequest,
+    key_share_from_dict,
+    parse_payload,
+)
+from repro.itdos.queuestate import MessageQueue
+from repro.itdos.sockets import SmiopEndpoint, traffic_nonce
+from repro.itdos.voter import RequestVoter, VoteOutcome
+from repro.itdos.vvm import Comparator
+from repro.orb.core import Orb
+from repro.orb.servant import PendingCall
+from repro.orb.stubs import Stub
+
+STATIC_ACK = b"ACK"  # the CL-level reply is a static acknowledgement (§3.1)
+
+
+@dataclass
+class IncomingConnection:
+    """Server-side record of one virtual connection."""
+
+    conn_id: int
+    client: str
+    client_kind: str
+    client_domain: str
+    request_voter: RequestVoter | None = None  # only for domain clients
+    # Key generation of the most recent request: replies go out under the
+    # generation the client used, so a rekey mid-flight cannot orphan them.
+    reply_key_id: int = 0
+
+
+@dataclass
+class _Parked:
+    """A servant generator awaiting a nested reply (§3.1)."""
+
+    generator: Any
+    origin: RequestMessage
+    origin_conn: int
+    awaiting_conn: int | None = None
+    awaiting_request: int | None = None
+
+
+class ItdosServerElement(BftReplica):
+    """One replication domain element: BFT replica + queue + ORB."""
+
+    def __init__(
+        self,
+        pid: str,
+        directory: SystemDirectory,
+        domain_id: str,
+        orb: Orb,
+        signer: RsaSigner,
+        state_mode: str = "queue",
+        app_state_fn: Callable[[], Any] | None = None,
+        app_restore_fn: Callable[[Any], None] | None = None,
+        queue_max_bytes: int = 1 << 22,
+        auth: Any = None,
+    ) -> None:
+        if directory.dprf_public is None:
+            raise ValueError("directory has no DPRF public parameters")
+        if state_mode not in ("queue", "object"):
+            raise ValueError(f"bad state_mode {state_mode!r}")
+        config = directory.bft_config_for(domain_id)
+        super().__init__(pid, config, execute_fn=None, auth=auth)
+        self.directory = directory
+        self.domain_id = domain_id
+        self.domain_info = directory.domain(domain_id)
+        self.orb = orb
+        self.signer = signer
+        self.state_mode = state_mode
+        self.app_state_fn = app_state_fn or (lambda: None)
+        self.app_restore_fn = app_restore_fn or (lambda state: None)
+        self.queue = MessageQueue(max_bytes=queue_max_bytes)
+        self._append_chain = b"\x00" * 32  # rolling digest of ordered payloads
+        self.key_store = KeyStore(directory.dprf_public)
+        self.endpoint = SmiopEndpoint(
+            self, directory, self.key_store, kind="domain", own_domain=domain_id
+        )
+        self.incoming: dict[int, IncomingConnection] = {}
+        self._parked: _Parked | None = None
+        self._pumping = False
+        self.diverged = False  # queue-mode element that lost sync (§3.1)
+        # BFT hooks.
+        self.execute_fn = self._bft_execute
+        self.snapshot_fn = self._snapshot
+        self.restore_fn = self._restore
+        # Large-object digest path: last full-body reply per connection,
+        # retained for exactly one fetch window (one outstanding request).
+        self._body_cache: dict[int, tuple[int, bytes]] = {}
+        # Last SmiopReply sent to each singleton client's connection, for
+        # retransmission when the (point-to-point) reply is lost.
+        self._reply_cache: dict[int, SmiopReply] = {}
+        # Observability.
+        self.dispatched: list[tuple[int, str, str]] = []  # (conn, iface, op)
+        self.undecryptable_skipped = 0
+
+    # -- servant-side stub factory (nested invocations) ---------------------------
+
+    def stub(self, ref: ObjectRef) -> Stub:
+        """A stub for use *inside servants*: calls return a PendingCall that
+        the servant must ``yield``."""
+        interface = self.directory.repository.lookup(ref.interface_name)
+        return Stub(
+            ref,
+            interface,
+            lambda r, operation, args: PendingCall(ref=r, operation=operation, args=args),
+        )
+
+    # -- message routing -----------------------------------------------------------
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, GmShareEnvelope):
+            if self._handle_server_share(src, payload):
+                return
+            if self.endpoint.handle_gm_share(src, payload):
+                return
+            return
+        if isinstance(payload, BodyRequest):
+            self._handle_body_request(src, payload)
+            return
+        if self.endpoint.handle_message(src, payload):
+            return
+        super().on_message(src, payload)
+
+    def _handle_server_share(self, src: str, envelope: GmShareEnvelope) -> bool:
+        """Figure 3 step 2: a key share for a connection we *serve*."""
+        if envelope.recipient != self.pid or src != envelope.gm_element:
+            return False
+        if self.pid not in self.directory.domain(envelope.target_domain).element_ids:
+            return False
+        if envelope.target_domain != self.domain_id:
+            return False
+        try:
+            pairwise = SymmetricKey(
+                material=self.directory.pairwise_key(envelope.gm_element, self.pid)
+            )
+            plaintext = decrypt(pairwise, envelope.ciphertext)
+            nonce, share = key_share_from_dict(parse_canonical(plaintext))
+        except (AuthenticationError, ValueError, KeyError):
+            return True  # corrupt envelope: drop
+        if envelope.conn_id not in self.incoming:
+            record = IncomingConnection(
+                conn_id=envelope.conn_id,
+                client=envelope.client,
+                client_kind=envelope.client_kind,
+                client_domain=envelope.client_domain,
+            )
+            if envelope.client_kind == "domain":
+                client_info = self.directory.domain(envelope.client_domain)
+                record.request_voter = RequestVoter(
+                    client_n=client_info.n,
+                    client_f=client_info.f,
+                    on_deliver=lambda outcome, c=envelope.conn_id: self._voted_request(
+                        c, outcome
+                    ),
+                )
+            self.incoming[envelope.conn_id] = record
+        key = self.key_store.offer_share(
+            envelope.gm_element, envelope.conn_id, envelope.key_id, nonce, share
+        )
+        if key is not None:
+            self._pump()  # a deferred request may now be decryptable
+        return True
+
+    # -- the state machine (BFT execute upcall) ----------------------------------------
+
+    def _bft_execute(self, payload: bytes, seq: int, client_id: str, timestamp: int) -> bytes:
+        if self.diverged:
+            return STATIC_ACK  # keep acking, but the element is out of sync
+        self.queue.append(seq, payload)
+        self._append_chain = digest(self._append_chain + payload)
+        self._pump()
+        return STATIC_ACK
+
+    # -- the ORB loop -------------------------------------------------------------------
+
+    def _pump(self) -> None:
+        if self._pumping or self.diverged:
+            return
+        self._pumping = True
+        try:
+            while True:
+                if self._parked is not None:
+                    if not self._feed_parked():
+                        return
+                    continue
+                head = self.queue.head()
+                if head is None:
+                    return
+                try:
+                    message = parse_payload(head.payload)
+                except PayloadError:
+                    self.queue.pop_head()
+                    continue
+                if isinstance(message, SmiopRequest):
+                    if not self._process_request(message):
+                        return  # blocked on a key; retry on install
+                elif isinstance(message, SmiopReply):
+                    self.queue.pop_head()
+                    self._process_ordered_reply(message)
+                else:
+                    self.queue.pop_head()  # not addressed to the ORB loop
+        finally:
+            self._pumping = False
+
+    def _feed_parked(self) -> bool:
+        """While parked, only the awaited nested reply may leave the queue.
+
+        Returns True if progress was made (an item consumed or the park
+        resolved), False to stop pumping until new input arrives.
+        """
+        parked = self._parked
+        assert parked is not None
+        if parked.awaiting_conn is None:
+            return False  # nested connect handshake still in flight
+
+        def is_awaited(raw: bytes) -> bool:
+            try:
+                message = parse_payload(raw)
+            except PayloadError:
+                return False
+            return (
+                isinstance(message, SmiopReply)
+                and message.conn_id == parked.awaiting_conn
+                and message.request_id == parked.awaiting_request
+            )
+
+        item = self.queue.pop_first(is_awaited)
+        if item is None:
+            return False
+        self._process_ordered_reply(parse_payload(item.payload))
+        return True
+
+    def _process_ordered_reply(self, reply: SmiopReply) -> None:
+        """A reply copy for our client role, delivered via our ordering."""
+        connection = self.endpoint.connections.get(reply.conn_id)
+        if connection is not None:
+            connection.handle_reply(reply)
+
+    def _process_request(self, envelope: SmiopRequest) -> bool:
+        record = self.incoming.get(envelope.conn_id)
+        key = self.key_store.key_for(envelope.conn_id, envelope.key_id)
+        if record is None or key is None:
+            current = self.key_store.current_key(envelope.conn_id)
+            if current is not None and current.key_id > envelope.key_id:
+                # A generation we were keyed out of (we were expelled, or
+                # aged past the retention window): we can never decrypt
+                # this item. Skip it — in object mode the checkpoint/state
+                # transfer machinery repairs the resulting state gap; in
+                # queue mode the gap is unrecoverable (§3.1).
+                self.queue.pop_head()
+                self.undecryptable_skipped += 1
+                if self.state_mode == "queue":
+                    self.diverged = True
+                return True
+            # Key shares (Figure 3 step 2) have not landed yet; the request
+            # stays at the head so ordering is preserved.
+            return False
+        self.queue.pop_head()
+        try:
+            plaintext = decrypt(key, envelope.ciphertext)
+            message = decode_message(self.directory.repository, plaintext)
+        except Exception:  # noqa: BLE001 - undecryptable/garbled: discard
+            return True
+        if not isinstance(message, RequestMessage):
+            return True
+        record.reply_key_id = envelope.key_id
+        if record.client_kind == "domain":
+            assert record.request_voter is not None
+            value = {
+                "iface": message.interface_name,
+                "op": message.operation,
+                "object_key": message.object_key,
+                "args": list(message.args),
+            }
+            comparator = self._request_comparator(message)
+            record.request_voter.offer(
+                envelope.sender,
+                envelope.request_id,
+                value,
+                comparator,
+                raw=message,
+            )
+            return True
+        self._dispatch(message, record, envelope.request_id)
+        return True
+
+    def _request_comparator(self, message: RequestMessage) -> Comparator:
+        args_comparator = self.directory.request_comparator(
+            message.interface_name, message.operation
+        )
+
+        def equal(a: dict, b: dict) -> bool:
+            return (
+                a["iface"] == b["iface"]
+                and a["op"] == b["op"]
+                and a["object_key"] == b["object_key"]
+                and args_comparator.equal(a["args"], b["args"])
+            )
+
+        return Comparator(equal=equal)
+
+    def _voted_request(self, conn_id: int, outcome: VoteOutcome) -> None:
+        """A replicated client's request reached its vote threshold."""
+        record = self.incoming[conn_id]
+        if outcome.dissenters:
+            # "other servers receiving a faulty request" (§2): each element
+            # independently notifies the GM; the GM acts on f+1 matching
+            # domain-origin change_requests — no proof needed (§3.6).
+            self._report_request_fault(record, outcome)
+        message: RequestMessage = outcome.representative
+        self._dispatch(message, record, outcome.request_id)
+
+    def _report_request_fault(
+        self, record: IncomingConnection, outcome: VoteOutcome
+    ) -> None:
+        from repro.itdos.messages import ChangeRequest
+
+        for accused in outcome.dissenters:
+            accusation_key = (record.conn_id, outcome.request_id, accused)
+            if accusation_key in self.endpoint._accusations_sent:
+                continue
+            self.endpoint._accusations_sent.add(accusation_key)
+            request = ChangeRequest(
+                requester=self.pid,
+                requester_kind="domain",
+                requester_domain=self.domain_id,
+                accused_domain=record.client_domain,
+                accused=(accused,),
+                request_id=outcome.request_id,
+                proof=(),
+            )
+            self.endpoint.change_requests_sent.append(request)
+            self.endpoint.gm_engine.invoke(request.to_payload())
+
+    # -- dispatch and nested invocations ------------------------------------------------
+
+    def _dispatch(
+        self, message: RequestMessage, record: IncomingConnection, request_id: int
+    ) -> None:
+        self.dispatched.append((record.conn_id, message.interface_name, message.operation))
+        try:
+            result = self.orb.dispatch(message)
+        except Exception as exc:  # noqa: BLE001 - marshalled back to the client
+            self._send_reply(
+                record, request_id, self.orb.marshal_exception_reply(message, exc)
+            )
+            return
+        if hasattr(result, "send") and hasattr(result, "throw"):
+            self._drive_generator(result, message, record, request_id, first=True)
+            return
+        if message.response_expected:
+            self._send_reply(record, request_id, self.orb.marshal_reply(message, result))
+
+    def _drive_generator(
+        self,
+        generator: Any,
+        message: RequestMessage,
+        record: IncomingConnection,
+        request_id: int,
+        first: bool,
+        sent_value: Any = None,
+        sent_exc: Exception | None = None,
+    ) -> None:
+        try:
+            if first:
+                step = next(generator)
+            elif sent_exc is not None:
+                step = generator.throw(sent_exc)
+            else:
+                step = generator.send(sent_value)
+        except StopIteration as stop:
+            self._parked = None
+            if message.response_expected:
+                self._send_reply(
+                    record, request_id, self.orb.marshal_reply(message, stop.value)
+                )
+            self._pump()
+            return
+        except Exception as exc:  # noqa: BLE001 - servant failure -> exception reply
+            self._parked = None
+            self._send_reply(
+                record, request_id, self.orb.marshal_exception_reply(message, exc)
+            )
+            self._pump()
+            return
+        if not isinstance(step, PendingCall):
+            self._parked = None
+            self._send_reply(
+                record,
+                request_id,
+                self.orb.marshal_exception_reply(
+                    message, RuntimeError("servant yielded a non-PendingCall")
+                ),
+            )
+            self._pump()
+            return
+        parked = _Parked(
+            generator=generator, origin=message, origin_conn=record.conn_id
+        )
+        self._parked = parked
+        self._issue_nested(parked, record, request_id, step)
+
+    def _issue_nested(
+        self,
+        parked: _Parked,
+        record: IncomingConnection,
+        request_id: int,
+        call: PendingCall,
+    ) -> None:
+        """Send the nested request via our own client-side connection."""
+
+        def on_ready(connection: Any) -> None:
+            wire = self.orb.marshal_request(
+                call.ref,
+                call.operation,
+                call.args,
+                request_id=connection._next_request_id + 1,
+            )
+
+            def on_voted_reply(plaintext: bytes) -> None:
+                if self._parked is not parked:
+                    return  # superseded (should not happen)
+                self._parked = None
+                try:
+                    value = Orb.result_from_reply(self.orb.unmarshal_reply(plaintext))
+                    exc = None
+                except Exception as raised:  # noqa: BLE001 - rethrow in servant
+                    value, exc = None, raised
+                self._drive_generator(
+                    parked.generator,
+                    parked.origin,
+                    record,
+                    request_id,
+                    first=False,
+                    sent_value=value,
+                    sent_exc=exc,
+                )
+
+            connection.send_request(wire, on_voted_reply)
+            parked.awaiting_conn = connection.conn_id
+            parked.awaiting_request = connection._next_request_id
+            self._pump()  # awaited copies may already be queued
+
+        self.endpoint.connect(call.ref.domain_id, on_ready)
+
+    # -- replies ---------------------------------------------------------------------------
+
+    def _send_reply(
+        self, record: IncomingConnection, request_id: int, plaintext: bytes
+    ) -> None:
+        # Prefer the generation the request arrived under — the client is
+        # guaranteed to still hold it; fall back to our current generation.
+        key = self.key_store.key_for(record.conn_id, record.reply_key_id)
+        if key is None:
+            key = self.key_store.current_key(record.conn_id)
+        if key is None:
+            return  # rekeyed away from us (we may be expelled)
+        if self._use_digest_path(record, plaintext):
+            self._send_digest_reply(record, request_id, plaintext, key)
+            return
+        nonce = traffic_nonce(record.conn_id, request_id, self.pid, "rep")
+        reply = SmiopReply(
+            conn_id=record.conn_id,
+            request_id=request_id,
+            key_id=key.key_id,
+            ciphertext=encrypt(key, plaintext, nonce),
+            sender=self.pid,
+            signature=self.signer.sign(plaintext),
+        )
+        if record.client_kind == "singleton":
+            self._reply_cache[record.conn_id] = reply
+            self.send(record.client, reply)
+        else:
+            # Replies to a replicated client travel through the *client's*
+            # ordering, "in the same fashion" as requests (§2). The client
+            # engine's retransmission makes this path loss-tolerant.
+            self.endpoint.engine_for(record.client_domain).invoke(reply.to_payload())
+
+    # -- large-object digest path (extension, §4 future work) ----------------------------
+
+    def _use_digest_path(self, record: IncomingConnection, plaintext: bytes) -> bool:
+        threshold = self.directory.large_reply_threshold
+        if threshold is None or len(plaintext) <= threshold:
+            return False
+        if record.client_kind != "singleton":
+            return False  # domain clients keep the ordered full-body path
+        try:
+            message = decode_message(self.directory.repository, plaintext)
+        except Exception:  # noqa: BLE001
+            return False
+        if not isinstance(message, ReplyMessage):
+            return False
+        if int(message.reply_status) != 0:
+            return False  # exceptions are small; send normally
+        from repro.giop.typecodes import contains_float
+
+        op = self.directory.repository.lookup(message.interface_name).operation(
+            message.operation
+        )
+        return not contains_float(op.result)
+
+    def _send_digest_reply(
+        self,
+        record: IncomingConnection,
+        request_id: int,
+        plaintext: bytes,
+        key,
+    ) -> None:
+        """Send a 32-byte value digest; keep the body for one fetch.
+
+        The digest covers the *unmarshalled* result (canonical encoding),
+        so heterogeneous byte orders digest identically. Exact-valued
+        results only — the :meth:`_use_digest_path` gate guarantees it.
+        """
+        message = decode_message(self.directory.repository, plaintext)
+        manifest = canonical_bytes(
+            {"status": int(message.reply_status), "result": message.result}
+        )
+        value_digest = digest(manifest)
+        self._body_cache[record.conn_id] = (request_id, plaintext)
+        nonce = traffic_nonce(record.conn_id, request_id, self.pid, "dig")
+        reply = SmiopReply(
+            conn_id=record.conn_id,
+            request_id=request_id,
+            key_id=key.key_id,
+            ciphertext=encrypt(key, value_digest, nonce),
+            sender=self.pid,
+            signature=self.signer.sign(value_digest),
+            is_digest=True,
+        )
+        self.send(record.client, reply)
+
+    def _handle_body_request(self, src: str, request: "BodyRequest") -> None:
+        record = self.incoming.get(request.conn_id)
+        if record is None or record.client != src:
+            return
+        cached = self._body_cache.get(request.conn_id)
+        if cached is None or cached[0] != request.request_id:
+            return
+        key = self.key_store.key_for(record.conn_id, record.reply_key_id)
+        if key is None:
+            key = self.key_store.current_key(record.conn_id)
+        if key is None:
+            return
+        nonce = traffic_nonce(request.conn_id, request.request_id, self.pid, "body")
+        self.send(
+            src,
+            BodyReply(
+                conn_id=request.conn_id,
+                request_id=request.request_id,
+                key_id=key.key_id,
+                ciphertext=encrypt(key, cached[1], nonce),
+                sender=self.pid,
+            ),
+        )
+
+    def on_duplicate_request(self, request: Any) -> None:
+        """A retransmitted, already-executed request: resend our SMIOP reply
+        (the point-to-point reply to a singleton client may have been lost)."""
+        try:
+            message = parse_payload(request.payload)
+        except PayloadError:
+            return
+        if not isinstance(message, SmiopRequest):
+            return
+        cached = self._reply_cache.get(message.conn_id)
+        if cached is not None and cached.request_id == message.request_id:
+            record = self.incoming.get(message.conn_id)
+            if record is not None and record.client_kind == "singleton":
+                self.send(record.client, cached)
+
+    # -- readmission (extension, paper §4 future work) ----------------------------------------
+
+    def petition_readmission(self, callback: Callable[[bytes], None] | None = None) -> None:
+        """Ask the Group Manager to re-admit this (repaired) element.
+
+        On success the GM rekeys every affected communication group with
+        this element included; the blocked queue drains by skipping the
+        missed generations, and (in object mode) the next checkpoint
+        divergence triggers state transfer to repair servant state.
+        """
+        from repro.itdos.messages import ReadmitRequest
+
+        request = ReadmitRequest(
+            requester=self.pid, element=self.pid, domain_id=self.domain_id
+        )
+        self.endpoint.gm_engine.invoke(
+            request.to_payload(), callback or (lambda verdict: None)
+        )
+
+    # -- checkpoint state --------------------------------------------------------------------
+
+    def _snapshot(self) -> bytes:
+        if self.state_mode == "queue":
+            # The paper's design: the queue is the state machine; the
+            # checkpointable view is the rolling digest of the ordered
+            # history plus the (bounded) unprocessed suffix.
+            return canonical_bytes(
+                {
+                    "mode": "queue",
+                    "chain": self._append_chain,
+                    "appended": self.queue.total_appended,
+                }
+            )
+        return canonical_bytes(
+            {
+                "mode": "object",
+                "chain": self._append_chain,
+                "appended": self.queue.total_appended,
+                "app": self.app_state_fn(),
+            }
+        )
+
+    def _restore(self, snapshot: bytes, seq: int) -> None:
+        data = parse_canonical(snapshot)
+        if not isinstance(data, dict):
+            return
+        self._append_chain = data.get("chain", self._append_chain)
+        if data.get("mode") == "object":
+            # Castro–Liskov-style recovery: adopt the full object state.
+            self.app_restore_fn(data.get("app"))
+            self.queue.items.clear()
+            self.queue.bytes_held = 0
+            self.queue.processed_count = data.get("appended", 0)
+            self.queue.total_appended = data.get("appended", 0)
+            self.diverged = False
+        else:
+            # Queue mode cannot reconstruct servant state from a digest:
+            # the element is permanently out of sync and must be expelled
+            # and re-admitted — the virtual synchrony consequence §3.1
+            # accepts.
+            self.diverged = True

@@ -1,0 +1,48 @@
+"""SMIOP: the Secure Multicast Inter-ORB Protocol pluggable transport.
+
+Figure 2's stack, top to bottom: ORB → SMIOP pluggable protocol → ITDOS
+Sockets → Secure Reliable Multicast (PBFT) → IP multicast. This module is
+the thin adapter that slots the ITDOS socket layer (:mod:`repro.itdos.sockets`)
+under the ORB through the pluggable protocol interface — the exact
+integration point the paper uses in TAO (§3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.giop.ior import ObjectRef
+from repro.itdos.sockets import OutgoingConnection, SmiopEndpoint
+from repro.orb.pluggable import Connection, PluggableProtocol, ReplyHandler
+
+
+class SmiopConnectionAdapter(Connection):
+    """Presents an ITDOS virtual connection through the ORB's interface."""
+
+    def __init__(self, connection: OutgoingConnection) -> None:
+        self.connection = connection
+
+    @property
+    def connected(self) -> bool:
+        return self.connection.connected
+
+    def send_request(self, wire: bytes, on_reply: ReplyHandler | None) -> None:
+        self.connection.send_request(wire, on_reply)
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+class SmiopTransport(PluggableProtocol):
+    """Pluggable protocol: ``smiop`` object references ride ITDOS sockets."""
+
+    name = "smiop"
+
+    def __init__(self, endpoint: SmiopEndpoint) -> None:
+        self.endpoint = endpoint
+
+    def connect(self, ref: ObjectRef, on_ready: Callable[[Connection], None]) -> None:
+        self.endpoint.connect(
+            ref.domain_id,
+            lambda connection: on_ready(SmiopConnectionAdapter(connection)),
+        )

@@ -1,0 +1,452 @@
+"""ITDOS Sockets: virtual connection semantics over the BFT transport.
+
+"CORBA's General Inter-ORB Protocol requires connection semantics ...; the
+ITDOS prototype creates virtual connections over the Castro–Liskov transport
+layer" (§3.3). A :class:`SmiopEndpoint` is the client half of that socket
+layer, embeddable in any process (singleton clients embed one; every server
+element embeds one too, for nested invocations):
+
+* **connect** — Figure 3: an ``open_request`` to the Group Manager, key
+  shares back from ``f_gm+1`` GM elements, shares verified and combined into
+  the communication key, connection usable;
+* **send_request** — strictly increasing request identifiers, exactly one
+  outstanding request per connection (§3.6), payload encrypted under the
+  connection key and submitted into the target domain's BFT ordering;
+* **reply voting** — a per-connection :class:`~repro.itdos.voter.ReplyVoter`
+  decrypts, signature-checks, unmarshals, and votes the reply copies;
+* **fault reporting** — a dissenting reply triggers a ``change_request``
+  with signed-plaintext proof (singleton) or the domain variant (element).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.bft.client import BftClientEngine
+from repro.crypto.digests import digest
+from repro.crypto.encoding import canonical_bytes, parse_canonical
+from repro.crypto.symmetric import AuthenticationError, SymmetricKey, decrypt, encrypt
+from repro.giop.messages import ReplyMessage, RequestMessage, decode_message
+from repro.itdos.domain import DomainInfo, SystemDirectory
+from repro.itdos.keys import KeyStore
+from repro.itdos.messages import (
+    BodyReply,
+    BodyRequest,
+    ChangeRequest,
+    GmShareEnvelope,
+    OpenRequest,
+    ProofItem,
+    SmiopReply,
+    SmiopRequest,
+    key_share_from_dict,
+)
+from repro.itdos.voter import ReplyVoter, VoteOutcome
+from repro.sim.process import Process
+
+
+def traffic_nonce(conn_id: int, request_id: int, sender: str, direction: str) -> bytes:
+    """Deterministic unique nonce for one encrypted SMIOP message."""
+    return digest(
+        canonical_bytes(
+            {"conn": conn_id, "req": request_id, "sender": sender, "dir": direction}
+        )
+    )[:16]
+
+
+def reply_value_comparator(
+    directory: SystemDirectory, interface_name: str, operation: str
+) -> "Comparator":
+    """Comparator over voter reply values ``(reply_status, result)``.
+
+    Normal results compare with the operation's (inexact-capable) result
+    comparator; exception payloads compare exactly.
+    """
+    from repro.itdos.vvm import Comparator, _structural_exact
+
+    result_comparator = directory.reply_comparator(interface_name, operation)
+
+    def equal(a: tuple, b: tuple) -> bool:
+        status_a, value_a = a
+        status_b, value_b = b
+        if status_a != status_b:
+            return False
+        if status_a == 0:
+            return result_comparator.equal(value_a, value_b)
+        return _structural_exact(value_a, value_b)
+
+    return Comparator(equal=equal)
+
+
+class OutgoingConnection:
+    """Client side of one virtual connection to a replicated server."""
+
+    def __init__(
+        self, endpoint: "SmiopEndpoint", conn_id: int, target: DomainInfo
+    ) -> None:
+        self.endpoint = endpoint
+        self.conn_id = conn_id
+        self.target = target
+        self._next_request_id = 0
+        self._on_reply: Callable[[bytes], None] | None = None
+        self.voter = ReplyVoter(
+            n=target.n,
+            f=target.f,
+            on_decide=self._decided,
+            on_fault=self._fault_detected,
+        )
+        self.requests_sent = 0
+        # Large-object digest path (extension): body fetch in progress.
+        self._awaiting_body: tuple[int, bytes, list[str]] | None = None
+        self.body_fetches = 0
+
+    @property
+    def connected(self) -> bool:
+        return self.endpoint.key_store.current_key(self.conn_id) is not None
+
+    @property
+    def outstanding(self) -> bool:
+        return self._on_reply is not None
+
+    def send_request(self, wire: bytes, on_reply: Callable[[bytes], None] | None) -> None:
+        """Encrypt and submit one GIOP request into the target's ordering."""
+        if self._on_reply is not None:
+            raise RuntimeError(
+                f"connection {self.conn_id} already has an outstanding request "
+                "(ITDOS allows exactly one, §3.6)"
+            )
+        key = self.endpoint.key_store.current_key(self.conn_id)
+        if key is None:
+            raise RuntimeError(f"connection {self.conn_id} has no communication key")
+        self._next_request_id += 1
+        request_id = self._next_request_id
+        # Decode our own marshalling to learn interface/operation, which
+        # select the reply comparator (inexact for float results, §3.6).
+        message = decode_message(self.endpoint.directory.repository, wire)
+        assert isinstance(message, RequestMessage)
+        comparator = reply_value_comparator(
+            self.endpoint.directory, message.interface_name, message.operation
+        )
+        self.voter.begin(request_id, comparator)
+        self._on_reply = on_reply
+        nonce = traffic_nonce(self.conn_id, request_id, self.endpoint.owner.pid, "req")
+        envelope = SmiopRequest(
+            conn_id=self.conn_id,
+            request_id=request_id,
+            key_id=key.key_id,
+            ciphertext=encrypt(key, wire, nonce),
+            sender=self.endpoint.owner.pid,
+        )
+        self.requests_sent += 1
+        self.endpoint.engine_for(self.target.domain_id).invoke(envelope.to_payload())
+        if on_reply is None:
+            self._on_reply = None  # oneway: nothing outstanding
+
+    # -- reply path ----------------------------------------------------------
+
+    def handle_reply(self, reply: SmiopReply) -> None:
+        """Feed one element's reply copy through decrypt/verify/vote."""
+        key = self.endpoint.key_store.key_for(self.conn_id, reply.key_id)
+        if key is None:
+            # Key generation not assembled yet (rekey in flight): park it.
+            self.endpoint.key_store.when_key(
+                self.conn_id, reply.key_id, lambda _key: self.handle_reply(reply)
+            )
+            return
+        try:
+            plaintext = decrypt(key, reply.ciphertext)
+        except AuthenticationError:
+            self.voter.discarded += 1
+            return
+        if not self.endpoint.directory.keyring.verify(
+            reply.sender, plaintext, reply.signature
+        ):
+            self.voter.discarded += 1
+            return
+        if reply.is_digest:
+            # Large-object path: the plaintext IS the 32-byte value digest.
+            if len(plaintext) != 32:
+                self.voter.discarded += 1
+                return
+            self.voter.offer(
+                reply.sender,
+                reply.request_id,
+                ("__digest__", plaintext),
+                raw=None,
+            )
+            return
+        try:
+            message = decode_message(self.endpoint.directory.repository, plaintext)
+        except Exception:  # noqa: BLE001 - garbage from a Byzantine element
+            self.voter.discarded += 1
+            return
+        if not isinstance(message, ReplyMessage):
+            self.voter.discarded += 1
+            return
+        value = (int(message.reply_status), message.result)
+        self.voter.offer(
+            reply.sender,
+            reply.request_id,
+            value,
+            raw=(plaintext, reply.signature),
+        )
+
+    def _decided(self, outcome: VoteOutcome) -> None:
+        if isinstance(outcome.value, tuple) and outcome.value[0] == "__digest__":
+            # Digest vote decided: fetch the body once from a supporter.
+            self._awaiting_body = (
+                outcome.request_id,
+                outcome.value[1],
+                sorted(outcome.supporters),
+            )
+            self._fetch_body()
+            return
+        handler, self._on_reply = self._on_reply, None
+        plaintext, _signature = outcome.representative
+        if handler is not None:
+            handler(plaintext)
+
+    # -- large-object body fetch (extension, §4 future work) --------------------
+
+    def _fetch_body(self) -> None:
+        if self._awaiting_body is None:
+            return
+        request_id, value_digest, supporters = self._awaiting_body
+        if not supporters:
+            self._awaiting_body = None
+            return  # every supporter refused: give up, client will retry
+        target = supporters[0]
+        self.body_fetches += 1
+        self.endpoint.owner.send(
+            target,
+            BodyRequest(
+                conn_id=self.conn_id,
+                request_id=request_id,
+                requester=self.endpoint.owner.pid,
+            ),
+        )
+        # If the chosen supporter is Byzantine-mute, fall through to the
+        # next one after a grace period.
+        def fallback() -> None:
+            if self._awaiting_body is not None and self._awaiting_body[0] == request_id:
+                self._awaiting_body = (request_id, value_digest, supporters[1:])
+                self._fetch_body()
+
+        self.endpoint.owner.set_timer(0.25, fallback)
+
+    def handle_body_reply(self, src: str, reply: BodyReply) -> None:
+        if self._awaiting_body is None:
+            return
+        request_id, value_digest, _supporters = self._awaiting_body
+        if reply.request_id != request_id or reply.conn_id != self.conn_id:
+            return
+        key = self.endpoint.key_store.key_for(self.conn_id, reply.key_id)
+        if key is None:
+            return
+        try:
+            plaintext = decrypt(key, reply.ciphertext)
+            message = decode_message(self.endpoint.directory.repository, plaintext)
+        except Exception:  # noqa: BLE001 - bad body: wait for fallback
+            return
+        if not isinstance(message, ReplyMessage):
+            return
+        from repro.crypto.digests import digest as _digest
+
+        manifest = canonical_bytes(
+            {"status": int(message.reply_status), "result": message.result}
+        )
+        if _digest(manifest) != value_digest:
+            return  # body does not match the voted digest: reject, fallback
+        self._awaiting_body = None
+        handler, self._on_reply = self._on_reply, None
+        if handler is not None:
+            handler(plaintext)
+
+    def _fault_detected(
+        self, sender: str, request_id: int, evidence: list[tuple[str, Any, Any]]
+    ) -> None:
+        self.endpoint.report_fault(self, sender, request_id, evidence)
+
+    def close(self) -> None:
+        self.endpoint.drop_connection(self)
+
+
+class SmiopEndpoint:
+    """The client half of the ITDOS socket layer for one process."""
+
+    def __init__(
+        self,
+        owner: Process,
+        directory: SystemDirectory,
+        key_store: KeyStore,
+        kind: str = "singleton",  # "singleton" | "domain"
+        own_domain: str = "",
+    ) -> None:
+        if kind not in ("singleton", "domain"):
+            raise ValueError(f"bad endpoint kind {kind!r}")
+        self.owner = owner
+        self.directory = directory
+        self.key_store = key_store
+        self.kind = kind
+        self.own_domain = own_domain
+        self.gm_engine = BftClientEngine(owner, directory.bft_config_for(directory.gm_domain_id))
+        self._engines: dict[str, BftClientEngine] = {}
+        self.connections: dict[int, OutgoingConnection] = {}
+        self._by_target: dict[str, OutgoingConnection] = {}
+        self._awaiting_open: dict[str, list[Callable[[OutgoingConnection], None]]] = {}
+        self.change_requests_sent: list[ChangeRequest] = []
+        self._accusations_sent: set[tuple[int, int, str]] = set()
+        self.open_requests_sent = 0
+
+    # -- engines ---------------------------------------------------------------
+
+    def engine_for(self, domain_id: str) -> BftClientEngine:
+        engine = self._engines.get(domain_id)
+        if engine is None:
+            engine = BftClientEngine(self.owner, self.directory.bft_config_for(domain_id))
+            self._engines[domain_id] = engine
+        return engine
+
+    # -- connection establishment -------------------------------------------------
+
+    def connect(
+        self, target_domain: str, on_ready: Callable[[OutgoingConnection], None]
+    ) -> None:
+        """Figure 3 step 1 (or §3.4 connection reuse)."""
+        existing = self._by_target.get(target_domain)
+        if existing is not None and existing.connected:
+            on_ready(existing)
+            return
+        waiters = self._awaiting_open.setdefault(target_domain, [])
+        waiters.append(on_ready)
+        if len(waiters) > 1:
+            return  # open already in flight
+        self._send_open(target_domain, attempt=0)
+
+    def _send_open(self, target_domain: str, attempt: int) -> None:
+        """(Re)issue the open_request; retried until the key assembles.
+
+        Key shares travel point-to-point and can be lost; a repeated
+        open_request makes the Group Manager re-issue the current
+        generation's shares idempotently.
+        """
+        if target_domain not in self._awaiting_open:
+            return  # connection came up meanwhile
+        request = OpenRequest(
+            requester=self.owner.pid,
+            requester_kind=self.kind,
+            requester_domain=self.own_domain,
+            target_domain=target_domain,
+        )
+        self.open_requests_sent += 1
+        self.gm_engine.invoke(request.to_payload())
+        retry_delay = min(2.0 * (attempt + 1), 8.0)
+        self.owner.set_timer(
+            retry_delay, lambda: self._send_open(target_domain, attempt + 1)
+        )
+
+    def handle_gm_share(self, src: str, envelope: GmShareEnvelope) -> bool:
+        """Figure 3 step 3 (client side): verify and assemble a key share."""
+        if envelope.recipient != self.owner.pid or src != envelope.gm_element:
+            return False
+        if not self._is_client_of(envelope):
+            return False
+        try:
+            pairwise = SymmetricKey(
+                material=self.directory.pairwise_key(envelope.gm_element, self.owner.pid)
+            )
+            plaintext = decrypt(pairwise, envelope.ciphertext)
+            fields = parse_canonical(plaintext)
+            nonce, share = key_share_from_dict(fields)
+        except (AuthenticationError, ValueError, KeyError):
+            return True  # corrupt share envelope: drop
+        key = self.key_store.offer_share(
+            envelope.gm_element, envelope.conn_id, envelope.key_id, nonce, share
+        )
+        if key is not None:
+            self._key_ready(envelope)
+        return True
+
+    def _is_client_of(self, envelope: GmShareEnvelope) -> bool:
+        if envelope.client_kind == "singleton":
+            return envelope.client == self.owner.pid
+        domain = self.directory.domains.get(envelope.client_domain)
+        return domain is not None and self.owner.pid in domain.element_ids
+
+    def _key_ready(self, envelope: GmShareEnvelope) -> None:
+        connection = self.connections.get(envelope.conn_id)
+        if connection is None:
+            target = self.directory.domain(envelope.target_domain)
+            connection = OutgoingConnection(self, envelope.conn_id, target)
+            self.connections[envelope.conn_id] = connection
+            self._by_target[envelope.target_domain] = connection
+        for on_ready in self._awaiting_open.pop(envelope.target_domain, []):
+            on_ready(connection)
+
+    def drop_connection(self, connection: OutgoingConnection) -> None:
+        self.connections.pop(connection.conn_id, None)
+        if self._by_target.get(connection.target.domain_id) is connection:
+            del self._by_target[connection.target.domain_id]
+
+    # -- inbound routing --------------------------------------------------------
+
+    def handle_message(self, src: str, payload: Any) -> bool:
+        """Route a delivery to the GM engine, a domain engine, key shares,
+        or a connection's reply path. Returns True when consumed."""
+        if isinstance(payload, GmShareEnvelope):
+            return self.handle_gm_share(src, payload)
+        if isinstance(payload, SmiopReply):
+            connection = self.connections.get(payload.conn_id)
+            if connection is not None and src == payload.sender:
+                connection.handle_reply(payload)
+                return True
+            return False
+        if isinstance(payload, BodyReply):
+            connection = self.connections.get(payload.conn_id)
+            if connection is not None and src == payload.sender:
+                connection.handle_body_reply(src, payload)
+                return True
+            return False
+        if self.gm_engine.handle_message(src, payload):
+            return True
+        return any(engine.handle_message(src, payload) for engine in self._engines.values())
+
+    # -- fault reporting -----------------------------------------------------------
+
+    def report_fault(
+        self,
+        connection: OutgoingConnection,
+        sender: str,
+        request_id: int,
+        evidence: list[tuple[str, Any, Any]],
+    ) -> None:
+        """§3.6: notify the Group Manager that expulsion is required."""
+        accusation_key = (connection.conn_id, request_id, sender)
+        if accusation_key in self._accusations_sent:
+            return
+        proof: tuple[ProofItem, ...] = ()
+        if self.kind == "singleton":
+            items = []
+            for element, _value, raw in evidence:
+                if raw is None:
+                    continue
+                plaintext, signature = raw
+                items.append(
+                    ProofItem(sender=element, plaintext=plaintext, signature=signature)
+                )
+            proof = tuple(items)
+            if len(proof) < 2 * connection.target.f + 1:
+                # Not enough transferable evidence yet; the voter re-calls
+                # this handler as further reply copies arrive.
+                return
+        self._accusations_sent.add(accusation_key)
+        request = ChangeRequest(
+            requester=self.owner.pid,
+            requester_kind=self.kind,
+            requester_domain=self.own_domain,
+            accused_domain=connection.target.domain_id,
+            accused=(sender,),
+            request_id=request_id,
+            proof=proof,
+        )
+        self.change_requests_sent.append(request)
+        self.gm_engine.invoke(request.to_payload())

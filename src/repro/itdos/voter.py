@@ -1,0 +1,228 @@
+"""Per-connection voters.
+
+"There is a voter element for each connection in our protocol stack" (§3.6).
+Two kinds exist, matching the two directions of a connection:
+
+* :class:`ReplyVoter` — on the client side of a connection to a replicated
+  server: collates the ``n`` reply copies for the one outstanding request,
+  decides at ``f+1`` identical (or by majority among ``2f+1``), flags
+  dissenting senders as candidate faults, and discards anything carrying a
+  stale request identifier ("the receiver neither uses the message's value
+  nor penalizes the sender").
+* :class:`RequestVoter` — on each server element, for connections whose
+  client is itself a replication domain: collates the ordered copies of a
+  logical request and delivers one voted request to the ORB. Because the
+  copies arrive in the same total order everywhere and the voter is
+  deterministic, every element delivers the same request at the same point
+  (§3.6).
+
+Both bound their memory (voter garbage collection, experiment E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.itdos.vvm import Comparator, VoteDecision, majority_vote
+
+# Hard cap on ballots retained for one request id: n can never legitimately
+# exceed the domain size, so anything beyond that is an attack or a bug.
+MAX_BALLOTS_FACTOR = 2
+
+
+@dataclass(frozen=True)
+class VoteOutcome:
+    """What a voter tells its owner when a vote concludes."""
+
+    request_id: int
+    value: Any
+    representative: Any  # the raw message whose value was chosen
+    supporters: tuple[str, ...]
+    dissenters: tuple[str, ...]
+
+
+class ReplyVoter:
+    """Client-side voter: one outstanding request per connection (§3.6)."""
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        on_decide: Callable[[VoteOutcome], None],
+        on_fault: Callable[[str, int, list[tuple[str, Any, Any]]], None] | None = None,
+    ) -> None:
+        if n < 3 * f + 1:
+            raise ValueError(f"n={n} too small for f={f}")
+        self.n = n
+        self.f = f
+        self.on_decide = on_decide
+        self.on_fault = on_fault or (lambda sender, request_id, evidence: None)
+        self.current_request_id: int | None = None
+        self.comparator: Comparator = Comparator.exact()
+        self._ballots: list[tuple[str, Any]] = []
+        self._raw: dict[str, Any] = {}
+        self._decided: VoteDecision | None = None
+        self.discarded = 0  # stale / overflow messages dropped (E9)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin(self, request_id: int, comparator: Comparator) -> None:
+        """Start voting for a new outstanding request.
+
+        Garbage-collects all state of the previous request — "the voter
+        must perform garbage collection to continue making progress and
+        limit the resources it uses".
+        """
+        if self.current_request_id is not None and request_id <= self.current_request_id:
+            raise ValueError("request identifiers must be strictly increasing")
+        self.current_request_id = request_id
+        self.comparator = comparator
+        self._ballots = []
+        self._raw = {}
+        self._decided = None
+
+    @property
+    def ballots_held(self) -> int:
+        """Memory bound check for E9."""
+        return len(self._ballots)
+
+    # -- message intake -------------------------------------------------------
+
+    def offer(self, sender: str, request_id: int, value: Any, raw: Any = None) -> None:
+        """Consider one reply copy.
+
+        Copies for anything but the current outstanding request are
+        discarded without penalty: a late reply and a Byzantine replay are
+        indistinguishable here (§3.6).
+        """
+        if request_id != self.current_request_id:
+            self.discarded += 1
+            return
+        if sender in self._raw:
+            self.discarded += 1  # duplicate from the same element
+            return
+        if len(self._ballots) >= self.n * MAX_BALLOTS_FACTOR:
+            self.discarded += 1
+            return
+        self._ballots.append((sender, value))
+        self._raw[sender] = raw
+        if self._decided is None:
+            self._maybe_decide()
+        else:
+            # Post-decision stragglers still inform fault detection — and
+            # each one *grows the evidence*, so re-report every known
+            # dissenter (the owner deduplicates accusations; a proof that
+            # was too thin at decision time may be sufficient now).
+            dissenters = [
+                ballot_sender
+                for ballot_sender, ballot_value in self._ballots
+                if not self.comparator.equal(self._decided.value, ballot_value)
+            ]
+            if dissenters:
+                self._report_faults(dissenters)
+
+    def _maybe_decide(self) -> None:
+        # Early decision: f+1 identical values guarantee one correct sender.
+        decision = majority_vote(self._ballots, self.f + 1, self.comparator)
+        if not decision.decided and len(self._ballots) >= 2 * self.f + 1:
+            # 2f+1 total received but no f+1 agreement — with at most f
+            # faults this cannot happen for equal-valued correct replicas;
+            # keep waiting for more copies.
+            return
+        if not decision.decided:
+            return
+        self._decided = decision
+        representative = self._raw.get(decision.supporters[0])
+        outcome = VoteOutcome(
+            request_id=self.current_request_id or 0,
+            value=decision.value,
+            representative=representative,
+            supporters=decision.supporters,
+            dissenters=decision.dissenters,
+        )
+        if decision.dissenters:
+            self._report_faults(list(decision.dissenters))
+        self.on_decide(outcome)
+
+    def _report_faults(self, senders: list[str]) -> None:
+        assert self._decided is not None
+        evidence = [
+            (sender, value, self._raw.get(sender))
+            for sender, value in self._ballots
+        ]
+        for sender in senders:
+            self.on_fault(sender, self.current_request_id or 0, evidence)
+
+
+class RequestVoter:
+    """Server-side voter for requests from a replicated client domain.
+
+    Ordered copies stream in; at ``f_client + 1`` equal copies the request
+    is delivered once. State for a request id is garbage-collected on
+    delivery; stale copies of already-delivered requests are discarded.
+    """
+
+    def __init__(
+        self,
+        client_n: int,
+        client_f: int,
+        on_deliver: Callable[[VoteOutcome], None],
+    ) -> None:
+        self.client_n = client_n
+        self.client_f = client_f
+        self.on_deliver = on_deliver
+        self._ballots: dict[int, list[tuple[str, Any]]] = {}
+        self._raw: dict[int, dict[str, Any]] = {}
+        self._delivered_up_to = 0
+        self.discarded = 0
+
+    @property
+    def threshold(self) -> int:
+        return self.client_f + 1
+
+    def ballots_held(self) -> int:
+        return sum(len(b) for b in self._ballots.values())
+
+    def offer(
+        self,
+        sender: str,
+        request_id: int,
+        value: Any,
+        comparator: Comparator,
+        raw: Any = None,
+    ) -> None:
+        if request_id <= self._delivered_up_to:
+            self.discarded += 1
+            return
+        raw_by_sender = self._raw.setdefault(request_id, {})
+        if sender in raw_by_sender:
+            self.discarded += 1
+            return
+        ballots = self._ballots.setdefault(request_id, [])
+        if len(ballots) >= self.client_n * MAX_BALLOTS_FACTOR:
+            self.discarded += 1
+            return
+        ballots.append((sender, value))
+        raw_by_sender[sender] = raw
+        decision = majority_vote(ballots, self.threshold, comparator)
+        if decision.decided:
+            representative = raw_by_sender.get(decision.supporters[0])
+            outcome = VoteOutcome(
+                request_id=request_id,
+                value=decision.value,
+                representative=representative,
+                supporters=decision.supporters,
+                dissenters=decision.dissenters,
+            )
+            # Requests must be delivered in id order per connection: the
+            # single-threaded client sends one at a time, so ids arrive in
+            # order and delivery here is naturally ordered.
+            self._delivered_up_to = request_id
+            del self._ballots[request_id]
+            del self._raw[request_id]
+            # Drop any older stragglers wholesale.
+            for stale in [r for r in self._ballots if r <= request_id]:
+                self.discarded += len(self._ballots.pop(stale, []))
+                self._raw.pop(stale, None)
+            self.on_deliver(outcome)

@@ -1,0 +1,13 @@
+"""Measurement utilities for the benchmark harness."""
+
+from repro.metrics.collectors import LatencyRecorder, NetworkSnapshot, snapshot_network
+from repro.metrics.stats import mean, percentile, summarize
+
+__all__ = [
+    "LatencyRecorder",
+    "NetworkSnapshot",
+    "mean",
+    "percentile",
+    "snapshot_network",
+    "summarize",
+]

@@ -1,0 +1,66 @@
+"""Collectors: simulated-time latencies and network traffic deltas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.stats import summarize
+from repro.sim.network import Network
+
+
+class LatencyRecorder:
+    """Records (simulated) durations of operations."""
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+        self._open: dict[object, float] = {}
+
+    def start(self, key: object, now: float) -> None:
+        self._open[key] = now
+
+    def stop(self, key: object, now: float) -> float:
+        start = self._open.pop(key)
+        duration = now - start
+        self.samples.append(duration)
+        return duration
+
+    def record(self, duration: float) -> None:
+        self.samples.append(duration)
+
+    def summary(self) -> dict[str, float]:
+        return summarize(self.samples)
+
+
+@dataclass(frozen=True)
+class NetworkSnapshot:
+    """Point-in-time copy of network traffic counters."""
+
+    messages_sent: int
+    messages_delivered: int
+    messages_dropped: int
+    bytes_sent: int
+    multicasts_sent: int
+    now: float
+
+    def delta(self, later: "NetworkSnapshot") -> "NetworkSnapshot":
+        """Traffic between this snapshot and ``later``."""
+        return NetworkSnapshot(
+            messages_sent=later.messages_sent - self.messages_sent,
+            messages_delivered=later.messages_delivered - self.messages_delivered,
+            messages_dropped=later.messages_dropped - self.messages_dropped,
+            bytes_sent=later.bytes_sent - self.bytes_sent,
+            multicasts_sent=later.multicasts_sent - self.multicasts_sent,
+            now=later.now - self.now,
+        )
+
+
+def snapshot_network(network: Network) -> NetworkSnapshot:
+    stats = network.stats
+    return NetworkSnapshot(
+        messages_sent=stats.messages_sent,
+        messages_delivered=stats.messages_delivered,
+        messages_dropped=stats.messages_dropped,
+        bytes_sent=stats.bytes_sent,
+        multicasts_sent=stats.multicasts_sent,
+        now=network.now,
+    )

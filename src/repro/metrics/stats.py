@@ -1,0 +1,38 @@
+"""Small statistics helpers (no numpy dependency in the library core)."""
+
+from __future__ import annotations
+
+
+def mean(values: list[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty list")
+    return sum(values) / len(values)
+
+
+def percentile(values: list[float], p: float) -> float:
+    """Linear-interpolated percentile, ``p`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty list")
+    if not 0 <= p <= 100:
+        raise ValueError("p must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def summarize(values: list[float]) -> dict[str, float]:
+    """mean/p50/p95/p99/min/max in one dict (for bench tables)."""
+    return {
+        "count": float(len(values)),
+        "mean": mean(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "min": min(values),
+        "max": max(values),
+    }

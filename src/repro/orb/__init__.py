@@ -1,0 +1,59 @@
+"""A compact CORBA-like Object Request Broker.
+
+The paper builds on TAO [38], an open-source C++ ORB, integrating ITDOS
+through TAO's *pluggable protocols* framework [27]. This package provides the
+ORB-shaped substrate the middleware needs:
+
+* :mod:`~repro.orb.core` — the ORB: marshalling via :mod:`repro.giop`,
+  request dispatch, transport selection;
+* :mod:`~repro.orb.adapter` — the object adapter (POA role): object keys to
+  servants;
+* :mod:`~repro.orb.servant` — servant base class; operations may be plain
+  methods or *generator* methods that ``yield`` nested remote calls (the
+  single-threaded deterministic execution model of §2, with §3.1's
+  nested-invocation support);
+* :mod:`~repro.orb.stubs` — dynamic client stubs typed by interface
+  definitions;
+* :mod:`~repro.orb.pluggable` — the pluggable protocol interface that both
+  the IIOP baseline and ITDOS's SMIOP implement;
+* :mod:`~repro.orb.iiop` — an unreplicated point-to-point transport over the
+  simulator: the non-fault-tolerant baseline every benchmark compares
+  against.
+"""
+
+from repro.orb.adapter import ObjectAdapter
+from repro.orb.core import Orb
+from repro.orb.errors import (
+    BadOperation,
+    CommFailure,
+    CorbaError,
+    NoResponse,
+    ObjectNotExist,
+    SystemException,
+    TransientError,
+    UserException,
+)
+from repro.orb.iiop import IiopClient, IiopServer
+from repro.orb.pluggable import Connection, PluggableProtocol
+from repro.orb.servant import PendingCall, Servant
+from repro.orb.stubs import Stub
+
+__all__ = [
+    "BadOperation",
+    "CommFailure",
+    "Connection",
+    "CorbaError",
+    "IiopClient",
+    "IiopServer",
+    "NoResponse",
+    "ObjectAdapter",
+    "ObjectNotExist",
+    "Orb",
+    "PendingCall",
+    "PluggableProtocol",
+    "Servant",
+    "Stub",
+    "SystemException",
+    "TransientError",
+    "UserException",
+]

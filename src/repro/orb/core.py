@@ -1,0 +1,155 @@
+"""The ORB core: marshalling glue between stubs, servants, and transports.
+
+One :class:`Orb` instance lives inside each process (client or replication
+domain element). It owns the process's platform profile — so all marshalling
+uses that platform's byte order, and all servant results pass through the
+platform's floating-point model (the heterogeneity simulation, see
+:mod:`repro.giop.platforms`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.giop.idl import InterfaceRepository
+from repro.giop.ior import ObjectRef
+from repro.giop.messages import (
+    ReplyMessage,
+    ReplyStatus,
+    RequestMessage,
+    decode_message,
+    encode_reply,
+    encode_request,
+)
+from repro.giop.platforms import HOMOGENEOUS, PlatformProfile
+from repro.orb.adapter import ObjectAdapter
+from repro.orb.errors import (
+    BadOperation,
+    CorbaError,
+    exception_from_wire,
+    exception_to_wire,
+)
+from repro.orb.pluggable import PluggableProtocol
+from repro.orb.servant import Servant
+
+
+class Orb:
+    """Marshalling, dispatch, and transport registry for one process."""
+
+    def __init__(
+        self,
+        repository: InterfaceRepository,
+        platform: PlatformProfile = HOMOGENEOUS,
+    ) -> None:
+        self.repository = repository
+        self.platform = platform
+        self.adapter = ObjectAdapter()
+        self._transports: dict[str, PluggableProtocol] = {}
+
+    # -- transports ---------------------------------------------------------
+
+    def register_transport(self, protocol: PluggableProtocol) -> None:
+        if protocol.name in self._transports:
+            raise ValueError(f"transport {protocol.name!r} already registered")
+        self._transports[protocol.name] = protocol
+
+    def transport_for(self, ref: ObjectRef) -> PluggableProtocol:
+        protocol = self._transports.get(ref.transport)
+        if protocol is None:
+            raise BadOperation(f"no transport registered for {ref.transport!r}")
+        return protocol
+
+    # -- client side ---------------------------------------------------------
+
+    def marshal_request(
+        self,
+        ref: ObjectRef,
+        operation: str,
+        args: tuple[Any, ...],
+        request_id: int,
+        response_expected: bool = True,
+    ) -> bytes:
+        """Encode a request in this process's native byte order."""
+        return encode_request(
+            self.repository,
+            ref.interface_name,
+            operation,
+            args,
+            request_id=request_id,
+            object_key=ref.object_key,
+            response_expected=response_expected,
+            byte_order=self.platform.byte_order,
+        )
+
+    def unmarshal_reply(self, wire: bytes) -> ReplyMessage:
+        message = decode_message(self.repository, wire)
+        if not isinstance(message, ReplyMessage):
+            raise BadOperation("expected a GIOP Reply")
+        return message
+
+    @staticmethod
+    def result_from_reply(message: ReplyMessage) -> Any:
+        """Extract the result, raising the remote exception if one travelled."""
+        if message.reply_status == ReplyStatus.NO_EXCEPTION:
+            return message.result
+        exception_id, description = message.result
+        raise exception_from_wire(
+            exception_id,
+            description,
+            is_system=message.reply_status == ReplyStatus.SYSTEM_EXCEPTION,
+        )
+
+    # -- server side ----------------------------------------------------------
+
+    def unmarshal_request(self, wire: bytes) -> RequestMessage:
+        message = decode_message(self.repository, wire)
+        if not isinstance(message, RequestMessage):
+            raise BadOperation("expected a GIOP Request")
+        return message
+
+    def dispatch(self, message: RequestMessage) -> Any:
+        """Find the servant and invoke the operation.
+
+        Returns the raw result, or a live generator when the servant makes
+        nested invocations; the caller drives generators to completion.
+        Application exceptions propagate to the caller.
+        """
+        servant: Servant = self.adapter.servant_for(message.object_key)
+        if servant.interface.name != message.interface_name:
+            raise BadOperation(
+                f"object key {message.object_key!r} hosts {servant.interface.name}, "
+                f"request names {message.interface_name}"
+            )
+        return servant.dispatch(message.operation, message.args)
+
+    def marshal_reply(self, message: RequestMessage, result: Any) -> bytes:
+        """Encode a normal reply, applying the platform's float model.
+
+        The perturbation happens here — after computation, before
+        marshalling — modelling a platform whose arithmetic pipeline carried
+        less precision all along.
+        """
+        perturbed = self.platform.perturb_result(result)
+        return encode_reply(
+            self.repository,
+            message.interface_name,
+            message.operation,
+            request_id=message.request_id,
+            result=perturbed,
+            byte_order=self.platform.byte_order,
+        )
+
+    def marshal_exception_reply(self, message: RequestMessage, exc: Exception) -> bytes:
+        """Encode an exception reply."""
+        if not isinstance(exc, CorbaError):
+            exc = BadOperation(f"servant raised {type(exc).__name__}: {exc}")
+        exception_id, description, status = exception_to_wire(exc)
+        return encode_reply(
+            self.repository,
+            message.interface_name,
+            message.operation,
+            request_id=message.request_id,
+            result=(exception_id, description),
+            reply_status=ReplyStatus(status),
+            byte_order=self.platform.byte_order,
+        )

@@ -1,0 +1,91 @@
+"""CORBA-style exception hierarchy.
+
+System exceptions map to the standard minor-code families a CORBA developer
+expects; user exceptions carry an exception repository id and description
+and marshal through GIOP reply status USER_EXCEPTION.
+"""
+
+from __future__ import annotations
+
+
+class CorbaError(Exception):
+    """Root of all ORB-level errors."""
+
+
+class SystemException(CorbaError):
+    """Standard CORBA system exception."""
+
+    repo_id = "IDL:omg.org/CORBA/SystemException:1.0"
+
+    def __init__(self, description: str = "") -> None:
+        super().__init__(description or self.repo_id)
+        self.description = description
+
+
+class ObjectNotExist(SystemException):
+    """No servant registered under the requested object key."""
+
+    repo_id = "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0"
+
+
+class BadOperation(SystemException):
+    """The interface has no such operation, or dispatch failed."""
+
+    repo_id = "IDL:omg.org/CORBA/BAD_OPERATION:1.0"
+
+
+class CommFailure(SystemException):
+    """Transport-level failure."""
+
+    repo_id = "IDL:omg.org/CORBA/COMM_FAILURE:1.0"
+
+
+class TransientError(SystemException):
+    """Temporarily unable to complete; retry may succeed."""
+
+    repo_id = "IDL:omg.org/CORBA/TRANSIENT:1.0"
+
+
+class NoResponse(SystemException):
+    """No (voted) reply arrived within the deadline."""
+
+    repo_id = "IDL:omg.org/CORBA/NO_RESPONSE:1.0"
+
+
+class UserException(CorbaError):
+    """Application-defined exception raised by a servant.
+
+    Travels as ``(exception_id, description)`` in a USER_EXCEPTION reply
+    and is re-raised on the client side.
+    """
+
+    def __init__(self, exception_id: str, description: str = "") -> None:
+        super().__init__(f"{exception_id}: {description}")
+        self.exception_id = exception_id
+        self.description = description
+
+
+_SYSTEM_BY_REPO_ID = {
+    cls.repo_id: cls
+    for cls in (ObjectNotExist, BadOperation, CommFailure, TransientError, NoResponse, SystemException)
+}
+
+
+def exception_to_wire(exc: CorbaError) -> tuple[str, str, int]:
+    """(exception_id, description, reply_status_int) for marshalling."""
+    from repro.giop.messages import ReplyStatus
+
+    if isinstance(exc, UserException):
+        return exc.exception_id, exc.description, int(ReplyStatus.USER_EXCEPTION)
+    if isinstance(exc, SystemException):
+        return exc.repo_id, exc.description, int(ReplyStatus.SYSTEM_EXCEPTION)
+    return SystemException.repo_id, str(exc), int(ReplyStatus.SYSTEM_EXCEPTION)
+
+
+def exception_from_wire(exception_id: str, description: str, is_system: bool) -> CorbaError:
+    """Reconstruct the client-side exception from a decoded reply."""
+    if is_system:
+        cls = _SYSTEM_BY_REPO_ID.get(exception_id, SystemException)
+        exc = cls(description)
+        return exc
+    return UserException(exception_id, description)

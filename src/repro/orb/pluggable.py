@@ -1,0 +1,54 @@
+"""The pluggable protocol framework.
+
+TAO's pluggable protocols [27] let a transport slot under the ORB without
+touching application code; "the TAO Pluggable Protocol provides an interface
+to the ORB for ITDOS to layer traditional socket semantics on the
+Castro-Liskov BFT protocol" (§3.3). Two implementations exist here: plain
+IIOP (:mod:`repro.orb.iiop`) and SMIOP (:mod:`repro.itdos.smiop`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.giop.ior import ObjectRef
+
+ReplyHandler = Callable[[bytes], None]
+
+
+class Connection(ABC):
+    """One established (possibly virtual) connection to a target."""
+
+    @abstractmethod
+    def send_request(self, wire: bytes, on_reply: ReplyHandler | None) -> None:
+        """Transmit one marshalled GIOP request.
+
+        ``on_reply`` receives the (voted, decrypted) marshalled GIOP reply;
+        pass None for oneway operations.
+        """
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release the connection."""
+
+    @property
+    @abstractmethod
+    def connected(self) -> bool:
+        """Is the connection usable?"""
+
+
+class PluggableProtocol(ABC):
+    """Factory for connections of one transport kind."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def connect(self, ref: ObjectRef, on_ready: Callable[[Connection], None]) -> None:
+        """Establish a connection to the domain in ``ref``.
+
+        Connection establishment may require protocol exchanges (Figure 3),
+        so the result is delivered to ``on_ready`` rather than returned.
+        Implementations must reuse an existing live connection to the same
+        domain (§3.4: "connection reuse enhances performance").
+        """

@@ -1,0 +1,40 @@
+"""Deterministic discrete-event simulation substrate.
+
+Every ITDOS experiment in this repository runs on a simulated network: a
+single-threaded, seeded, discrete-event scheduler drives a set of
+:class:`~repro.sim.process.Process` actors connected by a
+:class:`~repro.sim.network.Network` that models point-to-point links,
+IP-multicast groups, latency distributions, message loss, and partitions.
+
+Determinism is a design requirement, not a convenience: the paper's replicas
+must behave as deterministic state machines, and Byzantine experiments are
+only debuggable when a failing run can be replayed bit-for-bit from its seed.
+"""
+
+from repro.sim.latency import (
+    FixedLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.sim.multicast import MulticastGroup
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.process import Process, ProcessId
+from repro.sim.scheduler import Scheduler, TimerHandle
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "FixedLatency",
+    "LatencyModel",
+    "LogNormalLatency",
+    "MulticastGroup",
+    "Network",
+    "NetworkConfig",
+    "Process",
+    "ProcessId",
+    "Scheduler",
+    "TimerHandle",
+    "TraceEvent",
+    "TraceRecorder",
+    "UniformLatency",
+]

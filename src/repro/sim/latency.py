@@ -1,0 +1,78 @@
+"""Latency models for the simulated network.
+
+A latency model maps each message send to a delivery delay. Models draw from
+a :class:`random.Random` owned by the network so that the whole simulation is
+reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+
+
+class LatencyModel(ABC):
+    """Strategy interface: produce a per-message one-way delay in seconds."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one delay. Must be strictly positive."""
+
+
+class FixedLatency(LatencyModel):
+    """Constant one-way delay; useful for analytically checkable tests."""
+
+    def __init__(self, delay: float = 0.001) -> None:
+        if delay <= 0:
+            raise ValueError("delay must be positive")
+        self.delay = delay
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"FixedLatency({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.0005, high: float = 0.002) -> None:
+        if low <= 0 or high < low:
+            raise ValueError("require 0 < low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed delay typical of a LAN under cross-traffic.
+
+    Parameterised by the *median* delay and a shape ``sigma``; an optional
+    ``cap`` bounds the tail so experiments terminate.
+    """
+
+    def __init__(
+        self, median: float = 0.001, sigma: float = 0.4, cap: float | None = 0.05
+    ) -> None:
+        if median <= 0 or sigma <= 0:
+            raise ValueError("median and sigma must be positive")
+        self.median = median
+        self.sigma = sigma
+        self.cap = cap
+        self._mu = math.log(median)
+
+    def sample(self, rng: random.Random) -> float:
+        delay = rng.lognormvariate(self._mu, self.sigma)
+        if self.cap is not None:
+            delay = min(delay, self.cap)
+        return delay
+
+    def __repr__(self) -> str:
+        return f"LogNormalLatency(median={self.median}, sigma={self.sigma})"

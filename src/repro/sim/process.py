@@ -1,0 +1,113 @@
+"""Process actors.
+
+A :class:`Process` is a deterministic state machine driven entirely by
+message deliveries and timer callbacks — the execution model the paper
+requires of every replication domain element ("each replication domain
+element employs a single-threaded execution model", §2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.sim.scheduler import TimerHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.network import Network
+
+ProcessId = str
+
+
+class Process:
+    """Base class for every simulated process.
+
+    Subclasses implement :meth:`on_message`. Processes send messages through
+    the network they are attached to and may set deterministic timers.
+
+    A crashed process silently drops deliveries and timer callbacks; this is
+    the *crash* half of the fault model. Byzantine behaviour is implemented
+    by subclassing (see :mod:`repro.itdos.faults`), never by flags scattered
+    through correct-process code.
+    """
+
+    def __init__(self, pid: ProcessId) -> None:
+        if not pid:
+            raise ValueError("process id must be non-empty")
+        self.pid: ProcessId = pid
+        self.network: Network | None = None
+        self.crashed: bool = False
+        self._timers: set[TimerHandle] = set()
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, network: Network) -> None:
+        """Called by :meth:`Network.add_process`; do not call directly."""
+        self.network = network
+
+    def _require_network(self) -> Network:
+        if self.network is None:
+            raise RuntimeError(f"process {self.pid!r} is not attached to a network")
+        return self.network
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._require_network().scheduler.now
+
+    # -- messaging --------------------------------------------------------
+
+    def send(self, dst: ProcessId, payload: Any) -> None:
+        """Send ``payload`` point-to-point to process ``dst``."""
+        if self.crashed:
+            return
+        self._require_network().send(self.pid, dst, payload)
+
+    def multicast(self, group_addr: str, payload: Any) -> None:
+        """Send ``payload`` to every member of an IP-multicast group."""
+        if self.crashed:
+            return
+        self._require_network().multicast(self.pid, group_addr, payload)
+
+    def deliver(self, src: ProcessId, payload: Any) -> None:
+        """Entry point used by the network. Routes to :meth:`on_message`."""
+        if self.crashed:
+            return
+        self.on_message(src, payload)
+
+    def on_message(self, src: ProcessId, payload: Any) -> None:
+        """Handle one delivered message. Subclasses override."""
+        raise NotImplementedError
+
+    # -- timers -----------------------------------------------------------
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        """Run ``callback`` after ``delay`` simulated seconds (unless crashed)."""
+        scheduler = self._require_network().scheduler
+
+        def guarded() -> None:
+            self._timers.discard(handle)
+            if not self.crashed:
+                callback()
+
+        handle = scheduler.schedule(delay, guarded)
+        self._timers.add(handle)
+        return handle
+
+    def cancel_timer(self, handle: TimerHandle) -> bool:
+        """Cancel a pending timer set by this process."""
+        self._timers.discard(handle)
+        return self._require_network().scheduler.cancel(handle)
+
+    # -- fault control ----------------------------------------------------
+
+    def crash(self) -> None:
+        """Silently stop: no more sends, deliveries, or timer callbacks."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        """Resume after a crash. State is whatever the subclass preserved."""
+        self.crashed = False
+
+    def __repr__(self) -> str:
+        status = " CRASHED" if self.crashed else ""
+        return f"<{type(self).__name__} {self.pid}{status}>"

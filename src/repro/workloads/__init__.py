@@ -1,0 +1,44 @@
+"""Workload generators and canonical benchmark scenarios."""
+
+from repro.workloads.generators import (
+    ClosedLoopDriver,
+    float_vectors,
+    random_strings,
+    sensor_readings,
+)
+from repro.workloads.scenarios import (
+    BANK,
+    CALCULATOR,
+    KVSTORE,
+    LEDGER,
+    SENSOR_FUSION,
+    BankServant,
+    CalculatorServant,
+    KvStoreServant,
+    LedgerServant,
+    SensorFusionServant,
+    build_bank_system,
+    build_calc_system,
+    build_kv_system,
+    standard_repository,
+)
+
+__all__ = [
+    "BANK",
+    "BankServant",
+    "CALCULATOR",
+    "CalculatorServant",
+    "ClosedLoopDriver",
+    "KVSTORE",
+    "KvStoreServant",
+    "LEDGER",
+    "LedgerServant",
+    "SENSOR_FUSION",
+    "SensorFusionServant",
+    "build_bank_system",
+    "build_calc_system",
+    "build_kv_system",
+    "float_vectors",
+    "random_strings",
+    "sensor_readings",
+]

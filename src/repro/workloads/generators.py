@@ -1,0 +1,68 @@
+"""Request generators for the benchmark harness."""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Any, Callable
+
+
+def float_vectors(
+    rng: random.Random, count: int, length: int = 8, scale: float = 1e3
+) -> list[list[float]]:
+    """``count`` vectors of floats — the inexact-voting workload."""
+    return [
+        [rng.uniform(-scale, scale) for _ in range(length)] for _ in range(count)
+    ]
+
+
+def random_strings(rng: random.Random, count: int, length: int = 16) -> list[str]:
+    alphabet = string.ascii_letters + string.digits
+    return [
+        "".join(rng.choice(alphabet) for _ in range(length)) for _ in range(count)
+    ]
+
+
+def sensor_readings(
+    rng: random.Random, count: int, sensors: int = 4, drift: float = 0.05
+) -> list[list[dict[str, float]]]:
+    """Rounds of multi-sensor readings around a common ground truth.
+
+    Each round: ``sensors`` readings of the same physical quantity, each
+    with small sensor-specific drift — the data-fusion workload from the
+    voting paper's motivation [3].
+    """
+    rounds = []
+    for _ in range(count):
+        truth = rng.uniform(10.0, 30.0)
+        rounds.append(
+            [
+                {
+                    "value": truth + rng.gauss(0.0, drift),
+                    "weight": rng.uniform(0.5, 1.5),
+                }
+                for _ in range(sensors)
+            ]
+        )
+    return rounds
+
+
+class ClosedLoopDriver:
+    """Issues operations one at a time and records simulated latencies.
+
+    The single-threaded ITDOS client permits exactly one outstanding
+    request per connection, so a closed loop is the natural load shape.
+    """
+
+    def __init__(self, network: Any) -> None:
+        self.network = network
+        self.latencies: list[float] = []
+
+    def run(self, operations: list[Callable[[], Any]]) -> list[Any]:
+        """Execute ``operations`` sequentially; returns their results."""
+        results = []
+        for operation in operations:
+            start = self.network.now
+            results.append(operation())
+            self.latencies.append(self.network.now - start)
+        return results

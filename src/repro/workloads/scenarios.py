@@ -1,0 +1,303 @@
+"""Canonical interfaces, servants, and deployments for benchmarks/examples.
+
+These are the workloads the paper's introduction motivates: mission-critical
+services (a bank with an audit ledger), data fusion over heterogeneous
+sensors (the inexact-voting case), plus a key-value store whose value size
+is the knob for the state-synchronisation experiment (E4).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.giop.idl import InterfaceDef, InterfaceRepository, Operation, Parameter
+from repro.giop.typecodes import (
+    TC_DOUBLE,
+    TC_LONG,
+    TC_STRING,
+    TC_VOID,
+    SequenceType,
+    StructType,
+)
+from repro.itdos.bootstrap import ItdosSystem
+from repro.orb.errors import UserException
+from repro.orb.servant import Servant
+
+# -- interfaces -------------------------------------------------------------------
+
+CALCULATOR = InterfaceDef(
+    "Calculator",
+    (
+        Operation("add", (Parameter("a", TC_DOUBLE), Parameter("b", TC_DOUBLE)), TC_DOUBLE),
+        Operation("divide", (Parameter("a", TC_DOUBLE), Parameter("b", TC_DOUBLE)), TC_DOUBLE),
+        Operation("mean", (Parameter("xs", SequenceType(TC_DOUBLE)),), TC_DOUBLE),
+        Operation("store", (Parameter("v", TC_DOUBLE),), TC_VOID),
+        Operation("history", (), SequenceType(TC_DOUBLE)),
+    ),
+)
+
+LEDGER = InterfaceDef(
+    "Ledger",
+    (
+        Operation("record", (Parameter("entry", TC_STRING),), TC_LONG),
+        Operation("count", (), TC_LONG),
+    ),
+)
+
+BANK = InterfaceDef(
+    "Bank",
+    (
+        Operation(
+            "deposit",
+            (Parameter("account", TC_STRING), Parameter("amount", TC_DOUBLE)),
+            TC_DOUBLE,
+        ),
+        Operation(
+            "withdraw",
+            (Parameter("account", TC_STRING), Parameter("amount", TC_DOUBLE)),
+            TC_DOUBLE,
+        ),
+        Operation("balance", (Parameter("account", TC_STRING),), TC_DOUBLE),
+        Operation(
+            "audited_deposit",
+            (Parameter("account", TC_STRING), Parameter("amount", TC_DOUBLE)),
+            TC_DOUBLE,
+        ),
+    ),
+)
+
+READING = StructType(
+    "Reading", (("value", TC_DOUBLE), ("weight", TC_DOUBLE))
+)
+
+SENSOR_FUSION = InterfaceDef(
+    "SensorFusion",
+    (
+        Operation("fuse", (Parameter("readings", SequenceType(READING)),), TC_DOUBLE),
+        Operation("estimate", (), TC_DOUBLE),
+        Operation("rounds", (), TC_LONG),
+    ),
+)
+
+KVSTORE = InterfaceDef(
+    "KvStore",
+    (
+        Operation("put", (Parameter("key", TC_STRING), Parameter("value", TC_STRING)), TC_VOID),
+        Operation("get", (Parameter("key", TC_STRING),), TC_STRING),
+        Operation("size", (), TC_LONG),
+    ),
+)
+
+
+def standard_repository() -> InterfaceRepository:
+    repo = InterfaceRepository()
+    for interface in (CALCULATOR, LEDGER, BANK, SENSOR_FUSION, KVSTORE):
+        repo.register(interface)
+    return repo
+
+
+# -- servants ----------------------------------------------------------------------
+
+
+class CalculatorServant(Servant):
+    interface = CALCULATOR
+
+    def __init__(self) -> None:
+        self._history: list[float] = []
+
+    def add(self, a: float, b: float) -> float:
+        return a + b
+
+    def divide(self, a: float, b: float) -> float:
+        if b == 0:
+            raise UserException("IDL:demo/DivideByZero:1.0", "denominator was zero")
+        return a / b
+
+    def mean(self, xs: list[float]) -> float:
+        return sum(xs) / len(xs) if xs else 0.0
+
+    def store(self, v: float) -> None:
+        self._history.append(v)
+
+    def history(self) -> list[float]:
+        return list(self._history)
+
+
+class LedgerServant(Servant):
+    interface = LEDGER
+
+    def __init__(self) -> None:
+        self.entries: list[str] = []
+
+    def record(self, entry: str) -> int:
+        self.entries.append(entry)
+        return len(self.entries)
+
+    def count(self) -> int:
+        return len(self.entries)
+
+
+class BankServant(Servant):
+    """Bank whose audited deposits nest an invocation to the audit ledger."""
+
+    interface = BANK
+
+    def __init__(self, element: Any = None, ledger_ref: Any = None) -> None:
+        self.balances: dict[str, float] = {}
+        self._element = element
+        self._ledger_ref = ledger_ref
+
+    def deposit(self, account: str, amount: float) -> float:
+        self.balances[account] = self.balances.get(account, 0.0) + amount
+        return self.balances[account]
+
+    def withdraw(self, account: str, amount: float) -> float:
+        balance = self.balances.get(account, 0.0)
+        if amount > balance:
+            raise UserException(
+                "IDL:demo/InsufficientFunds:1.0",
+                f"balance {balance} < withdrawal {amount}",
+            )
+        self.balances[account] = balance - amount
+        return self.balances[account]
+
+    def balance(self, account: str) -> float:
+        return self.balances.get(account, 0.0)
+
+    def audited_deposit(self, account: str, amount: float):
+        if self._element is None or self._ledger_ref is None:
+            raise UserException("IDL:demo/NoLedger:1.0", "bank deployed without ledger")
+        ledger = self._element.stub(self._ledger_ref)
+        yield ledger.record(f"deposit {account} {amount}")
+        self.balances[account] = self.balances.get(account, 0.0) + amount
+        return self.balances[account]
+
+
+class SensorFusionServant(Servant):
+    """Weighted fusion of float readings — the inexact-values workload."""
+
+    interface = SENSOR_FUSION
+
+    def __init__(self) -> None:
+        self._estimate = 0.0
+        self._rounds = 0
+
+    def fuse(self, readings: list[dict[str, float]]) -> float:
+        if not readings:
+            return self._estimate
+        total_weight = sum(r["weight"] for r in readings)
+        fused = sum(r["value"] * r["weight"] for r in readings) / total_weight
+        # Exponentially weighted running estimate: plenty of float churn.
+        self._rounds += 1
+        alpha = 2.0 / (self._rounds + 1.0)
+        self._estimate = alpha * fused + (1.0 - alpha) * self._estimate
+        return self._estimate
+
+    def estimate(self) -> float:
+        return self._estimate
+
+    def rounds(self) -> int:
+        return self._rounds
+
+
+class KvStoreServant(Servant):
+    """A store whose total state size is controlled by the workload (E4)."""
+
+    interface = KVSTORE
+
+    def __init__(self) -> None:
+        self.data: dict[str, str] = {}
+
+    def put(self, key: str, value: str) -> None:
+        self.data[key] = value
+
+    def get(self, key: str) -> str:
+        return self.data.get(key, "")
+
+    def size(self) -> int:
+        return len(self.data)
+
+    # State hooks for object-mode checkpointing (the Castro–Liskov
+    # baseline in experiment E4).
+    def get_state(self) -> dict[str, str]:
+        return dict(self.data)
+
+    def set_state(self, state: dict[str, str]) -> None:
+        self.data = dict(state or {})
+
+
+# -- deployments --------------------------------------------------------------------
+
+
+def build_calc_system(
+    f: int = 1, seed: int = 0, heterogeneous: bool = True, **kwargs: Any
+) -> ItdosSystem:
+    """Replicated calculator behind the Group Manager."""
+    system = ItdosSystem(
+        seed=seed,
+        repository=standard_repository(),
+        heterogeneous=heterogeneous,
+        **kwargs,
+    )
+    system.add_server_domain(
+        "calc", f=f, servants=lambda element: {b"calc": CalculatorServant()}
+    )
+    return system
+
+
+def build_bank_system(
+    f: int = 1, seed: int = 0, heterogeneous: bool = True, **kwargs: Any
+) -> ItdosSystem:
+    """Bank domain nested on a ledger domain (replicated client case)."""
+    system = ItdosSystem(
+        seed=seed,
+        repository=standard_repository(),
+        heterogeneous=heterogeneous,
+        **kwargs,
+    )
+    system.add_server_domain(
+        "ledger", f=f, servants=lambda element: {b"ledger": LedgerServant()}
+    )
+    ledger_ref = system.ref("ledger", b"ledger")
+    system.add_server_domain(
+        "bank",
+        f=f,
+        servants=lambda element: {
+            b"bank": BankServant(element=element, ledger_ref=ledger_ref)
+        },
+    )
+    return system
+
+
+def build_kv_system(
+    f: int = 1,
+    seed: int = 0,
+    state_mode: str = "queue",
+    checkpoint_interval: int = 4,
+    **kwargs: Any,
+) -> ItdosSystem:
+    """Key-value domain configured for one of the two state modes (E4).
+
+    Object mode requires homogeneous platforms so that application state
+    digests agree bit-for-bit in checkpoints.
+    """
+    system = ItdosSystem(
+        seed=seed,
+        repository=standard_repository(),
+        heterogeneous=False,
+        checkpoint_interval=checkpoint_interval,
+        **kwargs,
+    )
+    system.add_server_domain(
+        "kv",
+        f=f,
+        servants=lambda element: {b"kv": KvStoreServant()},
+        state_mode=state_mode,
+        app_state_fn=lambda element: (
+            lambda: element.orb.adapter.servant_for(b"kv").get_state()
+        ),
+        app_restore_fn=lambda element: (
+            lambda state: element.orb.adapter.servant_for(b"kv").set_state(state)
+        ),
+    )
+    return system

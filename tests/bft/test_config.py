@@ -1,0 +1,79 @@
+"""Unit tests for BFT group configuration."""
+
+import pytest
+
+from repro.bft.config import BftConfig
+
+
+def make(n=4, f=1, **overrides):
+    defaults = dict(
+        group_id="g",
+        replica_ids=tuple(f"r{i}" for i in range(n)),
+        f=f,
+    )
+    defaults.update(overrides)
+    return BftConfig(**defaults)
+
+
+def test_quorum_sizes():
+    config = make(n=4, f=1)
+    assert config.n == 4
+    assert config.quorum == 3
+    assert config.reply_quorum == 2
+    config7 = make(n=7, f=2)
+    assert config7.quorum == 5
+    assert config7.reply_quorum == 3
+
+
+def test_3f_plus_1_enforced():
+    with pytest.raises(ValueError, match="3f"):
+        make(n=3, f=1)
+    make(n=4, f=1)
+    make(n=5, f=1)  # more than the minimum is allowed
+
+
+def test_negative_f_rejected():
+    with pytest.raises(ValueError):
+        make(n=1, f=-1)
+
+
+def test_duplicate_replica_ids_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        make(replica_ids=("a", "a", "b", "c"))
+
+
+def test_checkpoint_interval_positive():
+    with pytest.raises(ValueError):
+        make(checkpoint_interval=0)
+
+
+def test_auth_mode_validated():
+    with pytest.raises(ValueError):
+        make(auth_mode="quantum")
+    for mode in ("none", "hmac", "rsa"):
+        assert make(auth_mode=mode).auth_mode == mode
+
+
+def test_primary_rotation():
+    config = make(n=4, f=1)
+    assert config.primary_of_view(0) == "r0"
+    assert config.primary_of_view(1) == "r1"
+    assert config.primary_of_view(4) == "r0"
+    assert config.primary_of_view(7) == "r3"
+
+
+def test_log_window():
+    config = make(checkpoint_interval=16)
+    assert config.log_window == 32
+
+
+def test_address_defaults_to_group_id():
+    assert make().address == "g"
+    assert make(multicast_address="224.1.2.3").address == "224.1.2.3"
+
+
+def test_replica_index():
+    config = make()
+    assert config.replica_index("r2") == 2
+    with pytest.raises(ValueError):
+        config.replica_index("ghost")

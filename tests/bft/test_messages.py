@@ -1,0 +1,127 @@
+"""Unit tests for BFT message types: digests, sizes, labels."""
+
+from repro.bft.messages import (
+    BftReply,
+    CheckpointMsg,
+    ClientRequest,
+    CommitMsg,
+    FillMsg,
+    NewViewMsg,
+    PreparedCertificate,
+    PrepareMsg,
+    PrePrepareMsg,
+    StateRequestMsg,
+    StateResponseMsg,
+    StatusMsg,
+    ViewChangeMsg,
+)
+
+
+def make_request(payload=b"op", ts=1):
+    return ClientRequest(client_id="c", timestamp=ts, payload=payload)
+
+
+def make_pre_prepare(seq=1, view=0):
+    request = make_request()
+    return PrePrepareMsg(
+        view=view, seq=seq, request_digest=request.content_digest(),
+        request=request, sender="r0",
+    )
+
+
+def test_content_digest_stable_and_distinct():
+    a = make_request(b"x")
+    b = make_request(b"x")
+    c = make_request(b"y")
+    assert a.content_digest() == b.content_digest()
+    assert a.content_digest() != c.content_digest()
+
+
+def test_digest_excludes_auth():
+    import dataclasses
+
+    request = make_request()
+    stamped = dataclasses.replace(request, auth=b"mac-bytes")
+    assert request.content_digest() == stamped.content_digest()
+    assert request == stamped  # auth excluded from equality too
+
+
+def test_wire_size_includes_payload_and_auth():
+    small = make_request(b"")
+    big = make_request(b"x" * 1000)
+    assert big.wire_size() >= small.wire_size() + 1000
+    import dataclasses
+
+    authed = dataclasses.replace(big, auth=b"m" * 32)
+    assert authed.wire_size() == big.wire_size() + 32
+
+
+def test_pre_prepare_size_includes_request():
+    pp = make_pre_prepare()
+    assert pp.wire_size() > pp.request.wire_size()
+
+
+def test_trace_labels():
+    assert make_request().trace_label() == "Request(c=c,t=1)"
+    assert make_pre_prepare(seq=7).trace_label() == "PrePrepare(v=0,n=7)"
+    prepare = PrepareMsg(view=1, seq=2, request_digest=b"", sender="r1")
+    assert prepare.trace_label() == "Prepare(v=1,n=2,i=r1)"
+    commit = CommitMsg(view=1, seq=2, request_digest=b"", sender="r1")
+    assert commit.trace_label() == "Commit(v=1,n=2,i=r1)"
+    reply = BftReply(view=0, timestamp=3, client_id="c", sender="r2", result=b"")
+    assert reply.trace_label() == "Reply(t=3,i=r2)"
+    checkpoint = CheckpointMsg(seq=16, state_digest=b"", sender="r0")
+    assert checkpoint.trace_label() == "Checkpoint(n=16,i=r0)"
+    status = StatusMsg(view=0, last_executed=5, stable_seq=4, sender="r3")
+    assert status.trace_label() == "Status(exec=5,i=r3)"
+
+
+def test_view_change_canonical_fields_cover_certificates():
+    pp = make_pre_prepare()
+    prepare = PrepareMsg(
+        view=0, seq=1, request_digest=pp.request_digest, sender="r1"
+    )
+    cert = PreparedCertificate(pre_prepare=pp, prepares=(prepare,))
+    vc = ViewChangeMsg(
+        new_view=1, stable_seq=0, checkpoint_proof=(),
+        prepared=(cert,), sender="r1",
+    )
+    fields = vc.canonical_fields()
+    assert fields["new_view"] == 1
+    assert len(fields["prepared"]) == 1
+    # Digestable end to end.
+    assert len(vc.content_digest()) == 32
+
+
+def test_new_view_canonical_fields():
+    vc = ViewChangeMsg(
+        new_view=1, stable_seq=0, checkpoint_proof=(), prepared=(), sender="r1"
+    )
+    nv = NewViewMsg(
+        new_view=1, view_changes=(vc,), pre_prepares=(make_pre_prepare(view=1),),
+        sender="r1",
+    )
+    assert nv.trace_label() == "NewView(v=1)"
+    assert len(nv.content_digest()) == 32
+
+
+def test_state_messages():
+    request = StateRequestMsg(low_seq=16, sender="r3")
+    assert request.trace_label() == "StateRequest(from=16)"
+    response = StateResponseMsg(
+        stable_seq=16, state_digest=b"\x00" * 32, snapshot=b"s" * 100,
+        checkpoint_proof=(), sender="r0",
+    )
+    assert response.wire_size() > 100
+
+
+def test_fill_size_scales_with_entries():
+    pp = make_pre_prepare()
+    commits = tuple(
+        CommitMsg(view=0, seq=1, request_digest=pp.request_digest, sender=s)
+        for s in ("r0", "r1", "r2")
+    )
+    one = FillMsg(entries=((pp, commits),), sender="r0")
+    two = FillMsg(entries=((pp, commits), (pp, commits)), sender="r0")
+    assert two.wire_size() > one.wire_size()
+    assert one.trace_label() == "Fill(seqs=[1])"

@@ -1,0 +1,102 @@
+"""Tests for commit-reveal distributed randomness."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.coin import (
+    CoinReveal,
+    combine_reveals,
+    make_coin_pair,
+    reveal_matches,
+)
+
+
+def make_round(pids, seed=0):
+    rng = random.Random(seed)
+    commits, reveals = {}, []
+    for pid in pids:
+        commit, reveal = make_coin_pair(pid, rng)
+        commits[pid] = commit
+        reveals.append(reveal)
+    return commits, reveals
+
+
+def test_reveal_matches_own_commit():
+    commits, reveals = make_round(["a", "b"])
+    for reveal in reveals:
+        assert reveal_matches(commits[reveal.pid], reveal)
+
+
+def test_reveal_mismatched_pid_rejected():
+    commits, reveals = make_round(["a", "b"])
+    cross = CoinReveal(pid="a", value=reveals[1].value)
+    assert not reveal_matches(commits["a"], cross)
+
+
+def test_combine_deterministic_order_independent():
+    commits, reveals = make_round(["a", "b", "c"])
+    seed1 = combine_reveals(commits, reveals)
+    seed2 = combine_reveals(commits, list(reversed(reveals)))
+    assert seed1 == seed2
+
+
+def test_combine_excludes_bad_reveal():
+    commits, reveals = make_round(["a", "b", "c"])
+    forged = CoinReveal(pid="c", value=b"\x00" * 32)
+    honest_only = combine_reveals(commits, reveals[:2], minimum=2)
+    with_forged = combine_reveals(commits, reveals[:2] + [forged], minimum=2)
+    assert honest_only == with_forged  # forged reveal contributed nothing
+
+
+def test_combine_excludes_uncommitted_reveal():
+    commits, reveals = make_round(["a", "b"])
+    stranger = CoinReveal(pid="zz", value=b"\x01" * 32)
+    assert combine_reveals(commits, reveals + [stranger]) == combine_reveals(
+        commits, reveals
+    )
+
+
+def test_combine_minimum_enforced():
+    commits, reveals = make_round(["a", "b", "c"])
+    with pytest.raises(ValueError):
+        combine_reveals(commits, reveals[:1], minimum=2)
+
+
+def test_one_honest_coin_changes_seed():
+    # Same adversarial coins, different honest coin -> different seed.
+    commits_a, reveals_a = make_round(["adv"], seed=1)
+    honest1 = make_coin_pair("honest", random.Random(2))
+    honest2 = make_coin_pair("honest", random.Random(3))
+    commits_a["honest"] = honest1[0]
+    seed1 = combine_reveals(commits_a, reveals_a + [honest1[1]])
+    commits_b, reveals_b = make_round(["adv"], seed=1)
+    commits_b["honest"] = honest2[0]
+    seed2 = combine_reveals(commits_b, reveals_b + [honest2[1]])
+    assert seed1 != seed2
+
+
+def test_withholding_changes_but_does_not_control_seed():
+    # An adversary may withhold its reveal; the seed still combines from
+    # the rest and remains well defined.
+    commits, reveals = make_round(["a", "b", "c"])
+    seed_without_c = combine_reveals(commits, reveals[:2], minimum=2)
+    seed_with_c = combine_reveals(commits, reveals, minimum=2)
+    assert seed_without_c != seed_with_c  # withholding has an effect...
+    assert len(seed_without_c) == 32  # ...but the protocol still completes
+
+
+@settings(max_examples=25)
+@given(
+    n=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_combine_stable(n, seed):
+    pids = [f"p{i}" for i in range(n)]
+    commits, reveals = make_round(pids, seed)
+    rng = random.Random(seed)
+    shuffled = list(reveals)
+    rng.shuffle(shuffled)
+    assert combine_reveals(commits, reveals) == combine_reveals(commits, shuffled)

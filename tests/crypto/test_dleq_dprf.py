@@ -1,0 +1,197 @@
+"""Tests for Chaum–Pedersen proofs and the threshold DPRF."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.dleq import DleqProof, dleq_prove, dleq_verify
+from repro.crypto.dprf import (
+    DprfError,
+    KeyShare,
+    combine_shares,
+    dprf_setup,
+)
+from repro.crypto.groups import SIM_GROUP, TOY_GROUP
+
+G = TOY_GROUP
+
+
+def make_bases(seed=0):
+    rng = random.Random(seed)
+    g1 = G.exp(G.g, rng.randrange(1, G.q))
+    g2 = G.hash_to_element(b"base2" + bytes([seed % 256]))
+    return g1, g2, rng
+
+
+def test_dleq_honest_proof_verifies():
+    g1, g2, rng = make_bases()
+    x = rng.randrange(1, G.q)
+    proof = dleq_prove(G, g1, g2, x, rng)
+    assert dleq_verify(G, g1, G.exp(g1, x), g2, G.exp(g2, x), proof)
+
+
+def test_dleq_rejects_wrong_statement():
+    g1, g2, rng = make_bases(1)
+    x = rng.randrange(1, G.q)
+    y = (x + 1) % G.q
+    proof = dleq_prove(G, g1, g2, x, rng)
+    # Claim that h2 was computed with the same exponent when it wasn't.
+    assert not dleq_verify(G, g1, G.exp(g1, x), g2, G.exp(g2, y), proof)
+
+
+def test_dleq_rejects_tampered_proof():
+    g1, g2, rng = make_bases(2)
+    x = rng.randrange(1, G.q)
+    proof = dleq_prove(G, g1, g2, x, rng)
+    bad = DleqProof(challenge=proof.challenge, response=(proof.response + 1) % G.q)
+    assert not dleq_verify(G, g1, G.exp(g1, x), g2, G.exp(g2, x), bad)
+
+
+def test_dleq_rejects_non_subgroup_element():
+    g1, g2, rng = make_bases(3)
+    x = rng.randrange(1, G.q)
+    proof = dleq_prove(G, g1, g2, x, rng)
+    assert not dleq_verify(G, g1, G.p - 1, g2, G.exp(g2, x), proof)
+
+
+@settings(max_examples=20)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_property_dleq_completeness(seed):
+    g1, g2, rng = make_bases(seed % 251)
+    x = rng.randrange(1, G.q)
+    proof = dleq_prove(G, g1, g2, x, rng)
+    assert dleq_verify(G, g1, G.exp(g1, x), g2, G.exp(g2, x), proof)
+
+
+# -- DPRF ------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def dprf():
+    public, holders = dprf_setup(G, n=4, f=1, rng=random.Random(0))
+    return public, holders
+
+
+def test_setup_requires_3f_plus_1():
+    with pytest.raises(DprfError):
+        dprf_setup(G, n=3, f=1, rng=random.Random(0))
+
+
+def test_shares_verify(dprf):
+    public, holders = dprf
+    x = b"nonce-1"
+    for holder in holders:
+        assert public.verify_share(x, holder.evaluate(x))
+
+
+def test_share_for_wrong_input_fails_verification(dprf):
+    public, holders = dprf
+    share = holders[0].evaluate(b"nonce-A")
+    assert not public.verify_share(b"nonce-B", share)
+
+
+def test_out_of_range_index_fails_verification(dprf):
+    public, holders = dprf
+    share = holders[0].evaluate(b"x")
+    forged = KeyShare(index=99, value=share.value, proof=share.proof)
+    assert not public.verify_share(b"x", forged)
+
+
+def test_any_threshold_subset_agrees(dprf):
+    public, holders = dprf
+    x = b"nonce-agree"
+    shares = [h.evaluate(x) for h in holders]
+    key_a = combine_shares(public, x, shares[:2])
+    key_b = combine_shares(public, x, shares[1:3])
+    key_c = combine_shares(public, x, [shares[0], shares[3]])
+    assert key_a.material == key_b.material == key_c.material
+
+
+def test_different_inputs_different_keys(dprf):
+    public, holders = dprf
+    shares1 = [h.evaluate(b"n1") for h in holders[:2]]
+    shares2 = [h.evaluate(b"n2") for h in holders[:2]]
+    k1 = combine_shares(public, b"n1", shares1)
+    k2 = combine_shares(public, b"n2", shares2)
+    assert k1.material != k2.material
+
+
+def test_insufficient_shares_rejected(dprf):
+    public, holders = dprf
+    x = b"n"
+    with pytest.raises(DprfError, match="need 2 valid shares"):
+        combine_shares(public, x, [holders[0].evaluate(x)])
+
+
+def test_duplicate_shares_do_not_count_twice(dprf):
+    public, holders = dprf
+    x = b"n"
+    share = holders[0].evaluate(x)
+    with pytest.raises(DprfError):
+        combine_shares(public, x, [share, share])
+
+
+def test_tampered_share_identified(dprf):
+    public, holders = dprf
+    x = b"n"
+    good = [h.evaluate(x) for h in holders[:2]]
+    bad = KeyShare(index=3, value=good[0].value, proof=good[0].proof)
+    with pytest.raises(DprfError, match=r"indices \[3\]"):
+        combine_shares(public, x, good + [bad])
+
+
+def test_corrupt_value_with_valid_looking_proof_rejected(dprf):
+    public, holders = dprf
+    x = b"n"
+    share = holders[2].evaluate(x)
+    corrupt = KeyShare(
+        index=share.index, value=G.mul(share.value, G.g), proof=share.proof
+    )
+    assert not public.verify_share(x, corrupt)
+
+
+def test_f_shares_insufficient_to_predict_key(dprf):
+    # An adversary holding f=1 share cannot combine; DprfError, not a key.
+    public, holders = dprf
+    x = b"secret-nonce"
+    with pytest.raises(DprfError):
+        combine_shares(public, x, [holders[1].evaluate(x)])
+
+
+def test_key_id_propagates(dprf):
+    public, holders = dprf
+    x = b"n"
+    shares = [h.evaluate(x) for h in holders[:2]]
+    key = combine_shares(public, x, shares, key_id=7)
+    assert key.key_id == 7
+
+
+def test_sim_group_dprf_end_to_end():
+    # The mid-size production group used by whole-system simulations.
+    public, holders = dprf_setup(SIM_GROUP, n=4, f=1, rng=random.Random(5))
+    x = b"connection-0-nonce"
+    shares = [h.evaluate(x) for h in holders]
+    key1 = combine_shares(public, x, shares[:2])
+    key2 = combine_shares(public, x, shares[2:])
+    assert key1.material == key2.material
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    f=st.integers(min_value=1, max_value=2),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_dprf_agreement(f, seed):
+    n = 3 * f + 1
+    rng = random.Random(seed)
+    public, holders = dprf_setup(G, n=n, f=f, rng=rng)
+    x = b"input" + seed.to_bytes(4, "big")
+    shares = [h.evaluate(x) for h in holders]
+    subset_a = rng.sample(shares, f + 1)
+    subset_b = rng.sample(shares, f + 1)
+    assert (
+        combine_shares(public, x, subset_a).material
+        == combine_shares(public, x, subset_b).material
+    )

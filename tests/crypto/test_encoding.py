@@ -1,0 +1,119 @@
+"""Unit and property tests for canonical serialisation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.encoding import canonical_bytes
+
+
+def test_none_true_false_distinct():
+    assert len({canonical_bytes(None), canonical_bytes(True), canonical_bytes(False)}) == 3
+
+
+def test_bool_not_confused_with_int():
+    assert canonical_bytes(True) != canonical_bytes(1)
+    assert canonical_bytes(False) != canonical_bytes(0)
+
+
+def test_int_str_bytes_distinct():
+    assert canonical_bytes(1) != canonical_bytes("1")
+    assert canonical_bytes("ab") != canonical_bytes(b"ab")
+
+
+def test_dict_key_order_irrelevant():
+    assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+
+def test_dict_nonstring_key_rejected():
+    with pytest.raises(TypeError):
+        canonical_bytes({1: "x"})
+
+
+def test_nan_rejected():
+    with pytest.raises(ValueError):
+        canonical_bytes(float("nan"))
+
+
+def test_list_vs_nested_list_distinct():
+    assert canonical_bytes([1, 2, 3]) != canonical_bytes([[1, 2], 3])
+    assert canonical_bytes([1, [2, 3]]) != canonical_bytes([[1, 2], 3])
+
+
+def test_tuple_encodes_like_list():
+    assert canonical_bytes((1, "x")) == canonical_bytes([1, "x"])
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(TypeError):
+        canonical_bytes(object())
+
+
+def test_canonical_fields_protocol():
+    class Thing:
+        def canonical_fields(self):
+            return {"a": 1}
+
+    class Other:
+        def canonical_fields(self):
+            return {"a": 1}
+
+    # Type name participates, so different classes with same fields differ.
+    assert canonical_bytes(Thing()) != canonical_bytes(Other())
+    assert canonical_bytes(Thing()) == canonical_bytes(Thing())
+
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=20)
+    | st.binary(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+
+@given(json_values)
+def test_property_deterministic(value):
+    assert canonical_bytes(value) == canonical_bytes(value)
+
+
+@given(json_values, json_values)
+def test_property_injective_on_distinct_values(a, b):
+    # Structural equality <=> byte equality (tuples aside, which we don't
+    # generate). NaN is excluded by construction; -0.0 vs 0.0 differ as bytes
+    # but compare equal in Python, so normalise that single case.
+    if a == b and not _has_signed_zero_mismatch(a, b):
+        assert canonical_bytes(a) == canonical_bytes(b)
+    elif canonical_bytes(a) == canonical_bytes(b):
+        assert a == b or _has_signed_zero_mismatch(a, b)
+
+
+def _has_signed_zero_mismatch(a, b):
+    """True when a and b only differ by float signed-zero representation."""
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b == 0.0 and math.copysign(1, a) != math.copysign(1, b)
+    if isinstance(a, list) and isinstance(b, list) and len(a) == len(b):
+        return any(_has_signed_zero_mismatch(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict) and isinstance(b, dict) and a.keys() == b.keys():
+        return any(_has_signed_zero_mismatch(a[k], b[k]) for k in a)
+    # int/float cross-type equality (1 == 1.0) is a legitimate encoding split.
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return type(a) is not type(b)
+    if isinstance(a, bool) or isinstance(b, bool):
+        return type(a) is not type(b)
+    return False
+
+
+@given(st.lists(st.integers(), max_size=6))
+def test_property_list_length_prefix_prevents_splicing(items):
+    # [x, y] must never encode identically to [x] ++ [y] concatenation games.
+    if len(items) >= 2:
+        whole = canonical_bytes(items)
+        parts = canonical_bytes(items[:1]) + canonical_bytes(items[1:])
+        assert whole != parts

@@ -1,0 +1,86 @@
+"""Property and unit tests for canonical parse (inverse of encode)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.encoding import canonical_bytes, parse_canonical
+
+plain_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=16)
+    | st.binary(max_size=16),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=6), children, max_size=4),
+    max_leaves=10,
+)
+
+
+@given(plain_values)
+def test_property_parse_inverts_encode(value):
+    rebuilt = parse_canonical(canonical_bytes(value))
+    if isinstance(value, tuple):
+        value = list(value)
+    assert rebuilt == value
+    # Types preserved exactly (no bool/int or str/bytes confusion).
+    assert type(rebuilt) is type(value) or (
+        isinstance(value, list) and isinstance(rebuilt, list)
+    )
+
+
+@given(plain_values)
+def test_property_double_roundtrip_fixpoint(value):
+    once = canonical_bytes(value)
+    assert canonical_bytes(parse_canonical(once)) == once
+
+
+def test_parse_rejects_trailing_bytes():
+    blob = canonical_bytes(42) + b"\x00"
+    with pytest.raises(ValueError, match="trailing"):
+        parse_canonical(blob)
+
+
+def test_parse_rejects_truncation():
+    blob = canonical_bytes("hello")
+    for cut in (1, 3, len(blob) - 1):
+        with pytest.raises(ValueError):
+            parse_canonical(blob[:cut])
+
+
+def test_parse_rejects_unknown_tag():
+    with pytest.raises(ValueError, match="unknown"):
+        parse_canonical(b"Z\x00\x00\x00\x00")
+
+
+def test_parse_rejects_non_string_dict_key():
+    # Hand-build a dict whose key is an int: M | len | count=1 | I.. | ..
+    import struct
+
+    key = canonical_bytes(5)
+    value = canonical_bytes(6)
+    body = struct.pack(">I", 1) + key + value
+    blob = b"M" + struct.pack(">I", len(body)) + body
+    with pytest.raises(ValueError, match="key"):
+        parse_canonical(blob)
+
+
+def test_parse_rejects_length_mismatch_in_container():
+    import struct
+
+    item = canonical_bytes(1)
+    body = struct.pack(">I", 1) + item + b"\x00\x00"  # extra bytes in body
+    blob = b"L" + struct.pack(">I", len(body)) + body
+    with pytest.raises(ValueError, match="mismatch"):
+        parse_canonical(blob)
+
+
+def test_object_with_canonical_fields_parses_as_dict():
+    class Thing:
+        def canonical_fields(self):
+            return {"a": 1}
+
+    parsed = parse_canonical(canonical_bytes(Thing()))
+    assert parsed == {"__type__": "Thing", "a": 1}

@@ -1,0 +1,115 @@
+"""Tests for primality testing and discrete-log group parameters."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.groups import FULL_GROUP, SIM_GROUP, TOY_GROUP, DlGroup
+from repro.crypto.primes import gen_prime, gen_schnorr_group, is_probable_prime
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 65537, 2**127 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 100, 65537 * 3, (2**61 - 1) * (2**31 - 1), 561, 41041]
+
+
+def test_known_primes_accepted():
+    for p in KNOWN_PRIMES:
+        assert is_probable_prime(p), p
+
+
+def test_known_composites_rejected():
+    # Includes Carmichael numbers 561 and 41041, which fool Fermat tests.
+    for c in KNOWN_COMPOSITES:
+        assert not is_probable_prime(c), c
+
+
+def test_gen_prime_bits_and_primality():
+    rng = random.Random(0)
+    p = gen_prime(64, rng)
+    assert p.bit_length() == 64
+    assert is_probable_prime(p)
+
+
+def test_gen_prime_rejects_tiny():
+    with pytest.raises(ValueError):
+        gen_prime(4, random.Random(0))
+
+
+def test_gen_schnorr_group_structure():
+    p, q, g = gen_schnorr_group(32, 96, random.Random(1))
+    assert is_probable_prime(p) and is_probable_prime(q)
+    assert (p - 1) % q == 0
+    assert pow(g, q, p) == 1 and g != 1
+
+
+def test_gen_schnorr_rejects_close_sizes():
+    with pytest.raises(ValueError):
+        gen_schnorr_group(64, 70, random.Random(0))
+
+
+@pytest.mark.parametrize("group", [TOY_GROUP, SIM_GROUP, FULL_GROUP])
+def test_inlined_groups_valid(group):
+    group.validate()
+
+
+def test_group_sizes():
+    assert TOY_GROUP.p.bit_length() == 64
+    assert SIM_GROUP.p.bit_length() == 512
+    assert FULL_GROUP.p.bit_length() == 1024
+    assert FULL_GROUP.q.bit_length() == 160
+
+
+def test_generate_matches_inlined_toy():
+    assert DlGroup.generate(32, 64, seed=7) == TOY_GROUP
+
+
+def test_validate_catches_bad_generator():
+    bad = DlGroup(p=TOY_GROUP.p, q=TOY_GROUP.q, g=1)
+    with pytest.raises(ValueError):
+        bad.validate()
+
+
+def test_validate_catches_composite_p():
+    bad = DlGroup(p=TOY_GROUP.p + 2, q=TOY_GROUP.q, g=TOY_GROUP.g)
+    with pytest.raises(ValueError):
+        bad.validate()
+
+
+def test_exp_reduces_exponent_mod_q():
+    g = TOY_GROUP
+    assert g.exp(g.g, 5) == g.exp(g.g, 5 + g.q)
+
+
+def test_hash_to_exponent_in_range_and_deterministic():
+    e1 = TOY_GROUP.hash_to_exponent(b"hello")
+    e2 = TOY_GROUP.hash_to_exponent(b"hello")
+    assert e1 == e2
+    assert 0 <= e1 < TOY_GROUP.q
+    assert TOY_GROUP.hash_to_exponent(b"other") != e1
+
+
+def test_hash_to_element_lands_in_subgroup():
+    h = TOY_GROUP.hash_to_element(b"x")
+    assert TOY_GROUP.contains(h)
+
+
+def test_contains_rejects_out_of_range():
+    assert not TOY_GROUP.contains(0)
+    assert not TOY_GROUP.contains(TOY_GROUP.p)
+
+
+@settings(max_examples=30)
+@given(st.binary(max_size=32))
+def test_property_hash_to_element_subgroup_membership(data):
+    h = TOY_GROUP.hash_to_element(data)
+    assert TOY_GROUP.contains(h)
+    # Deterministic.
+    assert h == TOY_GROUP.hash_to_element(data)
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=0, max_value=2**40), st.integers(min_value=0, max_value=2**40))
+def test_property_exp_homomorphic(a, b):
+    g = TOY_GROUP
+    assert g.mul(g.exp(g.g, a), g.exp(g.g, b)) == g.exp(g.g, a + b)

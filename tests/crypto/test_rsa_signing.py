@@ -1,0 +1,120 @@
+"""Tests for RSA signatures, the keyring, and HMAC authenticators."""
+
+import random
+
+import pytest
+
+from repro.crypto.rsa import generate_rsa_keypair, verify
+from repro.crypto.signing import HmacAuthenticator, KeyRing, RsaSigner
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_rsa_keypair(bits=512, rng=random.Random(1))
+
+
+def test_sign_verify_roundtrip(keypair):
+    sig = keypair.sign(b"message")
+    assert verify(keypair.public, b"message", sig)
+
+
+def test_signature_deterministic(keypair):
+    assert keypair.sign(b"m") == keypair.sign(b"m")
+
+
+def test_verify_rejects_wrong_message(keypair):
+    sig = keypair.sign(b"message")
+    assert not verify(keypair.public, b"other", sig)
+
+
+def test_verify_rejects_tampered_signature(keypair):
+    sig = bytearray(keypair.sign(b"message"))
+    sig[0] ^= 0xFF
+    assert not verify(keypair.public, b"message", bytes(sig))
+
+
+def test_verify_rejects_wrong_length(keypair):
+    assert not verify(keypair.public, b"m", b"short")
+
+
+def test_verify_rejects_other_key(keypair):
+    other = generate_rsa_keypair(bits=512, rng=random.Random(2))
+    sig = keypair.sign(b"m")
+    assert not verify(other.public, b"m", sig)
+
+
+def test_structured_data_signing(keypair):
+    sig = keypair.sign({"op": "transfer", "amount": 10})
+    assert verify(keypair.public, {"amount": 10, "op": "transfer"}, sig)
+    assert not verify(keypair.public, {"op": "transfer", "amount": 11}, sig)
+
+
+def test_keygen_rejects_tiny_keys():
+    with pytest.raises(ValueError):
+        generate_rsa_keypair(bits=64)
+
+
+def test_keygen_distinct_keys():
+    rng = random.Random(3)
+    a = generate_rsa_keypair(256, rng)
+    b = generate_rsa_keypair(256, rng)
+    assert a.public.n != b.public.n
+
+
+def test_keyring_bootstrap_and_verify():
+    ring, signers = KeyRing.bootstrap(["p0", "p1"], bits=256, seed=0)
+    sig = signers["p0"].sign(b"hello")
+    assert ring.verify("p0", b"hello", sig)
+    assert not ring.verify("p1", b"hello", sig)
+    assert not ring.verify("ghost", b"hello", sig)
+
+
+def test_keyring_conflicting_registration_rejected():
+    ring, signers = KeyRing.bootstrap(["a"], bits=256, seed=1)
+    other = generate_rsa_keypair(256, random.Random(9))
+    with pytest.raises(ValueError):
+        ring.register("a", other.public)
+    # Re-registering the same key is fine (idempotent).
+    ring.register("a", signers["a"].public)
+
+
+def test_keyring_knows():
+    ring, _ = KeyRing.bootstrap(["a"], bits=256, seed=2)
+    assert ring.knows("a")
+    assert not ring.knows("b")
+
+
+def test_rsa_signer_identity():
+    _, signers = KeyRing.bootstrap(["x"], bits=256, seed=3)
+    assert signers["x"].signer_id == "x"
+    assert isinstance(signers["x"], RsaSigner)
+
+
+def test_hmac_authenticator_pairwise():
+    auths = HmacAuthenticator.bootstrap(["a", "b", "c"], seed=0)
+    mac = auths["a"].mac_for("b", b"msg")
+    assert auths["b"].check("a", b"msg", mac)
+    assert not auths["b"].check("a", b"other", mac)
+    assert not auths["c"].check("a", b"msg", mac)  # not c's key
+
+
+def test_hmac_authenticator_vector():
+    auths = HmacAuthenticator.bootstrap(["a", "b", "c"], seed=0)
+    vector = auths["a"].authenticator(["b", "c"], b"m")
+    assert set(vector) == {"b", "c"}
+    assert auths["b"].check("a", b"m", vector["b"])
+    assert auths["c"].check("a", b"m", vector["c"])
+
+
+def test_hmac_check_unknown_peer_false():
+    auths = HmacAuthenticator.bootstrap(["a", "b"], seed=0)
+    assert not auths["a"].check("zz", b"m", b"\x00" * 32)
+
+
+def test_hmac_macs_not_transferable():
+    # The MAC a->b does not verify as a MAC a->c: this is why MACs cannot
+    # serve as expulsion proof (§3.6) while signatures can.
+    auths = HmacAuthenticator.bootstrap(["a", "b", "c"], seed=0)
+    mac_ab = auths["a"].mac_for("b", b"m")
+    mac_ac = auths["a"].mac_for("c", b"m")
+    assert mac_ab != mac_ac

@@ -1,0 +1,156 @@
+"""Tests for Shamir sharing and Feldman verifiable commitments."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.feldman import FeldmanCommitment
+from repro.crypto.groups import TOY_GROUP
+from repro.crypto.shamir import (
+    Share,
+    lagrange_coefficient,
+    recover_secret,
+    share_secret,
+)
+
+Q = TOY_GROUP.q
+
+
+def make_shares(secret=12345, threshold=3, n=7, seed=0):
+    return share_secret(secret, threshold, n, Q, random.Random(seed))
+
+
+def test_exact_threshold_recovers():
+    shares, _ = make_shares()
+    assert recover_secret(shares[:3], Q) == 12345
+
+
+def test_any_subset_of_threshold_recovers():
+    shares, _ = make_shares()
+    assert recover_secret([shares[1], shares[4], shares[6]], Q) == 12345
+
+
+def test_more_than_threshold_recovers():
+    shares, _ = make_shares()
+    assert recover_secret(shares, Q) == 12345
+
+
+def test_below_threshold_wrong_secret():
+    # Two points of a degree-2 polynomial interpolate to a line, whose value
+    # at 0 is (overwhelmingly) not the secret.
+    shares, _ = make_shares()
+    assert recover_secret(shares[:2], Q) != 12345
+
+
+def test_duplicate_shares_rejected():
+    shares, _ = make_shares()
+    with pytest.raises(ValueError):
+        recover_secret([shares[0], shares[0], shares[1]], Q)
+
+
+def test_empty_shares_rejected():
+    with pytest.raises(ValueError):
+        recover_secret([], Q)
+
+
+def test_bad_threshold_rejected():
+    with pytest.raises(ValueError):
+        share_secret(1, 0, 5, Q, random.Random(0))
+    with pytest.raises(ValueError):
+        share_secret(1, 6, 5, Q, random.Random(0))
+
+
+def test_secret_out_of_field_rejected():
+    with pytest.raises(ValueError):
+        share_secret(Q, 2, 3, Q, random.Random(0))
+
+
+def test_lagrange_partition_of_unity():
+    # Sum of lagrange coefficients at 0 for f(x) = 1 must be 1.
+    indices = [1, 3, 5]
+    total = sum(lagrange_coefficient(indices, i, Q) for i in indices) % Q
+    assert total == 1
+
+
+def test_lagrange_rejects_foreign_index():
+    with pytest.raises(ValueError):
+        lagrange_coefficient([1, 2], 3, Q)
+
+
+def test_lagrange_rejects_duplicates():
+    with pytest.raises(ValueError):
+        lagrange_coefficient([1, 1, 2], 1, Q)
+
+
+def test_interpolate_at_nonzero_point():
+    shares, _ = make_shares()
+    # Interpolating at one of the share indices returns that share's value.
+    assert recover_secret(shares[:3], Q, at=2) == shares[1].value
+
+
+def test_feldman_accepts_honest_shares():
+    shares, coefficients = make_shares()
+    commitment = FeldmanCommitment.commit(TOY_GROUP, coefficients)
+    for share in shares:
+        assert commitment.verify_share(share)
+
+
+def test_feldman_rejects_tampered_share():
+    shares, coefficients = make_shares()
+    commitment = FeldmanCommitment.commit(TOY_GROUP, coefficients)
+    forged = Share(index=shares[0].index, value=(shares[0].value + 1) % Q)
+    assert not commitment.verify_share(forged)
+
+
+def test_feldman_rejects_swapped_index():
+    shares, coefficients = make_shares()
+    commitment = FeldmanCommitment.commit(TOY_GROUP, coefficients)
+    swapped = Share(index=shares[1].index, value=shares[0].value)
+    assert not commitment.verify_share(swapped)
+
+
+def test_feldman_secret_commitment():
+    shares, coefficients = make_shares(secret=777)
+    commitment = FeldmanCommitment.commit(TOY_GROUP, coefficients)
+    assert commitment.secret_commitment == TOY_GROUP.exp(TOY_GROUP.g, 777)
+
+
+def test_feldman_share_public_key_matches_share():
+    shares, coefficients = make_shares()
+    commitment = FeldmanCommitment.commit(TOY_GROUP, coefficients)
+    for share in shares:
+        assert commitment.share_public_key(share.index) == TOY_GROUP.exp(
+            TOY_GROUP.g, share.value
+        )
+
+
+def test_feldman_rejects_index_zero():
+    _, coefficients = make_shares()
+    commitment = FeldmanCommitment.commit(TOY_GROUP, coefficients)
+    with pytest.raises(ValueError):
+        commitment.share_public_key(0)
+
+
+def test_feldman_threshold_property():
+    _, coefficients = make_shares(threshold=4)
+    commitment = FeldmanCommitment.commit(TOY_GROUP, coefficients)
+    assert commitment.threshold == 4
+
+
+@settings(max_examples=25)
+@given(
+    secret=st.integers(min_value=0, max_value=Q - 1),
+    threshold=st.integers(min_value=1, max_value=5),
+    extra=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_share_recover_roundtrip(secret, threshold, extra, seed):
+    n = threshold + extra
+    shares, coefficients = share_secret(secret, threshold, n, Q, random.Random(seed))
+    rng = random.Random(seed + 1)
+    subset = rng.sample(shares, threshold)
+    assert recover_secret(subset, Q) == secret
+    commitment = FeldmanCommitment.commit(TOY_GROUP, coefficients)
+    assert all(commitment.verify_share(s) for s in shares)

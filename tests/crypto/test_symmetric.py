@@ -1,0 +1,106 @@
+"""Tests for authenticated symmetric encryption."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.symmetric import (
+    AuthenticationError,
+    KEY_SIZE,
+    NONCE_SIZE,
+    SymmetricKey,
+    decrypt,
+    encrypt,
+    nonce_from_counter,
+)
+
+KEY = SymmetricKey(material=b"k" * KEY_SIZE, key_id=1)
+OTHER = SymmetricKey(material=b"j" * KEY_SIZE, key_id=2)
+NONCE = b"n" * NONCE_SIZE
+
+
+def test_roundtrip():
+    blob = encrypt(KEY, b"secret payload", NONCE)
+    assert decrypt(KEY, blob) == b"secret payload"
+
+
+def test_empty_plaintext_roundtrip():
+    assert decrypt(KEY, encrypt(KEY, b"", NONCE)) == b""
+
+
+def test_ciphertext_differs_from_plaintext():
+    blob = encrypt(KEY, b"secret payload!!", NONCE)
+    assert b"secret payload!!" not in blob
+
+
+def test_wrong_key_rejected():
+    blob = encrypt(KEY, b"data", NONCE)
+    with pytest.raises(AuthenticationError):
+        decrypt(OTHER, blob)
+
+
+def test_tampered_ciphertext_rejected():
+    blob = bytearray(encrypt(KEY, b"data", NONCE))
+    blob[NONCE_SIZE] ^= 0x01
+    with pytest.raises(AuthenticationError):
+        decrypt(KEY, bytes(blob))
+
+
+def test_tampered_tag_rejected():
+    blob = bytearray(encrypt(KEY, b"data", NONCE))
+    blob[-1] ^= 0x01
+    with pytest.raises(AuthenticationError):
+        decrypt(KEY, bytes(blob))
+
+
+def test_truncated_blob_rejected():
+    with pytest.raises(AuthenticationError):
+        decrypt(KEY, b"short")
+
+
+def test_bad_nonce_length_rejected():
+    with pytest.raises(ValueError):
+        encrypt(KEY, b"x", b"short")
+
+
+def test_key_size_enforced():
+    with pytest.raises(ValueError):
+        SymmetricKey(material=b"short")
+
+
+def test_key_material_not_in_canonical_fields():
+    fields = KEY.canonical_fields()
+    assert "material" not in fields
+    assert fields["key_id"] == 1
+
+
+def test_different_nonce_different_ciphertext():
+    a = encrypt(KEY, b"data", nonce_from_counter(1))
+    b = encrypt(KEY, b"data", nonce_from_counter(2))
+    assert a != b
+
+
+def test_nonce_from_counter_unique_and_sized():
+    nonces = {nonce_from_counter(i) for i in range(100)}
+    assert len(nonces) == 100
+    assert all(len(n) == NONCE_SIZE for n in nonces)
+
+
+def test_nonce_from_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        nonce_from_counter(-1)
+
+
+@given(st.binary(max_size=300), st.integers(min_value=0, max_value=2**32))
+def test_property_roundtrip(plaintext, counter):
+    blob = encrypt(KEY, plaintext, nonce_from_counter(counter))
+    assert decrypt(KEY, blob) == plaintext
+
+
+@given(st.binary(min_size=1, max_size=100), st.integers(min_value=0, max_value=2**16))
+def test_property_single_bitflip_always_detected(plaintext, flip_pos):
+    blob = bytearray(encrypt(KEY, plaintext, NONCE))
+    flip_pos %= len(blob)
+    blob[flip_pos] ^= 0x01
+    with pytest.raises(AuthenticationError):
+        decrypt(KEY, bytes(blob))

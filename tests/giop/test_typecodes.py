@@ -1,0 +1,128 @@
+"""Tests for the TypeCode system."""
+
+import pytest
+
+from repro.giop.typecodes import (
+    TC_BOOLEAN,
+    TC_DOUBLE,
+    TC_LONG,
+    TC_OCTET,
+    TC_SHORT,
+    TC_STRING,
+    TC_ULONG,
+    TC_ULONGLONG,
+    TC_VOID,
+    EnumType,
+    SequenceType,
+    StructType,
+    TypeCodeError,
+)
+
+POINT = StructType("Point", (("x", TC_DOUBLE), ("y", TC_DOUBLE)))
+COLOR = EnumType("Color", ("RED", "GREEN", "BLUE"))
+
+
+def test_integral_ranges_enforced():
+    TC_LONG.validate(2**31 - 1)
+    with pytest.raises(TypeCodeError):
+        TC_LONG.validate(2**31)
+    TC_SHORT.validate(-(2**15))
+    with pytest.raises(TypeCodeError):
+        TC_SHORT.validate(2**15)
+    TC_ULONG.validate(0)
+    with pytest.raises(TypeCodeError):
+        TC_ULONG.validate(-1)
+    TC_ULONGLONG.validate(2**64 - 1)
+    with pytest.raises(TypeCodeError):
+        TC_ULONGLONG.validate(2**64)
+
+
+def test_octet_range():
+    TC_OCTET.validate(255)
+    with pytest.raises(TypeCodeError):
+        TC_OCTET.validate(256)
+
+
+def test_bool_is_not_an_int():
+    with pytest.raises(TypeCodeError):
+        TC_LONG.validate(True)
+    with pytest.raises(TypeCodeError):
+        TC_BOOLEAN.validate(1)
+    TC_BOOLEAN.validate(True)
+
+
+def test_double_accepts_int_and_float():
+    TC_DOUBLE.validate(1)
+    TC_DOUBLE.validate(1.5)
+    with pytest.raises(TypeCodeError):
+        TC_DOUBLE.validate("1.5")
+
+
+def test_string_type():
+    TC_STRING.validate("hello")
+    with pytest.raises(TypeCodeError):
+        TC_STRING.validate(b"hello")
+
+
+def test_void_only_none():
+    TC_VOID.validate(None)
+    with pytest.raises(TypeCodeError):
+        TC_VOID.validate(0)
+
+
+def test_sequence_validation():
+    seq = SequenceType(TC_LONG)
+    seq.validate([1, 2, 3])
+    seq.validate([])
+    with pytest.raises(TypeCodeError):
+        seq.validate([1, "x"])
+    with pytest.raises(TypeCodeError):
+        seq.validate("not a list")
+
+
+def test_bounded_sequence():
+    seq = SequenceType(TC_LONG, bound=2)
+    seq.validate([1, 2])
+    with pytest.raises(TypeCodeError):
+        seq.validate([1, 2, 3])
+
+
+def test_struct_validation():
+    POINT.validate({"x": 1.0, "y": 2.0})
+    with pytest.raises(TypeCodeError, match="missing"):
+        POINT.validate({"x": 1.0})
+    with pytest.raises(TypeCodeError, match="extra"):
+        POINT.validate({"x": 1.0, "y": 2.0, "z": 3.0})
+    with pytest.raises(TypeCodeError, match="Point.x"):
+        POINT.validate({"x": "bad", "y": 2.0})
+
+
+def test_struct_duplicate_fields_rejected():
+    with pytest.raises(ValueError):
+        StructType("Bad", (("a", TC_LONG), ("a", TC_LONG)))
+
+
+def test_nested_struct():
+    segment = StructType("Segment", (("start", POINT), ("end", POINT)))
+    segment.validate(
+        {"start": {"x": 0.0, "y": 0.0}, "end": {"x": 1.0, "y": 1.0}}
+    )
+    with pytest.raises(TypeCodeError):
+        segment.validate({"start": {"x": 0.0}, "end": {"x": 1.0, "y": 1.0}})
+
+
+def test_enum_validation_and_ordinals():
+    COLOR.validate("RED")
+    with pytest.raises(TypeCodeError):
+        COLOR.validate("PUCE")
+    assert COLOR.ordinal("GREEN") == 1
+    assert COLOR.label(2) == "BLUE"
+    with pytest.raises(TypeCodeError):
+        COLOR.label(3)
+
+
+def test_enum_constraints():
+    with pytest.raises(ValueError):
+        EnumType("Empty", ())
+    with pytest.raises(ValueError):
+        EnumType("Dup", ("A", "A"))

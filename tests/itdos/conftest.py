@@ -1,0 +1,139 @@
+"""Shared fixtures: a small banking + calculator ITDOS deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.giop.idl import InterfaceDef, InterfaceRepository, Operation, Parameter
+from repro.giop.typecodes import (
+    TC_BOOLEAN,
+    TC_DOUBLE,
+    TC_LONG,
+    TC_STRING,
+    TC_VOID,
+    SequenceType,
+)
+from repro.itdos.bootstrap import ItdosSystem
+from repro.orb.errors import UserException
+from repro.orb.servant import Servant
+
+CALCULATOR = InterfaceDef(
+    "Calculator",
+    (
+        Operation("add", (Parameter("a", TC_DOUBLE), Parameter("b", TC_DOUBLE)), TC_DOUBLE),
+        Operation("divide", (Parameter("a", TC_DOUBLE), Parameter("b", TC_DOUBLE)), TC_DOUBLE),
+        Operation("mean", (Parameter("xs", SequenceType(TC_DOUBLE)),), TC_DOUBLE),
+        Operation("store", (Parameter("v", TC_DOUBLE),), TC_VOID),
+        Operation("history", (), SequenceType(TC_DOUBLE)),
+    ),
+)
+
+LEDGER = InterfaceDef(
+    "Ledger",
+    (
+        Operation("record", (Parameter("entry", TC_STRING),), TC_LONG),
+        Operation("count", (), TC_LONG),
+    ),
+)
+
+BANK = InterfaceDef(
+    "Bank",
+    (
+        Operation(
+            "deposit",
+            (Parameter("account", TC_STRING), Parameter("amount", TC_DOUBLE)),
+            TC_DOUBLE,
+        ),
+        Operation("balance", (Parameter("account", TC_STRING),), TC_DOUBLE),
+        Operation(
+            "audited_deposit",
+            (Parameter("account", TC_STRING), Parameter("amount", TC_DOUBLE)),
+            TC_DOUBLE,
+        ),
+    ),
+)
+
+
+class CalculatorServant(Servant):
+    interface = CALCULATOR
+
+    def __init__(self):
+        self._history = []
+
+    def add(self, a, b):
+        return a + b
+
+    def divide(self, a, b):
+        if b == 0:
+            raise UserException("IDL:demo/DivideByZero:1.0", "denominator was zero")
+        return a / b
+
+    def mean(self, xs):
+        if not xs:
+            return 0.0
+        return sum(xs) / len(xs)
+
+    def store(self, v):
+        self._history.append(v)
+
+    def history(self):
+        return list(self._history)
+
+
+class LedgerServant(Servant):
+    interface = LEDGER
+
+    def __init__(self):
+        self.entries = []
+
+    def record(self, entry):
+        self.entries.append(entry)
+        return len(self.entries)
+
+    def count(self):
+        return len(self.entries)
+
+
+class BankServant(Servant):
+    """Bank whose audited deposits make a nested invocation to the ledger."""
+
+    interface = BANK
+
+    def __init__(self, element=None, ledger_ref=None):
+        self.balances = {}
+        self._element = element
+        self._ledger_ref = ledger_ref
+
+    def deposit(self, account, amount):
+        self.balances[account] = self.balances.get(account, 0.0) + amount
+        return self.balances[account]
+
+    def balance(self, account):
+        return self.balances.get(account, 0.0)
+
+    def audited_deposit(self, account, amount):
+        ledger = self._element.stub(self._ledger_ref)
+        entry_number = yield ledger.record(f"deposit {account} {amount}")
+        self.balances[account] = self.balances.get(account, 0.0) + amount
+        return self.balances[account] + 0.000001 * 0 + entry_number * 0.0
+
+
+def make_repository():
+    repo = InterfaceRepository()
+    repo.register(CALCULATOR)
+    repo.register(LEDGER)
+    repo.register(BANK)
+    return repo
+
+
+def make_system(seed=0, **kwargs):
+    return ItdosSystem(seed=seed, repository=make_repository(), **kwargs)
+
+
+@pytest.fixture()
+def calc_system():
+    system = make_system()
+    system.add_server_domain(
+        "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+    )
+    return system

@@ -1,0 +1,79 @@
+"""EXTENSION tests: adaptive voting (paper §4, after [32])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.giop.typecodes import TC_DOUBLE
+from repro.itdos.vvm import adaptive_majority_vote
+
+SCHEDULE = [(1e-9, 1e-9), (1e-6, 1e-6), (1e-3, 1e-3)]
+
+
+def test_tight_agreement_decides_at_level_zero():
+    ballots = [("a", 1.0), ("b", 1.0 + 1e-12), ("c", 1.0 - 1e-12)]
+    outcome = adaptive_majority_vote(ballots, 2, TC_DOUBLE, SCHEDULE)
+    assert outcome.decision.decided
+    assert outcome.level == 0
+
+
+def test_noisy_agreement_escalates_only_as_needed():
+    # Spread ~1e-8: level 0 (1e-9) fails, level 1 (1e-6) decides.
+    ballots = [("a", 1.0), ("b", 1.0 + 5e-8), ("c", 1.0 - 5e-8)]
+    outcome = adaptive_majority_vote(ballots, 3, TC_DOUBLE, SCHEDULE)
+    assert outcome.decision.decided
+    assert outcome.level == 1
+
+
+def test_gross_disagreement_never_decides():
+    ballots = [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+    outcome = adaptive_majority_vote(ballots, 2, TC_DOUBLE, SCHEDULE)
+    assert not outcome.decision.decided
+    assert outcome.level == -1
+
+
+def test_fault_detected_at_minimal_tolerance():
+    # Two tight replicas + one liar: level 0 decides and flags the liar.
+    ballots = [("a", 1.0), ("b", 1.0 + 1e-12), ("byz", 1.0005)]
+    outcome = adaptive_majority_vote(ballots, 2, TC_DOUBLE, SCHEDULE)
+    assert outcome.level == 0
+    assert "byz" in outcome.decision.dissenters
+
+
+def test_loose_final_level_hides_small_lies():
+    """The trade-off is real: at the loosest level a 1e-4 lie passes as
+    'equal' — why adaptive voting starts tight."""
+    ballots = [("a", 1.0), ("b", 1.0 + 1e-4), ("c", 1.0 - 1e-8)]
+    outcome = adaptive_majority_vote(ballots, 3, TC_DOUBLE, SCHEDULE)
+    assert outcome.decision.decided
+    assert outcome.level == 2  # needed the loosest band to reach 3 supporters
+    assert not outcome.decision.dissenters  # the small lie hid in the band
+
+
+def test_empty_schedule_rejected():
+    with pytest.raises(ValueError):
+        adaptive_majority_vote([("a", 1.0)], 1, TC_DOUBLE, [])
+
+
+def test_deterministic_across_identical_ballot_orders():
+    ballots = [("a", 2.0), ("b", 2.0 + 3e-8), ("c", 2.0 - 3e-8), ("d", 9.0)]
+    first = adaptive_majority_vote(ballots, 3, TC_DOUBLE, SCHEDULE)
+    second = adaptive_majority_vote(list(ballots), 3, TC_DOUBLE, SCHEDULE)
+    assert first == second
+
+
+@settings(max_examples=40)
+@given(
+    base=st.floats(min_value=-1e6, max_value=1e6),
+    noise=st.sampled_from([0.0, 1e-12, 1e-8, 1e-5]),
+)
+def test_property_level_monotone_in_noise(base, noise):
+    """More spread never decides at a *tighter* level than less spread."""
+    tight = [("a", base), ("b", base), ("c", base)]
+    noisy = [("a", base), ("b", base + noise * max(1.0, abs(base))),
+             ("c", base - noise * max(1.0, abs(base)))]
+    tight_outcome = adaptive_majority_vote(tight, 3, TC_DOUBLE, SCHEDULE)
+    noisy_outcome = adaptive_majority_vote(noisy, 3, TC_DOUBLE, SCHEDULE)
+    assert tight_outcome.level == 0
+    if noisy_outcome.decision.decided:
+        assert noisy_outcome.level >= tight_outcome.level

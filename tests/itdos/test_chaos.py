@@ -1,0 +1,141 @@
+"""Chaos tests: the full ITDOS stack under adverse network/process conditions.
+
+The §2.2 assumptions bound what must be tolerated; these tests exercise the
+system at those bounds: message loss, crash of a domain's BFT primary
+mid-session (view change under live ITDOS traffic), Group Manager element
+failures, and a GM element withholding its coin reveal at bootstrap.
+"""
+
+import pytest
+
+from repro.sim.latency import UniformLatency
+from tests.itdos.conftest import CalculatorServant, make_system
+
+
+def test_end_to_end_under_message_loss():
+    """10% loss everywhere: retransmission layers must still drive every
+    invocation to a voted result."""
+    system = make_system(seed=101)
+    system.network.config.drop_probability = 0.10
+    system.add_server_domain(
+        "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+    )
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+    for i in range(5):
+        assert stub.add(float(i), 1.0) == float(i) + 1.0
+
+
+def test_end_to_end_with_jittery_latency():
+    system = make_system(seed=102, latency=UniformLatency(0.0005, 0.01))
+    system.add_server_domain(
+        "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+    )
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+    results = [stub.add(float(i), 2.0) for i in range(5)]
+    assert results == [float(i) + 2.0 for i in range(5)]
+    system.settle(2.0)
+    histories = [e.executions for e in system.domain_elements("calc")]
+    assert all(h == histories[0] for h in histories)
+
+
+def test_server_domain_primary_crash_mid_session():
+    """Crashing the calc domain's BFT primary forces a view change under
+    live SMIOP traffic; the session continues."""
+    system = make_system(seed=103)
+    system.add_server_domain(
+        "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+    )
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+    assert stub.add(1.0, 1.0) == 2.0
+    system.elements["calc-e0"].crash()  # view-0 primary
+    assert stub.add(2.0, 2.0) == 4.0  # served after the view change
+    assert stub.add(3.0, 3.0) == 6.0
+    live = [e for e in system.domain_elements("calc") if not e.crashed]
+    assert all(e.view >= 1 for e in live)
+
+
+def test_gm_element_crash_tolerated():
+    """The Group Manager is itself a replication domain: one crashed GM
+    element (f_gm=1) must not block connection establishment."""
+    system = make_system(seed=104)
+    system.add_server_domain(
+        "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+    )
+    system.settle(1.5)  # bootstrap completes
+    system.gm_elements[1].crash()
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+    assert stub.add(4.0, 4.0) == 8.0  # 3 live GM elements still issue f+1 shares
+
+
+def test_gm_primary_crash_tolerated():
+    system = make_system(seed=105)
+    system.add_server_domain(
+        "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+    )
+    system.settle(1.5)
+    system.gm_elements[0].crash()  # the GM domain's view-0 primary
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+    assert stub.add(5.0, 5.0) == 10.0
+
+
+def test_coin_withholding_gm_element():
+    """A GM element that commits but never reveals cannot block the
+    bootstrap: the coin protocol proceeds on the commits that opened."""
+    from repro.itdos.group_manager import GroupManagerElement
+
+    class WithholdingGm(GroupManagerElement):
+        def _side_effect_reveal(self):
+            return  # commit, then never reveal
+
+    system = make_system(seed=106, gm_element_class=GroupManagerElement)
+    # Replace one element's behaviour before the bootstrap timers fire.
+    saboteur = system.gm_elements[3]
+    saboteur._side_effect_reveal = lambda: None
+    system.add_server_domain(
+        "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+    )
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+    assert stub.add(6.0, 1.0) == 7.0
+    ready = [gm for gm in system.gm_elements if gm.state.phase == "ready"]
+    assert len(ready) >= 3
+
+
+def test_combined_faults_loss_plus_liar_plus_crash():
+    """Loss + one lying element + one crashed element, same domain, f=1 —
+    the absolute boundary of the fault budget, plus network misbehaviour."""
+    from repro.itdos.faults import MuteElement
+
+    system = make_system(seed=107)
+    system.network.config.drop_probability = 0.05
+    # One *crashed* element uses the crash budget; everyone else honest.
+    system.add_server_domain(
+        "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+    )
+    system.elements["calc-e3"].crash()
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+    for i in range(4):
+        assert stub.add(float(i), 10.0) == float(i) + 10.0
+
+
+def test_queue_overflow_raises():
+    from repro.itdos.queuestate import QueueOverflow
+
+    system = make_system(seed=108)
+    system.add_server_domain(
+        "calc",
+        f=1,
+        servants=lambda element: {b"calc": CalculatorServant()},
+        queue_max_bytes=64,  # smaller than a single envelope
+    )
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+    with pytest.raises(QueueOverflow):
+        for i in range(50):
+            stub.store(float(i))

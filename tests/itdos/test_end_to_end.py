@@ -1,0 +1,122 @@
+"""End-to-end: singleton client invoking on a replicated heterogeneous server."""
+
+import pytest
+
+from repro.orb.errors import UserException
+from tests.itdos.conftest import CalculatorServant, make_system
+
+
+def test_invoke_round_trip(calc_system):
+    client = calc_system.add_client("alice")
+    stub = client.stub(calc_system.ref("calc", b"calc"))
+    assert stub.add(2.0, 3.0) == 5.0
+
+
+def test_sequential_invocations_reuse_connection(calc_system):
+    client = calc_system.add_client("alice")
+    stub = client.stub(calc_system.ref("calc", b"calc"))
+    stub.add(1.0, 1.0)
+    stub.add(2.0, 2.0)
+    stub.add(3.0, 3.0)
+    assert client.endpoint.open_requests_sent == 1  # §3.4 connection reuse
+
+
+def test_stateful_replicated_objects(calc_system):
+    client = calc_system.add_client("alice")
+    stub = client.stub(calc_system.ref("calc", b"calc"))
+    stub.store(10.0)
+    stub.store(20.0)
+    assert stub.history() == [10.0, 20.0]
+    # All elements converged on the same servant state.
+    calc_system.settle(1.0)
+    for element in calc_system.domain_elements("calc"):
+        servant = element.orb.adapter.servant_for(b"calc")
+        assert servant._history == [10.0, 20.0]
+
+
+def test_inexact_float_result_voted(calc_system):
+    """Heterogeneous platforms produce inexactly equal floats; the voter
+    still decides (the paper's central §3.6 scenario)."""
+    client = calc_system.add_client("alice")
+    stub = client.stub(calc_system.ref("calc", b"calc"))
+    result = stub.mean([1.1, 2.2, 3.3, 1e7])
+    assert result == pytest.approx((1.1 + 2.2 + 3.3 + 1e7) / 4, rel=1e-9)
+
+
+def test_user_exception_voted_and_raised(calc_system):
+    client = calc_system.add_client("alice")
+    stub = client.stub(calc_system.ref("calc", b"calc"))
+    with pytest.raises(UserException, match="DivideByZero"):
+        stub.divide(1.0, 0.0)
+
+
+def test_two_clients_one_domain(calc_system):
+    alice = calc_system.add_client("alice")
+    bob = calc_system.add_client("bob")
+    ref = calc_system.ref("calc", b"calc")
+    alice.stub(ref).store(1.0)
+    bob.stub(ref).store(2.0)
+    assert alice.stub(ref).history() == [1.0, 2.0]
+
+
+def test_clients_get_distinct_connections_and_keys(calc_system):
+    alice = calc_system.add_client("alice")
+    bob = calc_system.add_client("bob")
+    ref = calc_system.ref("calc", b"calc")
+    alice.stub(ref).add(1.0, 1.0)
+    bob.stub(ref).add(2.0, 2.0)
+    alice_conns = set(alice.endpoint.connections)
+    bob_conns = set(bob.endpoint.connections)
+    assert alice_conns and bob_conns and alice_conns.isdisjoint(bob_conns)
+    # "a unique communication key for each pair of communicating client and
+    # server replication domains" (§3.5)
+    alice_key = alice.key_store.current_key(next(iter(alice_conns)))
+    bob_key = bob.key_store.current_key(next(iter(bob_conns)))
+    assert alice_key.material != bob_key.material
+
+
+def test_request_ids_strictly_increase(calc_system):
+    client = calc_system.add_client("alice")
+    stub = client.stub(calc_system.ref("calc", b"calc"))
+    stub.add(1.0, 1.0)
+    stub.add(1.0, 2.0)
+    connection = next(iter(client.endpoint.connections.values()))
+    assert connection._next_request_id == 2
+
+
+def test_traffic_is_encrypted(calc_system):
+    """No plaintext GIOP bytes appear in SMIOP payloads on the wire."""
+    client = calc_system.add_client("alice")
+    trace = calc_system.network.enable_trace()
+    stub = client.stub(calc_system.ref("calc", b"calc"))
+    stub.store(123456.789)
+    import struct
+
+    needle = struct.pack(">d", 123456.789)
+    needle_le = struct.pack("<d", 123456.789)
+    for event in trace:
+        payload = event.payload
+        raw = getattr(payload, "payload", None) or getattr(payload, "ciphertext", None)
+        if isinstance(raw, (bytes, bytearray)):
+            assert needle not in raw and needle_le not in raw
+
+
+def test_gm_bootstrap_completes(calc_system):
+    calc_system.settle(1.5)
+    for gm in calc_system.gm_elements:
+        assert gm.state.phase == "ready"
+        assert gm.prng is not None
+    # All GM elements agree on the replicated connection state.
+    snapshots = {gm._gm_snapshot() for gm in calc_system.gm_elements}
+    assert len(snapshots) == 1
+
+
+def test_open_before_bootstrap_is_queued():
+    system = make_system()
+    system.add_server_domain(
+        "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+    )
+    # Invoke immediately — the GM coin toss races with the open_request.
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+    assert stub.add(1.0, 2.0) == 3.0

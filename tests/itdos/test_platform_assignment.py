@@ -1,0 +1,62 @@
+"""Explicit platform assignment and maximal-diversity deployments."""
+
+import pytest
+
+from repro.giop.platforms import (
+    AIX_POWER,
+    LINUX_X86,
+    PLATFORMS,
+    SOLARIS_SPARC,
+    SOLARIS_SPARC_JAVA,
+)
+from tests.itdos.conftest import CalculatorServant, make_system
+
+DIVERSE = [SOLARIS_SPARC, LINUX_X86, AIX_POWER, SOLARIS_SPARC_JAVA]
+
+
+def test_explicit_platform_assignment():
+    system = make_system(seed=700)
+    system.add_server_domain(
+        "calc",
+        f=1,
+        servants=lambda element: {b"calc": CalculatorServant()},
+        platforms=DIVERSE,
+    )
+    for pid, platform in zip(system.directory.domain("calc").element_ids, DIVERSE):
+        assert system.directory.platform_of(pid) is platform
+        assert system.elements[pid].orb.platform is platform
+
+
+def test_maximally_diverse_domain_end_to_end():
+    """All four float pipelines distinct AND both byte orders: the hardest
+    heterogeneity configuration still votes every float result."""
+    assert len({p.float_mantissa_bits for p in DIVERSE}) == 4
+    assert {p.byte_order for p in DIVERSE} == {"big", "little"}
+    system = make_system(seed=701)
+    system.add_server_domain(
+        "calc",
+        f=1,
+        servants=lambda element: {b"calc": CalculatorServant()},
+        platforms=DIVERSE,
+    )
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+    for i in range(5):
+        values = [1.1 * (i + 1), 2.2, 3.14159, 1e7 / 3]
+        expected = sum(values) / len(values)
+        assert stub.mean(values) == pytest.approx(expected, rel=1e-8)
+
+
+def test_platform_registry_consistent():
+    for name, platform in PLATFORMS.items():
+        assert platform.name == name
+        assert platform.byte_order in ("big", "little")
+        assert 8 <= platform.float_mantissa_bits <= 52
+    # The registry offers genuine diversity in both dimensions.
+    assert len({p.byte_order for p in PLATFORMS.values()}) == 2
+    assert len({p.float_mantissa_bits for p in PLATFORMS.values()}) >= 4
+
+
+def test_languages_recorded():
+    assert SOLARIS_SPARC.language == "C++"
+    assert SOLARIS_SPARC_JAVA.language == "Java"

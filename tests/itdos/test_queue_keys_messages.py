@@ -1,0 +1,260 @@
+"""Unit tests for the message queue, key store, and payload serialisation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.dprf import dprf_setup
+from repro.crypto.groups import TOY_GROUP
+from repro.crypto.symmetric import KEY_SIZE, SymmetricKey
+from repro.itdos.keys import KeyStore
+from repro.itdos.messages import (
+    ChangeRequest,
+    CoinMessage,
+    OpenRequest,
+    PayloadError,
+    ProofItem,
+    SmiopReply,
+    SmiopRequest,
+    key_share_from_dict,
+    key_share_to_dict,
+    parse_payload,
+)
+from repro.itdos.queuestate import MessageQueue, QueueOverflow
+
+
+# -- MessageQueue ---------------------------------------------------------------
+
+
+def test_queue_fifo_order():
+    queue = MessageQueue()
+    queue.append(1, b"a")
+    queue.append(2, b"b")
+    assert queue.pop_head().payload == b"a"
+    assert queue.pop_head().payload == b"b"
+    assert queue.processed_count == 2
+
+
+def test_queue_sequence_must_increase():
+    queue = MessageQueue()
+    queue.append(5, b"x")
+    with pytest.raises(ValueError):
+        queue.append(5, b"y")
+
+
+def test_queue_overflow():
+    queue = MessageQueue(max_bytes=10)
+    queue.append(1, b"12345")
+    with pytest.raises(QueueOverflow):
+        queue.append(2, b"123456")
+
+
+def test_queue_pop_first_preserves_order_of_rest():
+    queue = MessageQueue()
+    for i, payload in enumerate([b"a", b"target", b"c"], start=1):
+        queue.append(i, payload)
+    item = queue.pop_first(lambda p: p == b"target")
+    assert item.payload == b"target"
+    assert [i.payload for i in queue.items] == [b"a", b"c"]
+    assert queue.pop_first(lambda p: p == b"nope") is None
+
+
+def test_queue_snapshot_restore_roundtrip():
+    queue = MessageQueue()
+    queue.append(1, b"a")
+    queue.append(2, b"b")
+    queue.pop_head()
+    snapshot = queue.snapshot()
+    other = MessageQueue()
+    other.restore(snapshot)
+    assert other.processed_count == 1
+    assert [i.payload for i in other.items] == [b"b"]
+    assert other.total_appended == 2
+    assert other.bytes_held == 1
+
+
+def test_queue_snapshot_deterministic():
+    def build():
+        queue = MessageQueue()
+        queue.append(1, b"x")
+        queue.append(2, b"y")
+        return queue.snapshot()
+
+    assert build() == build()
+
+
+def test_queue_restore_rejects_garbage():
+    queue = MessageQueue()
+    with pytest.raises(ValueError):
+        queue.restore(b"not canonical")
+
+
+def test_queue_byte_accounting():
+    queue = MessageQueue()
+    queue.append(1, b"abc")
+    queue.append(2, b"de")
+    assert queue.bytes_held == 5
+    queue.pop_head()
+    assert queue.bytes_held == 2
+
+
+# -- KeyStore ------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def dprf():
+    return dprf_setup(TOY_GROUP, n=4, f=1, rng=random.Random(0))
+
+
+def test_key_assembly_completes_at_threshold(dprf):
+    public, holders = dprf
+    store = KeyStore(public)
+    nonce = b"conn-1-key-0"
+    assert store.offer_share("gm-0", 1, 0, nonce, holders[0].evaluate(nonce)) is None
+    key = store.offer_share("gm-1", 1, 0, nonce, holders[1].evaluate(nonce))
+    assert key is not None
+    assert store.current_key(1).material == key.material
+
+
+def test_invalid_share_recorded_and_excluded(dprf):
+    public, holders = dprf
+    store = KeyStore(public)
+    nonce = b"n"
+    good = holders[0].evaluate(nonce)
+    from repro.crypto.dprf import KeyShare
+
+    forged = KeyShare(index=2, value=good.value, proof=good.proof)
+    assert store.offer_share("gm-2", 1, 0, nonce, forged) is None
+    assert store.invalid_share_events == [("gm-2", 1, 0)]
+    # Honest shares still assemble.
+    store.offer_share("gm-0", 1, 0, nonce, good)
+    key = store.offer_share("gm-1", 1, 0, nonce, holders[1].evaluate(nonce))
+    assert key is not None
+
+
+def test_mismatching_nonce_rejected(dprf):
+    public, holders = dprf
+    store = KeyStore(public)
+    store.offer_share("gm-0", 1, 0, b"nonce-A", holders[0].evaluate(b"nonce-A"))
+    assert (
+        store.offer_share("gm-1", 1, 0, b"nonce-B", holders[1].evaluate(b"nonce-B"))
+        is None
+    )
+    assert ("gm-1", 1, 0) in store.invalid_share_events
+
+
+def test_rekey_generation_supersedes(dprf):
+    public, holders = dprf
+    store = KeyStore(public)
+    for key_id, nonce in [(0, b"gen0"), (1, b"gen1")]:
+        for holder, gm in zip(holders[:2], ("gm-0", "gm-1")):
+            store.offer_share(gm, 1, key_id, nonce, holder.evaluate(nonce))
+    assert store.current_key(1).key_id == 1
+    assert store.key_for(1, 0) is not None  # recent generations retained
+    # Generations older than the retention window are dropped.
+    from repro.itdos.keys import ConnectionKeys
+
+    horizon = ConnectionKeys.RETAINED_GENERATIONS + 1
+    for holder, gm in zip(holders[:2], ("gm-0", "gm-1")):
+        store.offer_share(
+            gm, 1, horizon, b"gen-far", holder.evaluate(b"gen-far")
+        )
+    assert store.key_for(1, 0) is None
+    assert store.key_for(1, horizon) is not None
+    assert store.current_key(1).key_id == horizon
+
+
+def test_when_key_callback_fires(dprf):
+    public, holders = dprf
+    store = KeyStore(public)
+    fired = []
+    store.when_key(1, 0, fired.append)
+    nonce = b"n"
+    store.offer_share("gm-0", 1, 0, nonce, holders[0].evaluate(nonce))
+    assert not fired
+    store.offer_share("gm-1", 1, 0, nonce, holders[1].evaluate(nonce))
+    assert len(fired) == 1
+    # Late subscription fires immediately.
+    late = []
+    store.when_key(1, 0, late.append)
+    assert len(late) == 1
+
+
+def test_duplicate_share_index_ignored(dprf):
+    public, holders = dprf
+    store = KeyStore(public)
+    nonce = b"n"
+    store.offer_share("gm-0", 1, 0, nonce, holders[0].evaluate(nonce))
+    assert store.offer_share("gm-0b", 1, 0, nonce, holders[0].evaluate(nonce)) is None
+    assert store.current_key(1) is None  # still only one distinct index
+
+
+# -- payload serialisation ---------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "message",
+    [
+        SmiopRequest(conn_id=1, request_id=2, key_id=0, ciphertext=b"\x01\x02", sender="alice"),
+        SmiopReply(
+            conn_id=1, request_id=2, key_id=0, ciphertext=b"\x03",
+            sender="calc-e0", signature=b"\x04" * 8,
+        ),
+        OpenRequest(
+            requester="alice", requester_kind="singleton",
+            requester_domain="", target_domain="calc",
+        ),
+        ChangeRequest(
+            requester="alice", requester_kind="singleton", requester_domain="",
+            accused_domain="calc", accused=("calc-e2",), request_id=3,
+            proof=(ProofItem(sender="calc-e0", plaintext=b"p", signature=b"s"),),
+        ),
+        CoinMessage(phase="commit", pid="gm-0", value=b"\x05" * 32),
+        CoinMessage(phase="reveal", pid="gm-1", value=b"\x06" * 32),
+    ],
+)
+def test_payload_roundtrip(message):
+    assert parse_payload(message.to_payload()) == message
+
+
+def test_parse_payload_rejects_garbage():
+    with pytest.raises(PayloadError):
+        parse_payload(b"\xff\xfe garbage")
+    from repro.crypto.encoding import canonical_bytes
+
+    with pytest.raises(PayloadError):
+        parse_payload(canonical_bytes({"kind": "martian"}))
+    with pytest.raises(PayloadError):
+        parse_payload(canonical_bytes([1, 2, 3]))
+
+
+def test_open_request_validates_kind():
+    with pytest.raises(ValueError):
+        OpenRequest(
+            requester="x", requester_kind="cabal",
+            requester_domain="", target_domain="t",
+        )
+
+
+def test_key_share_dict_roundtrip(dprf):
+    _, holders = dprf
+    share = holders[0].evaluate(b"nonce")
+    fields = key_share_to_dict(b"nonce", share)
+    nonce, rebuilt = key_share_from_dict(fields)
+    assert nonce == b"nonce"
+    assert rebuilt == share
+
+
+@settings(max_examples=25)
+@given(
+    conn=st.integers(min_value=0, max_value=2**31),
+    req=st.integers(min_value=0, max_value=2**31),
+    blob=st.binary(max_size=64),
+)
+def test_property_smiop_request_roundtrip(conn, req, blob):
+    message = SmiopRequest(
+        conn_id=conn, request_id=req, key_id=0, ciphertext=blob, sender="s"
+    )
+    assert parse_payload(message.to_payload()) == message

@@ -1,0 +1,199 @@
+"""Unit-level tests for the ITDOS socket layer."""
+
+import pytest
+
+from repro.itdos.messages import GmShareEnvelope, SmiopReply
+from repro.itdos.sockets import traffic_nonce
+from tests.itdos.conftest import CalculatorServant, make_system
+
+
+def connected_system():
+    system = make_system(seed=200)
+    system.add_server_domain(
+        "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+    )
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+    stub.add(1.0, 1.0)
+    connection = next(iter(client.endpoint.connections.values()))
+    return system, client, stub, connection
+
+
+def test_one_outstanding_request_enforced():
+    system, client, stub, connection = connected_system()
+    wire = client.orb.marshal_request(
+        system.ref("calc", b"calc"), "add", (1.0, 2.0), request_id=2
+    )
+    connection.send_request(wire, lambda plaintext: None)
+    wire2 = client.orb.marshal_request(
+        system.ref("calc", b"calc"), "add", (3.0, 4.0), request_id=3
+    )
+    with pytest.raises(RuntimeError, match="outstanding"):
+        connection.send_request(wire2, lambda plaintext: None)
+
+
+def test_send_without_key_raises():
+    system, client, stub, connection = connected_system()
+    connection.endpoint.key_store.connections.clear()
+    wire = client.orb.marshal_request(
+        system.ref("calc", b"calc"), "add", (1.0, 2.0), request_id=2
+    )
+    with pytest.raises(RuntimeError, match="no communication key"):
+        connection.send_request(wire, lambda plaintext: None)
+
+
+def test_reply_with_bad_ciphertext_discarded():
+    system, client, stub, connection = connected_system()
+    discarded_before = connection.voter.discarded
+    key = client.key_store.current_key(connection.conn_id)
+    forged = SmiopReply(
+        conn_id=connection.conn_id,
+        request_id=99,
+        key_id=key.key_id,
+        ciphertext=b"\x00" * 64,
+        sender="calc-e0",
+        signature=b"\x00" * 32,
+    )
+    # Begin a matching outstanding request first so the id is current.
+    wire = client.orb.marshal_request(
+        system.ref("calc", b"calc"), "add", (1.0, 2.0), request_id=2
+    )
+    connection.send_request(wire, lambda plaintext: None)
+    forged2 = SmiopReply(
+        conn_id=connection.conn_id,
+        request_id=2,
+        key_id=key.key_id,
+        ciphertext=b"\x00" * 64,
+        sender="calc-e0",
+        signature=b"\x00" * 32,
+    )
+    connection.handle_reply(forged2)
+    assert connection.voter.discarded > discarded_before
+
+
+def test_reply_with_forged_signature_discarded():
+    from repro.crypto.symmetric import encrypt
+
+    system, client, stub, connection = connected_system()
+    key = client.key_store.current_key(connection.conn_id)
+    wire = client.orb.marshal_request(
+        system.ref("calc", b"calc"), "add", (1.0, 2.0), request_id=2
+    )
+    connection.send_request(wire, lambda plaintext: None)
+    reply_wire = client.orb.marshal_request(  # any decodable bytes
+        system.ref("calc", b"calc"), "add", (9.0, 9.0), request_id=2
+    )
+    nonce = traffic_nonce(connection.conn_id, 2, "calc-e0", "rep")
+    forged = SmiopReply(
+        conn_id=connection.conn_id,
+        request_id=2,
+        key_id=key.key_id,
+        ciphertext=encrypt(key, reply_wire, nonce),
+        sender="calc-e0",
+        signature=b"\xde\xad" * 32,  # not calc-e0's signature
+    )
+    before = connection.voter.discarded
+    connection.handle_reply(forged)
+    assert connection.voter.discarded == before + 1
+
+
+def test_share_envelope_for_someone_else_ignored():
+    system, client, stub, connection = connected_system()
+    envelope = GmShareEnvelope(
+        gm_element="gm-0",
+        recipient="bob",  # not alice
+        conn_id=7,
+        key_id=0,
+        client="bob",
+        client_kind="singleton",
+        client_domain="",
+        target_domain="calc",
+        ciphertext=b"\x00" * 64,
+    )
+    assert client.endpoint.handle_gm_share("gm-0", envelope) is False
+
+
+def test_share_envelope_spoofed_source_ignored():
+    system, client, stub, connection = connected_system()
+    envelope = GmShareEnvelope(
+        gm_element="gm-0",
+        recipient="alice",
+        conn_id=7,
+        key_id=0,
+        client="alice",
+        client_kind="singleton",
+        client_domain="",
+        target_domain="calc",
+        ciphertext=b"\x00" * 64,
+    )
+    # src claims to be gm-1 but envelope says gm-0: reject.
+    assert client.endpoint.handle_gm_share("gm-1", envelope) is False
+
+
+def test_reply_from_wrong_source_not_routed():
+    system, client, stub, connection = connected_system()
+    key = client.key_store.current_key(connection.conn_id)
+    reply = SmiopReply(
+        conn_id=connection.conn_id,
+        request_id=1,
+        key_id=key.key_id,
+        ciphertext=b"x",
+        sender="calc-e0",
+        signature=b"s",
+    )
+    # Network source differs from the claimed sender: not consumed.
+    assert client.endpoint.handle_message("calc-e1", reply) is False
+
+
+def test_traffic_nonce_uniqueness():
+    nonces = {
+        traffic_nonce(conn, req, sender, direction)
+        for conn in (1, 2)
+        for req in (1, 2, 3)
+        for sender in ("a", "b")
+        for direction in ("req", "rep", "dig", "body")
+    }
+    assert len(nonces) == 2 * 3 * 2 * 4
+
+
+def test_oneway_operation_through_itdos():
+    """Oneway GIOP operations ride the ordered channel without replies."""
+    from repro.giop.idl import InterfaceDef, Operation, Parameter
+    from repro.giop.typecodes import TC_STRING, TC_VOID
+    from repro.orb.servant import Servant
+    from tests.itdos.conftest import make_repository
+    from repro.itdos.bootstrap import ItdosSystem
+
+    NOTIFIER = InterfaceDef(
+        "Notifier",
+        (Operation("notify", (Parameter("text", TC_STRING),), TC_VOID, oneway=True),
+         Operation("count", (), TC_VOID)),
+    )
+    repo = make_repository()
+    repo.register(NOTIFIER)
+
+    class NotifierServant(Servant):
+        interface = NOTIFIER
+
+        def __init__(self):
+            self.notes = []
+
+        def notify(self, text):
+            self.notes.append(text)
+
+        def count(self):
+            return None
+
+    system = ItdosSystem(seed=201, repository=repo)
+    system.add_server_domain(
+        "notes", f=1, servants=lambda element: {b"n": NotifierServant()}
+    )
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("notes", b"n"))
+    assert stub.notify("hello") is None
+    assert stub.notify("world") is None
+    stub.count()  # a normal call to flush/synchronise
+    system.settle(1.0)
+    for element in system.domain_elements("notes"):
+        servant = element.orb.adapter.servant_for(b"n")
+        assert servant.notes == ["hello", "world"]

@@ -1,0 +1,175 @@
+"""Unit tests for the per-connection voters."""
+
+import pytest
+
+from repro.itdos.voter import ReplyVoter, RequestVoter
+from repro.itdos.vvm import Comparator
+
+
+def make_reply_voter(n=4, f=1):
+    decisions, faults = [], []
+    voter = ReplyVoter(
+        n=n,
+        f=f,
+        on_decide=decisions.append,
+        on_fault=lambda sender, request_id, evidence: faults.append(sender),
+    )
+    return voter, decisions, faults
+
+
+def test_decides_at_f_plus_1_identical():
+    voter, decisions, _ = make_reply_voter()
+    voter.begin(1, Comparator.exact())
+    voter.offer("e0", 1, "v", raw="raw0")
+    assert not decisions
+    voter.offer("e1", 1, "v", raw="raw1")
+    assert len(decisions) == 1
+    assert decisions[0].value == "v"
+    assert decisions[0].representative == "raw0"
+
+
+def test_n_too_small_rejected():
+    with pytest.raises(ValueError):
+        ReplyVoter(n=3, f=1, on_decide=lambda o: None)
+
+
+def test_does_not_wait_for_all_replicas():
+    """§3.6: deciding at 2f+1 avoids vulnerability to deliberately slow
+    processes; here even f+1 identical suffices."""
+    voter, decisions, _ = make_reply_voter()
+    voter.begin(1, Comparator.exact())
+    voter.offer("e0", 1, "v")
+    voter.offer("e1", 1, "v")
+    assert decisions  # decided with only 2 of 4 replies
+
+
+def test_majority_among_mixed_values():
+    voter, decisions, faults = make_reply_voter()
+    voter.begin(1, Comparator.exact())
+    voter.offer("e0", 1, "bad")
+    voter.offer("e1", 1, "good")
+    voter.offer("e2", 1, "good")
+    assert decisions[0].value == "good"
+    assert faults == ["e0"]
+
+
+def test_late_faulty_reply_detected_after_decision():
+    voter, decisions, faults = make_reply_voter()
+    voter.begin(1, Comparator.exact())
+    voter.offer("e0", 1, "v")
+    voter.offer("e1", 1, "v")
+    voter.offer("e2", 1, "corrupt")  # straggler with a bad value
+    assert faults == ["e2"]
+    assert len(decisions) == 1  # no second decision
+
+
+def test_stale_request_id_discarded_without_penalty():
+    voter, decisions, faults = make_reply_voter()
+    voter.begin(5, Comparator.exact())
+    voter.offer("e0", 4, "old")  # late reply from a previous request
+    assert voter.discarded == 1
+    assert not faults and not decisions
+
+
+def test_duplicate_sender_discarded():
+    voter, decisions, _ = make_reply_voter()
+    voter.begin(1, Comparator.exact())
+    voter.offer("e0", 1, "v")
+    voter.offer("e0", 1, "v")
+    assert voter.discarded == 1
+    assert not decisions
+
+
+def test_request_ids_strictly_increasing():
+    voter, _, _ = make_reply_voter()
+    voter.begin(1, Comparator.exact())
+    with pytest.raises(ValueError):
+        voter.begin(1, Comparator.exact())
+    voter.begin(2, Comparator.exact())
+
+
+def test_gc_on_new_request():
+    voter, decisions, _ = make_reply_voter()
+    voter.begin(1, Comparator.exact())
+    voter.offer("e0", 1, "v")
+    voter.begin(2, Comparator.exact())
+    assert voter.ballots_held == 0
+    voter.offer("e0", 1, "v")  # now stale
+    assert voter.discarded == 1
+
+
+def test_memory_bound_under_flood():
+    """E9: a reply flood cannot grow voter state without limit."""
+    voter, _, _ = make_reply_voter()
+    voter.begin(1, Comparator.exact())
+    for i in range(1000):
+        voter.offer(f"fake-{i}", 1, f"junk-{i}")
+    assert voter.ballots_held <= voter.n * 2
+    assert voter.discarded >= 1000 - voter.n * 2
+
+
+# -- RequestVoter -------------------------------------------------------------
+
+
+def make_request_voter(client_n=4, client_f=1):
+    delivered = []
+    voter = RequestVoter(client_n=client_n, client_f=client_f, on_deliver=delivered.append)
+    return voter, delivered
+
+
+def test_request_delivered_at_f_plus_1_copies():
+    voter, delivered = make_request_voter()
+    cmp = Comparator.exact()
+    voter.offer("c0", 1, {"op": "x"}, cmp, raw="m0")
+    assert not delivered
+    voter.offer("c1", 1, {"op": "x"}, cmp, raw="m1")
+    assert len(delivered) == 1
+    assert delivered[0].representative == "m0"
+
+
+def test_request_delivered_once_despite_more_copies():
+    voter, delivered = make_request_voter()
+    cmp = Comparator.exact()
+    for sender in ("c0", "c1", "c2", "c3"):
+        voter.offer(sender, 1, {"op": "x"}, cmp)
+    assert len(delivered) == 1
+    assert voter.discarded >= 1  # post-delivery copies discarded
+
+
+def test_mismatching_copy_does_not_count():
+    voter, delivered = make_request_voter()
+    cmp = Comparator.exact()
+    voter.offer("c0", 1, {"op": "x"}, cmp)
+    voter.offer("c1", 1, {"op": "FORGED"}, cmp)
+    assert not delivered
+    voter.offer("c2", 1, {"op": "x"}, cmp)
+    assert len(delivered) == 1
+    assert "c1" in delivered[0].dissenters
+
+
+def test_interleaved_request_ids():
+    voter, delivered = make_request_voter()
+    cmp = Comparator.exact()
+    voter.offer("c0", 1, "r1", cmp)
+    voter.offer("c0", 2, "r2", cmp)  # the same sender's next request
+    voter.offer("c1", 1, "r1", cmp)
+    assert [d.request_id for d in delivered] == [1]
+    voter.offer("c1", 2, "r2", cmp)
+    assert [d.request_id for d in delivered] == [1, 2]
+
+
+def test_request_voter_memory_bounded():
+    voter, _ = make_request_voter()
+    cmp = Comparator.exact()
+    for i in range(100):
+        voter.offer(f"fake{i}", 7, f"junk{i}", cmp)
+    assert voter.ballots_held() <= voter.client_n * 2
+
+
+def test_duplicate_sender_copy_discarded():
+    voter, delivered = make_request_voter()
+    cmp = Comparator.exact()
+    voter.offer("c0", 1, "v", cmp)
+    voter.offer("c0", 1, "v", cmp)
+    assert voter.discarded == 1
+    assert not delivered

@@ -1,0 +1,82 @@
+"""Shared ORB test fixtures: a Calculator interface and servants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.giop.idl import InterfaceDef, InterfaceRepository, Operation, Parameter
+from repro.giop.typecodes import (
+    TC_DOUBLE,
+    TC_LONG,
+    TC_STRING,
+    TC_VOID,
+    SequenceType,
+)
+from repro.orb.errors import UserException
+from repro.orb.servant import Servant
+
+CALCULATOR = InterfaceDef(
+    "Calculator",
+    (
+        Operation("add", (Parameter("a", TC_DOUBLE), Parameter("b", TC_DOUBLE)), TC_DOUBLE),
+        Operation("divide", (Parameter("a", TC_DOUBLE), Parameter("b", TC_DOUBLE)), TC_DOUBLE),
+        Operation("store", (Parameter("value", TC_DOUBLE),), TC_VOID),
+        Operation("history", (), SequenceType(TC_DOUBLE)),
+        Operation("announce", (Parameter("text", TC_STRING),), TC_VOID, oneway=True),
+    ),
+)
+
+COUNTER = InterfaceDef(
+    "Counter",
+    (
+        Operation("increment", (Parameter("by", TC_LONG),), TC_LONG),
+        Operation("value", (), TC_LONG),
+    ),
+)
+
+
+class CalculatorServant(Servant):
+    interface = CALCULATOR
+
+    def __init__(self):
+        self._history: list[float] = []
+        self.announcements: list[str] = []
+
+    def add(self, a, b):
+        return a + b
+
+    def divide(self, a, b):
+        if b == 0:
+            raise UserException("IDL:demo/DivideByZero:1.0", "denominator was zero")
+        return a / b
+
+    def store(self, value):
+        self._history.append(value)
+
+    def history(self):
+        return list(self._history)
+
+    def announce(self, text):
+        self.announcements.append(text)
+
+
+class CounterServant(Servant):
+    interface = COUNTER
+
+    def __init__(self):
+        self._value = 0
+
+    def increment(self, by):
+        self._value += by
+        return self._value
+
+    def value(self):
+        return self._value
+
+
+@pytest.fixture()
+def repository():
+    repo = InterfaceRepository()
+    repo.register(CALCULATOR)
+    repo.register(COUNTER)
+    return repo

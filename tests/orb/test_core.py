@@ -1,0 +1,249 @@
+"""Tests for ORB marshalling, dispatch, adapter, stubs, and errors."""
+
+import pytest
+
+from repro.giop.ior import ObjectRef
+from repro.giop.platforms import AIX_POWER, LINUX_X86, SOLARIS_SPARC
+from repro.orb.adapter import ObjectAdapter
+from repro.orb.core import Orb
+from repro.orb.errors import (
+    BadOperation,
+    ObjectNotExist,
+    SystemException,
+    UserException,
+    exception_from_wire,
+    exception_to_wire,
+)
+from repro.orb.servant import PendingCall, Servant
+from repro.orb.stubs import Stub
+from tests.orb.conftest import CALCULATOR, CalculatorServant, CounterServant
+
+
+@pytest.fixture()
+def orb(repository):
+    orb = Orb(repository, platform=SOLARIS_SPARC)
+    orb.adapter.activate(b"calc", CalculatorServant())
+    return orb
+
+
+def make_request(orb, operation, args, key=b"calc", request_id=1):
+    ref = ObjectRef("Calculator", "domain-x", key)
+    wire = orb.marshal_request(ref, operation, args, request_id)
+    return orb.unmarshal_request(wire)
+
+
+# -- adapter -------------------------------------------------------------------
+
+
+def test_adapter_activate_lookup():
+    adapter = ObjectAdapter()
+    servant = CounterServant()
+    adapter.activate(b"c1", servant)
+    assert adapter.servant_for(b"c1") is servant
+    assert adapter.object_keys() == [b"c1"]
+
+
+def test_adapter_duplicate_key_rejected():
+    adapter = ObjectAdapter()
+    adapter.activate(b"k", CounterServant())
+    with pytest.raises(ValueError):
+        adapter.activate(b"k", CounterServant())
+
+
+def test_adapter_empty_key_rejected():
+    with pytest.raises(ValueError):
+        ObjectAdapter().activate(b"", CounterServant())
+
+
+def test_adapter_deactivate():
+    adapter = ObjectAdapter()
+    adapter.activate(b"k", CounterServant())
+    adapter.deactivate(b"k")
+    with pytest.raises(ObjectNotExist):
+        adapter.servant_for(b"k")
+    with pytest.raises(ObjectNotExist):
+        adapter.deactivate(b"k")
+
+
+def test_adapter_make_ref():
+    adapter = ObjectAdapter()
+    adapter.activate(b"k", CounterServant())
+    ref = adapter.make_ref(b"k", domain_id="dom-1")
+    assert ref.interface_name == "Counter"
+    assert ref.domain_id == "dom-1"
+
+
+# -- dispatch ------------------------------------------------------------------
+
+
+def test_dispatch_plain_operation(orb):
+    message = make_request(orb, "add", (2.0, 3.0))
+    assert orb.dispatch(message) == 5.0
+
+
+def test_dispatch_unknown_object(orb):
+    message = make_request(orb, "add", (1.0, 2.0), key=b"ghost")
+    with pytest.raises(ObjectNotExist):
+        orb.dispatch(message)
+
+
+def test_dispatch_interface_mismatch(orb, repository):
+    orb.adapter.activate(b"counter", CounterServant())
+    ref = ObjectRef("Calculator", "d", b"counter")
+    wire = orb.marshal_request(ref, "add", (1.0, 2.0), 1)
+    message = orb.unmarshal_request(wire)
+    with pytest.raises(BadOperation, match="hosts Counter"):
+        orb.dispatch(message)
+
+
+def test_dispatch_user_exception_propagates(orb):
+    message = make_request(orb, "divide", (1.0, 0.0))
+    with pytest.raises(UserException, match="DivideByZero"):
+        orb.dispatch(message)
+
+
+def test_servant_missing_method():
+    class Incomplete(Servant):
+        interface = CALCULATOR
+
+    with pytest.raises(BadOperation):
+        Incomplete().dispatch("add", (1.0, 2.0))
+
+
+def test_servant_unknown_operation():
+    with pytest.raises(BadOperation):
+        CalculatorServant().dispatch("frobnicate", ())
+
+
+def test_generator_operation_detection():
+    class Nested(Servant):
+        interface = CALCULATOR
+
+        def add(self, a, b):
+            result = yield PendingCall(
+                ObjectRef("Counter", "d2", b"c"), "increment", (1,)
+            )
+            return result + a + b
+
+    servant = Nested()
+    assert servant.is_generator_operation("add")
+    assert not CalculatorServant().is_generator_operation("add")
+    gen = servant.dispatch("add", (1.0, 2.0))
+    pending = next(gen)
+    assert isinstance(pending, PendingCall)
+    assert pending.operation == "increment"
+
+
+# -- reply marshalling ----------------------------------------------------------
+
+
+def test_reply_roundtrip_with_platform_byte_order(repository):
+    big = Orb(repository, platform=SOLARIS_SPARC)
+    little = Orb(repository, platform=LINUX_X86)
+    big.adapter.activate(b"calc", CalculatorServant())
+    message = make_request(big, "add", (1.0, 2.0))
+    reply_big = big.marshal_reply(message, 3.0)
+    reply_little = little.marshal_reply(message, 3.0)
+    assert reply_big != reply_little  # heterogeneous wire bytes...
+    assert big.unmarshal_reply(reply_little).result == 3.0  # ...same value
+
+
+def test_reply_applies_float_perturbation(repository):
+    lossy = Orb(repository, platform=AIX_POWER)
+    message = make_request(lossy, "add", (1.0, 2.0))
+    value = 1.0 / 3.0 * 1e10
+    reply = lossy.marshal_reply(message, value)
+    decoded = lossy.unmarshal_reply(reply).result
+    assert decoded != value
+    assert decoded == pytest.approx(value, rel=1e-10)
+
+
+def test_exception_reply_roundtrip(orb):
+    message = make_request(orb, "divide", (1.0, 0.0))
+    try:
+        orb.dispatch(message)
+    except UserException as exc:
+        wire = orb.marshal_exception_reply(message, exc)
+    reply = orb.unmarshal_reply(wire)
+    with pytest.raises(UserException, match="denominator"):
+        Orb.result_from_reply(reply)
+
+
+def test_system_exception_reply(orb):
+    message = make_request(orb, "add", (1.0, 2.0))
+    wire = orb.marshal_exception_reply(message, ObjectNotExist("gone"))
+    with pytest.raises(ObjectNotExist):
+        Orb.result_from_reply(orb.unmarshal_reply(wire))
+
+
+def test_non_corba_exception_wrapped(orb):
+    message = make_request(orb, "add", (1.0, 2.0))
+    wire = orb.marshal_exception_reply(message, RuntimeError("boom"))
+    with pytest.raises(BadOperation, match="RuntimeError"):
+        Orb.result_from_reply(orb.unmarshal_reply(wire))
+
+
+def test_exception_wire_mapping():
+    exc_id, desc, status = exception_to_wire(UserException("IDL:X:1.0", "d"))
+    assert status == 1
+    rebuilt = exception_from_wire(exc_id, desc, is_system=False)
+    assert isinstance(rebuilt, UserException)
+    exc_id, desc, status = exception_to_wire(ObjectNotExist("x"))
+    assert status == 2
+    rebuilt = exception_from_wire(exc_id, desc, is_system=True)
+    assert isinstance(rebuilt, ObjectNotExist)
+    unknown = exception_from_wire("IDL:whatever:1.0", "d", is_system=True)
+    assert isinstance(unknown, SystemException)
+
+
+# -- stubs ----------------------------------------------------------------------
+
+
+def test_stub_validates_and_invokes(repository):
+    calls = []
+
+    def invoker(ref, operation, args):
+        calls.append((operation, args))
+        return 42.0
+
+    ref = ObjectRef("Calculator", "d", b"k")
+    stub = Stub(ref, CALCULATOR, invoker)
+    assert stub.add(1.0, 2.0) == 42.0
+    assert calls == [("add", (1.0, 2.0))]
+
+
+def test_stub_rejects_bad_args(repository):
+    stub = Stub(ObjectRef("Calculator", "d", b"k"), CALCULATOR, lambda *a: None)
+    from repro.giop.typecodes import TypeCodeError
+
+    with pytest.raises(TypeCodeError):
+        stub.add("one", 2.0)
+
+
+def test_stub_unknown_operation(repository):
+    stub = Stub(ObjectRef("Calculator", "d", b"k"), CALCULATOR, lambda *a: None)
+    with pytest.raises(AttributeError):
+        stub.frobnicate()
+
+
+def test_stub_interface_mismatch(repository):
+    from tests.orb.conftest import COUNTER
+
+    with pytest.raises(BadOperation):
+        Stub(ObjectRef("Calculator", "d", b"k"), COUNTER, lambda *a: None)
+
+
+def test_transport_registry(repository):
+    orb = Orb(repository)
+
+    class Fake:
+        name = "iiop"
+
+    orb.register_transport(Fake())
+    ref = ObjectRef("Calculator", "d", b"k", transport="iiop")
+    assert orb.transport_for(ref).name == "iiop"
+    with pytest.raises(ValueError):
+        orb.register_transport(Fake())
+    smiop_ref = ObjectRef("Calculator", "d", b"k", transport="smiop")
+    with pytest.raises(BadOperation):
+        orb.transport_for(smiop_ref)

@@ -1,0 +1,103 @@
+"""End-to-end tests for the unreplicated IIOP baseline."""
+
+import pytest
+
+from repro.giop.platforms import LINUX_X86, SOLARIS_SPARC
+from repro.orb.core import Orb
+from repro.orb.errors import UserException
+from repro.orb.iiop import IiopClient, IiopServer
+from repro.sim import FixedLatency, Network, NetworkConfig
+from tests.orb.conftest import CalculatorServant
+
+
+@pytest.fixture()
+def world(repository):
+    network = Network(NetworkConfig(seed=0, latency=FixedLatency(0.001)))
+    server_orb = Orb(repository, platform=SOLARIS_SPARC)
+    servant = CalculatorServant()
+    server_orb.adapter.activate(b"calc", servant)
+    server = IiopServer("server", server_orb)
+    network.add_process(server)
+    client_orb = Orb(repository, platform=LINUX_X86)
+    client = IiopClient("client", client_orb)
+    network.add_process(client)
+    return network, server, client, servant
+
+
+def test_invoke_round_trip(world):
+    _, server, client, _ = world
+    stub = client.stub(server.ref_for(b"calc"))
+    assert stub.add(2.0, 3.0) == 5.0
+    assert server.requests_served == 1
+
+
+def test_cross_platform_invocation(world):
+    """Little-endian client, big-endian server: values survive."""
+    _, server, client, _ = world
+    stub = client.stub(server.ref_for(b"calc"))
+    assert stub.add(-1.5, 0.25) == -1.25
+
+
+def test_stateful_operations(world):
+    _, server, client, servant = world
+    stub = client.stub(server.ref_for(b"calc"))
+    stub.store(1.0)
+    stub.store(2.0)
+    assert stub.history() == [1.0, 2.0]
+
+
+def test_user_exception_travels(world):
+    _, server, client, _ = world
+    stub = client.stub(server.ref_for(b"calc"))
+    with pytest.raises(UserException, match="DivideByZero"):
+        stub.divide(1.0, 0.0)
+
+
+def test_oneway_operation(world):
+    network, server, client, servant = world
+    stub = client.stub(server.ref_for(b"calc"))
+    assert stub.announce("hello") is None
+    network.run()
+    assert servant.announcements == ["hello"]
+
+
+def test_connection_reused_across_invocations(world):
+    _, server, client, _ = world
+    stub = client.stub(server.ref_for(b"calc"))
+    stub.add(1.0, 1.0)
+    stub.add(2.0, 2.0)
+    stub.add(3.0, 3.0)
+    assert client.handshakes == 1  # §3.4: reuse, not re-establish
+
+
+def test_latency_includes_handshake_then_amortises(world):
+    network, server, client, _ = world
+    stub = client.stub(server.ref_for(b"calc"))
+    t0 = network.now
+    stub.add(1.0, 1.0)
+    first = network.now - t0
+    t1 = network.now
+    stub.add(2.0, 2.0)
+    second = network.now - t1
+    assert first > second  # first call paid the SYN/ACK round trip
+    assert first == pytest.approx(0.004)  # 2 RTT at 1ms per hop
+    assert second == pytest.approx(0.002)  # 1 RTT
+
+
+def test_two_clients_isolated(repository):
+    network = Network(NetworkConfig(seed=0))
+    server_orb = Orb(repository)
+    server_orb.adapter.activate(b"calc", CalculatorServant())
+    server = IiopServer("server", server_orb)
+    network.add_process(server)
+    clients = []
+    for name in ("c1", "c2"):
+        orb = Orb(repository)
+        client = IiopClient(name, orb)
+        network.add_process(client)
+        clients.append(client)
+    s1 = clients[0].stub(server.ref_for(b"calc"))
+    s2 = clients[1].stub(server.ref_for(b"calc"))
+    s1.store(1.0)
+    s2.store(2.0)
+    assert s1.history() == [1.0, 2.0]  # shared servant state, ordered

@@ -1,0 +1,75 @@
+"""Unit and property tests for latency models."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.latency import FixedLatency, LogNormalLatency, UniformLatency
+
+
+def test_fixed_latency_constant():
+    rng = random.Random(0)
+    model = FixedLatency(0.01)
+    assert all(model.sample(rng) == 0.01 for _ in range(10))
+
+
+def test_fixed_latency_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        FixedLatency(0.0)
+    with pytest.raises(ValueError):
+        FixedLatency(-1.0)
+
+
+def test_uniform_latency_within_bounds():
+    rng = random.Random(1)
+    model = UniformLatency(0.001, 0.002)
+    for _ in range(100):
+        d = model.sample(rng)
+        assert 0.001 <= d <= 0.002
+
+
+def test_uniform_latency_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        UniformLatency(0.0, 1.0)
+    with pytest.raises(ValueError):
+        UniformLatency(2.0, 1.0)
+
+
+def test_lognormal_median_roughly_right():
+    rng = random.Random(2)
+    model = LogNormalLatency(median=0.001, sigma=0.3, cap=None)
+    samples = sorted(model.sample(rng) for _ in range(2001))
+    median = samples[1000]
+    assert 0.0005 < median < 0.002
+
+
+def test_lognormal_cap_bounds_tail():
+    rng = random.Random(3)
+    model = LogNormalLatency(median=0.001, sigma=2.0, cap=0.01)
+    assert all(model.sample(rng) <= 0.01 for _ in range(500))
+
+
+def test_lognormal_rejects_bad_params():
+    with pytest.raises(ValueError):
+        LogNormalLatency(median=0.0)
+    with pytest.raises(ValueError):
+        LogNormalLatency(sigma=0.0)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_property_all_models_positive(seed):
+    rng = random.Random(seed)
+    for model in (
+        FixedLatency(0.003),
+        UniformLatency(0.001, 0.004),
+        LogNormalLatency(median=0.002, sigma=0.5),
+    ):
+        assert model.sample(rng) > 0
+
+
+@given(st.integers(min_value=0, max_value=2**16))
+def test_property_same_rng_state_same_sample(seed):
+    model = UniformLatency(0.001, 0.01)
+    assert model.sample(random.Random(seed)) == model.sample(random.Random(seed))

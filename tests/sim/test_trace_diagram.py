@@ -1,0 +1,86 @@
+"""Tests for trace rendering and the sequence-diagram generator."""
+
+from repro.sim import Network, NetworkConfig, Process
+from repro.sim.trace import TraceEvent, TraceRecorder, render_sequence_diagram
+
+
+class Chatter(Process):
+    def on_message(self, src, payload):
+        pass
+
+
+def make_events():
+    return [
+        TraceEvent(time=0.0, kind="send", src="a", dst="b", label="Hello", payload=None),
+        TraceEvent(time=0.1, kind="deliver", src="a", dst="b", label="Hello", payload=None),
+        TraceEvent(time=0.2, kind="send", src="b", dst="a", label="Reply", payload=None),
+        TraceEvent(time=0.3, kind="send", src="b", dst="a", label="Reply", payload=None),
+        TraceEvent(time=0.4, kind="send", src="x", dst="a", label="Noise", payload=None),
+    ]
+
+
+def test_render_lists_events():
+    recorder = TraceRecorder()
+    for event in make_events():
+        recorder.events.append(event)
+    text = recorder.render(limit=2)
+    assert "Hello" in text
+    assert text.count("\n") == 1
+
+
+def test_sequence_diagram_basics():
+    diagram = render_sequence_diagram(make_events(), ["a", "b"])
+    lines = diagram.splitlines()
+    assert "a" in lines[0] and "b" in lines[0]
+    assert any("Hello" in line and ">" in line for line in lines)
+    # Two identical replies merged with a repeat count.
+    assert any("Reply x2" in line for line in lines)
+    # Unknown participant "x" excluded.
+    assert not any("Noise" in line for line in lines)
+
+
+def test_sequence_diagram_direction_markers():
+    diagram = render_sequence_diagram(make_events(), ["a", "b"])
+    hello = next(line for line in diagram.splitlines() if "Hello" in line)
+    reply = next(line for line in diagram.splitlines() if "Reply" in line)
+    assert ">" in hello and "<" not in hello
+    assert "<" in reply and ">" not in reply
+
+
+def test_sequence_diagram_collapse_lanes():
+    events = [
+        TraceEvent(time=0.0, kind="send", src="client", dst="e0", label="Req", payload=None),
+        TraceEvent(time=0.1, kind="send", src="client", dst="e1", label="Req", payload=None),
+    ]
+    diagram = render_sequence_diagram(
+        events, ["client", "domain"], collapse={"e0": "domain", "e1": "domain"}
+    )
+    assert "Req x2" in diagram
+
+
+def test_sequence_diagram_max_rows():
+    events = [
+        TraceEvent(time=float(i), kind="send", src="a", dst="b", label=f"m{i}", payload=None)
+        for i in range(10)
+    ]
+    diagram = render_sequence_diagram(events, ["a", "b"], max_rows=3)
+    assert "... 7 more rows" in diagram
+
+
+def test_trace_capacity_limits_recording():
+    net = Network(NetworkConfig(seed=0))
+    trace = net.enable_trace(capacity=3)
+    a, b = Chatter("a"), Chatter("b")
+    net.add_process(a)
+    net.add_process(b)
+    for i in range(10):
+        a.send("b", i)
+    net.run()
+    assert len(trace) == 3
+
+
+def test_trace_clear():
+    recorder = TraceRecorder()
+    recorder.record(0.0, "send", "a", "b", "x")
+    recorder.clear()
+    assert len(recorder) == 0

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Regenerate RESULTS.md from a live benchmark run.
+
+Runs the full benchmark harness (``pytest benchmarks/ --benchmark-only -s``),
+captures every printed results table and sequence diagram, and writes them —
+grouped by experiment — into RESULTS.md. EXPERIMENTS.md interprets these
+numbers against the paper; RESULTS.md is the raw, reproducible record.
+
+Usage:  python tools/generate_report.py [output.md]
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def run_benchmarks() -> str:
+    completed = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only", "-s", "-q"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=1800,
+    )
+    if completed.returncode != 0:
+        sys.stderr.write(completed.stdout[-4000:])
+        raise SystemExit("benchmark run failed; see output above")
+    return completed.stdout
+
+
+def extract_sections(output: str) -> list[tuple[str, str]]:
+    """(title, block) for every printed table/diagram."""
+    sections: list[tuple[str, str]] = []
+    def is_header(line: str):
+        match = re.match(r"^=== (.+) ===$", line)
+        if match:
+            return match.group(1)
+        if line.startswith("--- ") and line.endswith(" ---"):
+            return line.strip("- ")
+        return None
+
+    lines = output.splitlines()
+    i = 0
+    while i < len(lines):
+        title = is_header(lines[i])
+        if title is not None:
+            block = []
+            i += 1
+            while i < len(lines) and lines[i].strip() and is_header(lines[i]) is None:
+                block.append(lines[i])
+                i += 1
+            sections.append((title, "\n".join(block)))
+            continue
+        i += 1
+    return sections
+
+
+def extract_timings(output: str) -> str:
+    """The pytest-benchmark summary table."""
+    start = output.find("--------------------------------------------------------- benchmark")
+    if start < 0:
+        start = output.find("benchmark: ")
+    if start < 0:
+        return ""
+    tail = output[start:]
+    end = tail.find("Legend:")
+    return tail[: end if end > 0 else None].rstrip()
+
+
+def main() -> None:
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / "RESULTS.md"
+    output = run_benchmarks()
+    sections = extract_sections(output)
+    stamp = datetime.now(timezone.utc).strftime("%Y-%m-%d %H:%M UTC")
+    parts = [
+        "# RESULTS — raw benchmark output\n",
+        f"Generated {stamp} by `python tools/generate_report.py`.",
+        "Interpretation against the paper lives in EXPERIMENTS.md.\n",
+    ]
+    for title, block in sections:
+        parts.append(f"## {title}\n")
+        parts.append("```")
+        parts.append(block)
+        parts.append("```\n")
+    timings = extract_timings(output)
+    if timings:
+        parts.append("## Wall-clock timings (pytest-benchmark)\n")
+        parts.append("```")
+        parts.append(timings)
+        parts.append("```")
+    target.write_text("\n".join(parts) + "\n")
+    print(f"wrote {target} ({len(sections)} sections)")
+
+
+if __name__ == "__main__":
+    main()
