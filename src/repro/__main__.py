@@ -68,18 +68,125 @@ def demo_voting() -> None:
           " (ITDOS votes unmarshalled values instead)")
 
 
+def _traced_calc_invocation():
+    """A calc system with telemetry on, after one traced ``add(2, 3)``."""
+    from repro.workloads.scenarios import build_calc_system
+
+    system = build_calc_system(f=1, seed=42, telemetry=True)
+    client = system.add_client("demo-client")
+    stub = client.stub(system.ref("calc", b"calc"))
+    result = stub.add(2.0, 3.0)
+    return system, result
+
+
+def _traced_intrusion_drill():
+    """A calc system with a lying replica, run until the GM expels it."""
+    from repro.itdos.bootstrap import ItdosSystem
+    from repro.itdos.faults import LyingElement
+    from repro.workloads.scenarios import CalculatorServant, standard_repository
+
+    system = ItdosSystem(seed=5, repository=standard_repository(), telemetry=True)
+    system.add_server_domain(
+        "calc", f=1,
+        servants=lambda element: {b"calc": CalculatorServant()},
+        byzantine={2: LyingElement},
+    )
+    client = system.add_client("demo-client")
+    stub = client.stub(system.ref("calc", b"calc"))
+    result = stub.add(2.0, 3.0)
+    system.settle(3.0)
+    return system, result
+
+
+def _json_path(args: list[str]) -> tuple[str | None, list[str]]:
+    """Pop ``--json PATH`` out of the argument list."""
+    if "--json" in args:
+        at = args.index("--json")
+        if at + 1 >= len(args):
+            raise ValueError("--json requires a file path")
+        path = args[at + 1]
+        return path, args[:at] + args[at + 2 :]
+    return None, args
+
+
+def cmd_trace(args: list[str]) -> int:
+    """Run a traced invocation and print its span tree."""
+    from repro.obs import span_records, write_jsonl
+
+    try:
+        json_path, args = _json_path(args)
+    except ValueError as exc:
+        print(f"trace: {exc}")
+        return 2
+    if args:
+        print(f"trace: unexpected arguments {args!r} (only --json PATH)")
+        return 2
+    system, result = _traced_calc_invocation()
+    tracer = system.telemetry.tracer
+    print(f"traced add(2, 3) = {result}")
+    for trace_id in tracer.trace_ids():
+        print()
+        print(tracer.render(trace_id))
+    if json_path is not None:
+        try:
+            lines = write_jsonl(json_path, span_records(tracer))
+        except OSError as exc:
+            print(f"trace: cannot write {json_path}: {exc}")
+            return 1
+        print(f"\nwrote {lines} span records to {json_path}")
+    return 0
+
+
+def cmd_metrics(args: list[str]) -> int:
+    """Run the intrusion drill and print metrics + the health board."""
+    from repro.obs import render_metrics_table, telemetry_records, write_jsonl
+
+    try:
+        json_path, args = _json_path(args)
+    except ValueError as exc:
+        print(f"metrics: {exc}")
+        return 2
+    if args:
+        print(f"metrics: unexpected arguments {args!r} (only --json PATH)")
+        return 2
+    system, result = _traced_intrusion_drill()
+    t = system.telemetry
+    print(f"voted add(2, 3) = {result}  (calc-e2 lies in every reply)")
+    print()
+    print(render_metrics_table(t.registry))
+    print()
+    print(t.health.render())
+    if json_path is not None:
+        try:
+            lines = write_jsonl(json_path, telemetry_records(t))
+        except OSError as exc:
+            print(f"metrics: cannot write {json_path}: {exc}")
+            return 1
+        print(f"\nwrote {lines} telemetry records to {json_path}")
+    return 0
+
+
 DEMOS = {
     "quickstart": demo_quickstart,
     "intrusion": demo_intrusion,
     "voting": demo_voting,
 }
 
+COMMANDS = {
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
+}
+
 
 def main(argv: list[str]) -> int:
     name = argv[0] if argv else "quickstart"
+    command = COMMANDS.get(name)
+    if command is not None:
+        return command(argv[1:])
     demo = DEMOS.get(name)
     if demo is None:
-        print(f"unknown demo {name!r}; available: {', '.join(sorted(DEMOS))}")
+        available = ", ".join(sorted({**DEMOS, **COMMANDS}))
+        print(f"unknown demo {name!r}; available: {available}")
         return 2
     print(f"=== repro demo: {name} ===")
     demo()

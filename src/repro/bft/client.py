@@ -76,6 +76,18 @@ class BftClientEngine:
         )
         op = _PendingOp(request=request, callback=callback or (lambda result: None))
         self._pending[timestamp] = op
+        t = self.owner.telemetry
+        if t.enabled:
+            # The ambient span (an SMIOP request or connect, if any) becomes
+            # the parent of the BFT phase spans replicas emit for this
+            # request; the content digest is the correlation key that
+            # reappears verbatim in their pre-prepares.
+            if t.current is not None:
+                t.bind(request.content_digest(), t.current)
+            t.registry.counter(
+                "bft_client_requests_total", "Client operations submitted, by group",
+                labels=("group",),
+            ).labels(group=self.config.address).inc()
         self.owner.send(self._believed_primary, request)
         op.timer = self.owner.set_timer(
             self.config.client_retry_timeout, lambda: self._retry(timestamp)
@@ -87,6 +99,13 @@ class BftClientEngine:
         if op is None or op.done:
             return
         op.retransmissions += 1
+        t = self.owner.telemetry
+        if t.enabled:
+            t.registry.counter(
+                "bft_client_retransmissions_total",
+                "Client retry broadcasts, by group",
+                labels=("group",),
+            ).labels(group=self.config.address).inc()
         for replica_id in self.config.replica_ids:
             self.owner.send(replica_id, op.request)
         op.timer = self.owner.set_timer(

@@ -65,6 +65,9 @@ class _LogEntry:
     committed: bool = False
     executed: bool = False
     commit_sent: bool = False
+    # Phase entry times (telemetry only; 0.0 = phase not observed locally).
+    t_pre_prepare: float = 0.0
+    t_prepared: float = 0.0
 
     def matching_prepares(self, view: int, request_digest: bytes) -> int:
         return sum(
@@ -167,6 +170,13 @@ class BftReplica(Process):
 
     def _count(self, label: str) -> None:
         self.messages_sent[label] = self.messages_sent.get(label, 0) + 1
+        t = self.telemetry
+        if t.enabled:
+            t.registry.counter(
+                "bft_messages_total",
+                "Protocol messages sent, by group and message type",
+                labels=("group", "type"),
+            ).labels(group=self.config.address, type=label).inc()
 
     def _mcast(self, message: Any) -> None:
         stamped = self.auth.stamp(message, list(self.config.replica_ids))
@@ -397,6 +407,17 @@ class BftReplica(Process):
             request=request,
             sender=self.pid,
         )
+        t = self.telemetry
+        if t.enabled:
+            ctx = t.lookup(request_digest)
+            if ctx is not None:
+                t.point(
+                    "bft.pre_prepare",
+                    parent=ctx,
+                    pid=self.pid,
+                    seq=self.next_seq,
+                    view=self.view,
+                )
         self._mcast(pre_prepare)
 
     def on_duplicate_request(self, request: ClientRequest) -> None:
@@ -452,6 +473,7 @@ class BftReplica(Process):
                         )
                 return  # already accepted one for this (or a later) view
         entry.pre_prepare = msg
+        entry.t_pre_prepare = self.now
         if msg.request.client_id != NULL_CLIENT:
             request_digest = msg.request_digest
             if request_digest not in self._awaiting and not entry.executed:
@@ -488,6 +510,19 @@ class BftReplica(Process):
         count = entry.matching_prepares(pre_prepare.view, pre_prepare.request_digest)
         if count >= 2 * self.config.f:
             entry.prepared = True
+            entry.t_prepared = self.now
+            t = self.telemetry
+            if t.enabled:
+                ctx = t.lookup(pre_prepare.request_digest)
+                if ctx is not None:
+                    t.record(
+                        "bft.prepare",
+                        entry.t_pre_prepare or self.now,
+                        end=self.now,
+                        parent=ctx,
+                        pid=self.pid,
+                        seq=seq,
+                    )
             if not entry.commit_sent:
                 entry.commit_sent = True
                 commit = CommitMsg(
@@ -521,6 +556,18 @@ class BftReplica(Process):
             >= self.config.quorum
         ):
             entry.committed = True
+            t = self.telemetry
+            if t.enabled:
+                ctx = t.lookup(pre_prepare.request_digest)
+                if ctx is not None:
+                    t.record(
+                        "bft.commit",
+                        entry.t_prepared or self.now,
+                        end=self.now,
+                        parent=ctx,
+                        pid=self.pid,
+                        seq=seq,
+                    )
             self._try_execute()
 
     def _try_execute(self) -> None:
@@ -539,13 +586,28 @@ class BftReplica(Process):
         self._refresh_vc_timer()
 
     def _execute(self, request: ClientRequest, seq: int) -> None:
-        self._awaiting.discard(request.content_digest())
+        request_digest = request.content_digest()
+        self._awaiting.discard(request_digest)
         if request.client_id == NULL_CLIENT:
             return
         last = self.client_table.get(request.client_id)
         if last is not None and request.timestamp <= last[0]:
             return  # duplicate ordered twice across a view change
-        result = self.execute_fn(request.payload, seq, request.client_id, request.timestamp)
+        t = self.telemetry
+        ctx = t.lookup(request_digest) if t.enabled else None
+        if ctx is not None:
+            span = t.begin("bft.execute", parent=ctx, pid=self.pid, seq=seq)
+            # The application upcall runs under the execute span so spans it
+            # emits (GM verdicts, servant dispatch) nest into this trace.
+            with t.use(span.ctx if span is not None else ctx):
+                result = self.execute_fn(
+                    request.payload, seq, request.client_id, request.timestamp
+                )
+            t.end(span)
+        else:
+            result = self.execute_fn(
+                request.payload, seq, request.client_id, request.timestamp
+            )
         self.executions.append((seq, request.client_id, request.timestamp))
         reply = BftReply(
             view=self.view,
@@ -592,6 +654,13 @@ class BftReplica(Process):
         self.stable_seq = seq
         self._stable_proof = proof
         self._stable_snapshot = own
+        t = self.telemetry
+        if t.enabled:
+            t.health.record_checkpoint(self.pid, seq, self.last_executed - seq)
+            t.registry.gauge(
+                "bft_stable_seq", "Latest stable checkpoint, per replica",
+                labels=("pid",),
+            ).labels(pid=self.pid).set(seq)
         for old_seq in [s for s in self.log if s <= seq]:
             del self.log[old_seq]
         for old_seq in [s for s in self._checkpoints if s <= seq]:
@@ -703,6 +772,14 @@ class BftReplica(Process):
             return
         self.in_view_change = True
         self._consecutive_view_changes += 1
+        t = self.telemetry
+        if t.enabled:
+            t.health.record_view_change(self.pid, new_view, time=self.now)
+            t.registry.counter(
+                "bft_view_changes_total",
+                "View changes started, by group",
+                labels=("group",),
+            ).labels(group=self.config.address).inc()
         prepared_certs = []
         for seq in sorted(self.log):
             entry = self.log[seq]

@@ -62,12 +62,15 @@ class ItdosSystem:
         rekey_interval: float | None = None,
         protocol_auth: str = "none",
         gm_element_class: type[GroupManagerElement] = GroupManagerElement,
+        telemetry: bool = False,
     ) -> None:
         if protocol_auth not in ("none", "hmac"):
             raise ValueError(f"unsupported protocol_auth {protocol_auth!r}")
         self.network = Network(
             NetworkConfig(seed=seed, latency=latency or FixedLatency(0.001))
         )
+        if telemetry:
+            self.network.enable_telemetry()
         self.rng = random.Random(seed ^ 0x17D05)
         self.rsa_bits = rsa_bits
         self.heterogeneous = heterogeneous
@@ -81,6 +84,7 @@ class ItdosSystem:
             vote_rel_tol=vote_rel_tol,
             checkpoint_interval=checkpoint_interval,
             large_reply_threshold=large_reply_threshold,
+            telemetry=self.network.telemetry,
         )
         self.clients: dict[str, ItdosClient] = {}
         self.elements: dict[str, ItdosServerElement] = {}
@@ -177,6 +181,7 @@ class ItdosSystem:
             self._register_pairwise(pid)
             signer = self._make_signer(pid)
             orb = Orb(self.directory.repository, platform=platforms[index])
+            orb.telemetry = self.network.telemetry
             cls = byzantine.get(index, element_class)
             element = cls(
                 pid,
@@ -205,6 +210,7 @@ class ItdosSystem:
             self.directory.platforms[name] = platform
         self._register_pairwise(name)
         client = ItdosClient(name, self.directory)
+        client.orb.telemetry = self.network.telemetry
         self.network.add_process(client)
         self.clients[name] = client
         return client
@@ -231,6 +237,11 @@ class ItdosSystem:
     @property
     def gm_primary(self) -> GroupManagerElement:
         return self.gm_elements[0]
+
+    @property
+    def telemetry(self):
+        """The deployment-wide Telemetry (a no-op unless enabled)."""
+        return self.network.telemetry
 
     def summary(self) -> dict[str, Any]:
         """Operational snapshot of the whole deployment.

@@ -50,6 +50,18 @@ class ItdosClient(Process):
 
     def _sync_invoke(self, ref: ObjectRef, operation: str, args: tuple[Any, ...]) -> Any:
         outcome: list[bytes | None] = []
+        t = self.telemetry
+        root = (
+            t.begin(
+                "client.invoke",
+                pid=self.pid,
+                iface=ref.interface_name,
+                op=operation,
+            )
+            if t.enabled
+            else None
+        )
+        root_ctx = root.ctx if root is not None else None
 
         def on_connection(connection: Connection) -> None:
             op = self.directory.repository.lookup(ref.interface_name).operation(operation)
@@ -58,15 +70,28 @@ class ItdosClient(Process):
                 request_id=self._peek_request_id(connection),
                 response_expected=not op.oneway,
             )
-            if op.oneway:
-                connection.send_request(wire, None)
-                outcome.append(None)
-            else:
-                connection.send_request(wire, outcome.append)
+            # The handshake lands asynchronously; re-enter the invocation's
+            # span so the request rides the same trace.
+            with t.use(root_ctx):
+                if op.oneway:
+                    connection.send_request(wire, None)
+                    outcome.append(None)
+                else:
+                    connection.send_request(wire, outcome.append)
 
-        self.orb.transport_for(ref).connect(ref, on_connection)
+        with t.use(root_ctx):
+            self.orb.transport_for(ref).connect(ref, on_connection)
         network = self._require_network()
         network.run(stop_when=lambda: bool(outcome), max_events=2_000_000)
+        if root is not None:
+            t.end(root)
+            t.registry.histogram(
+                "client_invoke_seconds",
+                "End-to-end invocation latency at the client stub",
+                labels=("iface", "op"),
+            ).labels(iface=ref.interface_name, op=operation).observe(
+                root.end - root.start
+            )
         if not outcome:
             raise NoResponse(f"no voted reply for {ref.interface_name}.{operation}")
         wire = outcome[0]

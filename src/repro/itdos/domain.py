@@ -21,6 +21,7 @@ from repro.giop.idl import InterfaceRepository
 from repro.giop.platforms import HOMOGENEOUS, PlatformProfile
 from repro.giop.typecodes import TypeCode
 from repro.itdos.vvm import Comparator, compile_comparator
+from repro.obs import NOOP_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,8 @@ class SystemDirectory:
     # many bytes use digest voting + single body fetch (None disables).
     # Only float-free result types qualify (digests need exact values).
     large_reply_threshold: int | None = None
+    # Deployment-wide observability; bootstrap swaps in a live Telemetry.
+    telemetry: Telemetry = NOOP_TELEMETRY
 
     def add_domain(self, info: DomainInfo) -> DomainInfo:
         if info.domain_id in self.domains:
@@ -133,13 +136,24 @@ class SystemDirectory:
 
     # -- voting comparators -----------------------------------------------------
 
+    def _count_compile(self, kind: str) -> None:
+        t = self.telemetry
+        if t.enabled:
+            t.registry.counter(
+                "vvm_comparators_compiled_total",
+                "Value-voting comparators compiled",
+                labels=("kind",),
+            ).labels(kind=kind).inc()
+
     def reply_comparator(self, interface_name: str, operation: str) -> Comparator:
         """Comparator for reply values of one operation (inexact floats)."""
+        self._count_compile("reply")
         op = self.repository.lookup(interface_name).operation(operation)
         return compile_comparator(op.result, self.vote_abs_tol, self.vote_rel_tol)
 
     def request_comparator(self, interface_name: str, operation: str) -> Comparator:
         """Comparator for the argument tuples of one operation."""
+        self._count_compile("request")
         op = self.repository.lookup(interface_name).operation(operation)
         param_tcs: list[TypeCode] = [p.tc for p in op.params]
         comparators = [

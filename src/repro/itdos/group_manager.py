@@ -149,11 +149,36 @@ class GroupManagerElement(BftReplica):
 
     # -- the replicated state machine --------------------------------------------
 
+    _SPAN_NAMES = {
+        CoinMessage: "gm.coin",
+        OpenRequest: "gm.open",
+        ChangeRequest: "gm.change",
+        ReadmitRequest: "gm.readmit",
+        RekeyTick: "gm.rekey",
+    }
+
     def _gm_execute(self, payload: bytes, seq: int, client_id: str, timestamp: int) -> bytes:
         try:
             message = parse_payload(payload)
         except PayloadError:
             return b"BAD"
+        t = self.telemetry
+        if t.enabled and t.current is not None:
+            # Running under a bft.execute span: record the GM verdict as a
+            # child, and keep it ambient so an expulsion inside the handler
+            # carries this span as its deciding context.
+            name = self._SPAN_NAMES.get(type(message))
+            if name is not None:
+                span = t.begin(name, parent=t.current, pid=self.pid, requester=client_id)
+                with t.use(span.ctx if span is not None else t.current):
+                    verdict = self._gm_dispatch(message, client_id)
+                if span is not None:
+                    span.attrs["verdict"] = verdict.decode("ascii", "replace")
+                t.end(span)
+                return verdict
+        return self._gm_dispatch(message, client_id)
+
+    def _gm_dispatch(self, message: Any, client_id: str) -> bytes:
         if isinstance(message, CoinMessage):
             return self._exec_coin(message, client_id)
         if isinstance(message, OpenRequest):
@@ -358,6 +383,11 @@ class GroupManagerElement(BftReplica):
             )
             self.send(participant, envelope)
         self.keys_issued.append((record.conn_id, record.key_id))
+        t = self.telemetry
+        if t.enabled:
+            t.registry.counter(
+                "gm_keys_issued_total", "Key-share generations distributed"
+            ).inc()
 
     # PRNG nonces must be replayable per (conn, key) for idempotent re-issue,
     # so each new (conn, key) draws once and the draw is cached in replicated
@@ -468,6 +498,15 @@ class GroupManagerElement(BftReplica):
             return b"OK"  # idempotent: already a member
         self.state.expelled.discard(request.element)
         self.readmissions.append(request.element)
+        t = self.telemetry
+        if t.enabled:
+            newly = t.health.record_readmission(
+                (request.element,), time=self.now, ctx=t.current
+            )
+            if newly:
+                t.registry.counter(
+                    "gm_readmissions_total", "Elements readmitted after repair"
+                ).inc(newly)
         for record in sorted(self.state.connections.values(), key=lambda r: r.conn_id):
             if request.domain_id in (record.target_domain, record.client_domain):
                 record.key_id += 1
@@ -478,6 +517,17 @@ class GroupManagerElement(BftReplica):
         """Key the faulty element(s) out of every communication group."""
         self.state.expelled.update(accused)
         self.expulsions.append(accused)
+        t = self.telemetry
+        if t.enabled:
+            # t.current is the gm.change span when ordered execution is
+            # traced — the health event then names the deciding GM span.
+            newly = t.health.record_expulsion(
+                accused, time=self.now, ctx=t.current, detail=f"domain={accused_domain}"
+            )
+            if newly:
+                t.registry.counter(
+                    "gm_expulsions_total", "Elements keyed out of communication groups"
+                ).inc(newly)
         for record in sorted(self.state.connections.values(), key=lambda r: r.conn_id):
             if accused_domain in (record.target_domain, record.client_domain):
                 record.key_id += 1

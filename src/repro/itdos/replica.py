@@ -205,6 +205,7 @@ class ItdosServerElement(BftReplica):
                     on_deliver=lambda outcome, c=envelope.conn_id: self._voted_request(
                         c, outcome
                     ),
+                    telemetry=self.telemetry,
                 )
             self.incoming[envelope.conn_id] = record
         key = self.key_store.offer_share(
@@ -387,10 +388,33 @@ class ItdosServerElement(BftReplica):
 
     # -- dispatch and nested invocations ------------------------------------------------
 
+    def _request_ctx(self, record: IncomingConnection, request_id: int):
+        """The trace context of the client's outstanding request, if any.
+
+        Prefer the ambient span (we usually run inside bft.execute); a
+        request that was deferred on a missing key resumes outside any
+        ambient scope, so fall back to the client-side correlation binding.
+        """
+        t = self.telemetry
+        if not t.enabled:
+            return None
+        if t.current is not None:
+            return t.current
+        return t.lookup(("smiop.req", self.domain_id, record.conn_id, request_id))
+
     def _dispatch(
         self, message: RequestMessage, record: IncomingConnection, request_id: int
     ) -> None:
         self.dispatched.append((record.conn_id, message.interface_name, message.operation))
+        t = self.telemetry
+        if t.enabled:
+            t.point(
+                "orb.dispatch",
+                parent=self._request_ctx(record, request_id),
+                pid=self.pid,
+                iface=message.interface_name,
+                op=message.operation,
+            )
         try:
             result = self.orb.dispatch(message)
         except Exception as exc:  # noqa: BLE001 - marshalled back to the client
@@ -461,6 +485,10 @@ class ItdosServerElement(BftReplica):
         call: PendingCall,
     ) -> None:
         """Send the nested request via our own client-side connection."""
+        t = self.telemetry
+        # Captured now, re-established when the connection handshake lands:
+        # the nested request's span must hang off the servant's dispatch.
+        nested_ctx = t.current if t.enabled else None
 
         def on_ready(connection: Any) -> None:
             wire = self.orb.marshal_request(
@@ -489,7 +517,8 @@ class ItdosServerElement(BftReplica):
                     sent_exc=exc,
                 )
 
-            connection.send_request(wire, on_voted_reply)
+            with t.use(nested_ctx):
+                connection.send_request(wire, on_voted_reply)
             parked.awaiting_conn = connection.conn_id
             parked.awaiting_request = connection._next_request_id
             self._pump()  # awaited copies may already be queued
@@ -508,6 +537,15 @@ class ItdosServerElement(BftReplica):
             key = self.key_store.current_key(record.conn_id)
         if key is None:
             return  # rekeyed away from us (we may be expelled)
+        t = self.telemetry
+        if t.enabled:
+            t.point(
+                "smiop.reply",
+                parent=self._request_ctx(record, request_id),
+                pid=self.pid,
+                conn=record.conn_id,
+                request=request_id,
+            )
         if self._use_digest_path(record, plaintext):
             self._send_digest_reply(record, request_id, plaintext, key)
             return

@@ -93,8 +93,11 @@ class OutgoingConnection:
             f=target.f,
             on_decide=self._decided,
             on_fault=self._fault_detected,
+            telemetry=endpoint.owner.telemetry,
         )
         self.requests_sent = 0
+        # Span covering the outstanding request, ended when voting decides.
+        self._active_span = None
         # Large-object digest path (extension): body fetch in progress.
         self._awaiting_body: tuple[int, bytes, list[str]] | None = None
         self.body_fetches = 0
@@ -137,7 +140,30 @@ class OutgoingConnection:
             sender=self.endpoint.owner.pid,
         )
         self.requests_sent += 1
-        self.endpoint.engine_for(self.target.domain_id).invoke(envelope.to_payload())
+        t = self.endpoint.owner.telemetry
+        if t.enabled:
+            span = t.begin(
+                "smiop.request",
+                parent=t.current,
+                pid=self.endpoint.owner.pid,
+                conn=self.conn_id,
+                request=request_id,
+                iface=message.interface_name,
+                op=message.operation,
+            )
+            self._active_span = span
+            ctx = span.ctx if span is not None else t.current
+            # Server elements find this ctx again when they send their reply
+            # copies — the (domain, conn, request) triple crosses the wire.
+            t.bind(
+                ("smiop.req", self.target.domain_id, self.conn_id, request_id), ctx
+            )
+            with t.use(ctx):
+                self.endpoint.engine_for(self.target.domain_id).invoke(
+                    envelope.to_payload()
+                )
+        else:
+            self.endpoint.engine_for(self.target.domain_id).invoke(envelope.to_payload())
         if on_reply is None:
             self._on_reply = None  # oneway: nothing outstanding
 
@@ -155,17 +181,17 @@ class OutgoingConnection:
         try:
             plaintext = decrypt(key, reply.ciphertext)
         except AuthenticationError:
-            self.voter.discarded += 1
+            self.voter.discard("decrypt")
             return
         if not self.endpoint.directory.keyring.verify(
             reply.sender, plaintext, reply.signature
         ):
-            self.voter.discarded += 1
+            self.voter.discard("signature")
             return
         if reply.is_digest:
             # Large-object path: the plaintext IS the 32-byte value digest.
             if len(plaintext) != 32:
-                self.voter.discarded += 1
+                self.voter.discard("malformed")
                 return
             self.voter.offer(
                 reply.sender,
@@ -177,10 +203,10 @@ class OutgoingConnection:
         try:
             message = decode_message(self.endpoint.directory.repository, plaintext)
         except Exception:  # noqa: BLE001 - garbage from a Byzantine element
-            self.voter.discarded += 1
+            self.voter.discard("malformed")
             return
         if not isinstance(message, ReplyMessage):
-            self.voter.discarded += 1
+            self.voter.discard("malformed")
             return
         value = (int(message.reply_status), message.result)
         self.voter.offer(
@@ -190,7 +216,32 @@ class OutgoingConnection:
             raw=(plaintext, reply.signature),
         )
 
+    def _finish_request_span(self, request_id: int) -> None:
+        span, self._active_span = self._active_span, None
+        t = self.endpoint.owner.telemetry
+        if not t.enabled:
+            return
+        t.unbind(("smiop.req", self.target.domain_id, self.conn_id, request_id))
+        if span is not None:
+            t.end(span)
+            t.registry.histogram(
+                "smiop_request_seconds",
+                "Outstanding-request latency (send to voted reply)",
+                labels=("domain",),
+            ).labels(domain=self.target.domain_id).observe(span.end - span.start)
+
     def _decided(self, outcome: VoteOutcome) -> None:
+        t = self.endpoint.owner.telemetry
+        if t.enabled:
+            t.point(
+                "vote.decide",
+                parent=self._active_span.ctx if self._active_span else t.current,
+                pid=self.endpoint.owner.pid,
+                conn=self.conn_id,
+                request=outcome.request_id,
+                supporters=len(outcome.supporters),
+                dissenters=len(outcome.dissenters),
+            )
         if isinstance(outcome.value, tuple) and outcome.value[0] == "__digest__":
             # Digest vote decided: fetch the body once from a supporter.
             self._awaiting_body = (
@@ -200,6 +251,7 @@ class OutgoingConnection:
             )
             self._fetch_body()
             return
+        self._finish_request_span(outcome.request_id)
         handler, self._on_reply = self._on_reply, None
         plaintext, _signature = outcome.representative
         if handler is not None:
@@ -257,6 +309,7 @@ class OutgoingConnection:
         if _digest(manifest) != value_digest:
             return  # body does not match the voted digest: reject, fallback
         self._awaiting_body = None
+        self._finish_request_span(request_id)
         handler, self._on_reply = self._on_reply, None
         if handler is not None:
             handler(plaintext)
@@ -296,6 +349,8 @@ class SmiopEndpoint:
         self.change_requests_sent: list[ChangeRequest] = []
         self._accusations_sent: set[tuple[int, int, str]] = set()
         self.open_requests_sent = 0
+        # Open connect spans by target domain, ended when the key assembles.
+        self._connect_spans: dict[str, Any] = {}
 
     # -- engines ---------------------------------------------------------------
 
@@ -320,6 +375,19 @@ class SmiopEndpoint:
         waiters.append(on_ready)
         if len(waiters) > 1:
             return  # open already in flight
+        t = self.owner.telemetry
+        if t.enabled:
+            span = t.begin(
+                "smiop.connect",
+                parent=t.current,
+                pid=self.owner.pid,
+                target=target_domain,
+            )
+            if span is not None:
+                self._connect_spans[target_domain] = span
+                with t.use(span.ctx):
+                    self._send_open(target_domain, attempt=0)
+                return
         self._send_open(target_domain, attempt=0)
 
     def _send_open(self, target_domain: str, attempt: int) -> None:
@@ -338,6 +406,11 @@ class SmiopEndpoint:
             target_domain=target_domain,
         )
         self.open_requests_sent += 1
+        t = self.owner.telemetry
+        if t.enabled:
+            t.registry.counter(
+                "smiop_open_requests_total", "open_requests sent to the GM"
+            ).inc()
         self.gm_engine.invoke(request.to_payload())
         retry_delay = min(2.0 * (attempt + 1), 8.0)
         self.owner.set_timer(
@@ -379,6 +452,14 @@ class SmiopEndpoint:
             connection = OutgoingConnection(self, envelope.conn_id, target)
             self.connections[envelope.conn_id] = connection
             self._by_target[envelope.target_domain] = connection
+        t = self.owner.telemetry
+        span = self._connect_spans.pop(envelope.target_domain, None)
+        if t.enabled and span is not None:
+            t.end(span)
+            t.registry.histogram(
+                "smiop_connect_seconds",
+                "Connection establishment latency (Figure 3 round trip)",
+            ).observe(span.end - span.start)
         for on_ready in self._awaiting_open.pop(envelope.target_domain, []):
             on_ready(connection)
 
@@ -449,4 +530,23 @@ class SmiopEndpoint:
             proof=proof,
         )
         self.change_requests_sent.append(request)
-        self.gm_engine.invoke(request.to_payload())
+        t = self.owner.telemetry
+        if t.enabled:
+            t.registry.counter(
+                "smiop_change_requests_total", "Accusations sent to the GM"
+            ).inc()
+            # Root a span over the accusation so the GM's verdict (and the
+            # resulting expulsion event) hangs off a queryable trace.
+            span = t.begin(
+                "smiop.fault_report",
+                parent=t.current,
+                pid=self.owner.pid,
+                accused=sender,
+                domain=connection.target.domain_id,
+                request=request_id,
+            )
+            with t.use(span.ctx if span is not None else t.current):
+                self.gm_engine.invoke(request.to_payload())
+            t.end(span)
+        else:
+            self.gm_engine.invoke(request.to_payload())

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.itdos.vvm import Comparator, VoteDecision, majority_vote
+from repro.obs.telemetry import NOOP_TELEMETRY, Telemetry
 
 # Hard cap on ballots retained for one request id: n can never legitimately
 # exceed the domain size, so anything beyond that is an attack or a bug.
@@ -51,6 +52,7 @@ class ReplyVoter:
         f: int,
         on_decide: Callable[[VoteOutcome], None],
         on_fault: Callable[[str, int, list[tuple[str, Any, Any]]], None] | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if n < 3 * f + 1:
             raise ValueError(f"n={n} too small for f={f}")
@@ -58,12 +60,26 @@ class ReplyVoter:
         self.f = f
         self.on_decide = on_decide
         self.on_fault = on_fault or (lambda sender, request_id, evidence: None)
+        self.telemetry = telemetry or NOOP_TELEMETRY
         self.current_request_id: int | None = None
         self.comparator: Comparator = Comparator.exact()
         self._ballots: list[tuple[str, Any]] = []
         self._raw: dict[str, Any] = {}
         self._decided: VoteDecision | None = None
         self.discarded = 0  # stale / overflow messages dropped (E9)
+        # Elements already health-flagged for the current request, so a
+        # straggler re-report does not double-count one dissent.
+        self._dissent_reported: set[str] = set()
+
+    def discard(self, reason: str) -> None:
+        """Drop one message without penalty, keeping the count observable."""
+        self.discarded += 1
+        t = self.telemetry
+        if t.enabled:
+            t.registry.counter(
+                "voter_discarded_total", "Messages voters dropped, by reason",
+                labels=("kind", "reason"),
+            ).labels(kind="reply", reason=reason).inc()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -81,6 +97,7 @@ class ReplyVoter:
         self._ballots = []
         self._raw = {}
         self._decided = None
+        self._dissent_reported = set()
 
     @property
     def ballots_held(self) -> int:
@@ -97,13 +114,13 @@ class ReplyVoter:
         indistinguishable here (§3.6).
         """
         if request_id != self.current_request_id:
-            self.discarded += 1
+            self.discard("stale")
             return
         if sender in self._raw:
-            self.discarded += 1  # duplicate from the same element
+            self.discard("duplicate")
             return
         if len(self._ballots) >= self.n * MAX_BALLOTS_FACTOR:
-            self.discarded += 1
+            self.discard("overflow")
             return
         self._ballots.append((sender, value))
         self._raw[sender] = raw
@@ -133,6 +150,11 @@ class ReplyVoter:
         if not decision.decided:
             return
         self._decided = decision
+        t = self.telemetry
+        if t.enabled:
+            t.registry.counter(
+                "voter_decisions_total", "Concluded votes", labels=("kind",)
+            ).labels(kind="reply").inc()
         representative = self._raw.get(decision.supporters[0])
         outcome = VoteOutcome(
             request_id=self.current_request_id or 0,
@@ -147,6 +169,16 @@ class ReplyVoter:
 
     def _report_faults(self, senders: list[str]) -> None:
         assert self._decided is not None
+        t = self.telemetry
+        if t.enabled:
+            for sender in senders:
+                if sender not in self._dissent_reported:
+                    self._dissent_reported.add(sender)
+                    t.health.record_dissent(sender)
+                    t.registry.counter(
+                        "voter_dissent_total", "Dissenting reply copies, by element",
+                        labels=("element",),
+                    ).labels(element=sender).inc()
         evidence = [
             (sender, value, self._raw.get(sender))
             for sender, value in self._ballots
@@ -168,14 +200,26 @@ class RequestVoter:
         client_n: int,
         client_f: int,
         on_deliver: Callable[[VoteOutcome], None],
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.client_n = client_n
         self.client_f = client_f
         self.on_deliver = on_deliver
+        self.telemetry = telemetry or NOOP_TELEMETRY
         self._ballots: dict[int, list[tuple[str, Any]]] = {}
         self._raw: dict[int, dict[str, Any]] = {}
         self._delivered_up_to = 0
         self.discarded = 0
+
+    def discard(self, reason: str, count: int = 1) -> None:
+        """Drop messages without penalty, keeping the count observable."""
+        self.discarded += count
+        t = self.telemetry
+        if t.enabled and count:
+            t.registry.counter(
+                "voter_discarded_total", "Messages voters dropped, by reason",
+                labels=("kind", "reason"),
+            ).labels(kind="request", reason=reason).inc(count)
 
     @property
     def threshold(self) -> int:
@@ -193,15 +237,15 @@ class RequestVoter:
         raw: Any = None,
     ) -> None:
         if request_id <= self._delivered_up_to:
-            self.discarded += 1
+            self.discard("stale")
             return
         raw_by_sender = self._raw.setdefault(request_id, {})
         if sender in raw_by_sender:
-            self.discarded += 1
+            self.discard("duplicate")
             return
         ballots = self._ballots.setdefault(request_id, [])
         if len(ballots) >= self.client_n * MAX_BALLOTS_FACTOR:
-            self.discarded += 1
+            self.discard("overflow")
             return
         ballots.append((sender, value))
         raw_by_sender[sender] = raw
@@ -215,6 +259,17 @@ class RequestVoter:
                 supporters=decision.supporters,
                 dissenters=decision.dissenters,
             )
+            t = self.telemetry
+            if t.enabled:
+                t.registry.counter(
+                    "voter_decisions_total", "Concluded votes", labels=("kind",)
+                ).labels(kind="request").inc()
+                for dissenter in decision.dissenters:
+                    t.health.record_dissent(dissenter)
+                    t.registry.counter(
+                        "voter_dissent_total", "Dissenting reply copies, by element",
+                        labels=("element",),
+                    ).labels(element=dissenter).inc()
             # Requests must be delivered in id order per connection: the
             # single-threaded client sends one at a time, so ids arrive in
             # order and delivery here is naturally ordered.
@@ -223,6 +278,6 @@ class RequestVoter:
             del self._raw[request_id]
             # Drop any older stragglers wholesale.
             for stale in [r for r in self._ballots if r <= request_id]:
-                self.discarded += len(self._ballots.pop(stale, []))
+                self.discard("superseded", len(self._ballots.pop(stale, [])))
                 self._raw.pop(stale, None)
             self.on_deliver(outcome)

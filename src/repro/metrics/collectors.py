@@ -19,10 +19,21 @@ class LatencyRecorder:
         self._open[key] = now
 
     def stop(self, key: object, now: float) -> float:
-        start = self._open.pop(key)
+        try:
+            start = self._open.pop(key)
+        except KeyError:
+            known = sorted(repr(k) for k in self._open)
+            raise KeyError(
+                f"stop({key!r}): no start() recorded for this key; "
+                f"open keys: [{', '.join(known)}]"
+            ) from None
         duration = now - start
         self.samples.append(duration)
         return duration
+
+    def cancel(self, key: object) -> bool:
+        """Abandon an open operation without recording a sample."""
+        return self._open.pop(key, None) is not None
 
     def record(self, duration: float) -> None:
         self.samples.append(duration)

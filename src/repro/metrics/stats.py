@@ -25,8 +25,24 @@ def percentile(values: list[float], p: float) -> float:
     return ordered[low] * (1 - fraction) + ordered[high] * fraction
 
 
+#: What ``summarize`` returns for an empty sample list. ``mean`` and
+#: ``percentile`` still raise on empty input — only the aggregate summary
+#: treats "no samples yet" as a reportable state rather than an error.
+EMPTY_SUMMARY = {
+    "count": 0.0,
+    "mean": 0.0,
+    "p50": 0.0,
+    "p95": 0.0,
+    "p99": 0.0,
+    "min": 0.0,
+    "max": 0.0,
+}
+
+
 def summarize(values: list[float]) -> dict[str, float]:
     """mean/p50/p95/p99/min/max in one dict (for bench tables)."""
+    if not values:
+        return dict(EMPTY_SUMMARY)
     return {
         "count": float(len(values)),
         "mean": mean(values),

@@ -1,0 +1,60 @@
+"""repro.obs — telemetry registry, causal tracing, and health reporting.
+
+The public surface:
+
+* :class:`Telemetry` / :data:`NOOP_TELEMETRY` — the per-simulation facade
+  (enable via ``Network.enable_telemetry()`` or ``ItdosSystem(telemetry=True)``)
+* :class:`MetricRegistry` — labeled counters/gauges/histograms
+* :class:`Tracer` / :class:`Span` / :class:`TraceContext` — span trees
+* :class:`HealthBoard` — per-element dissent/view-change/expulsion rollup
+* :mod:`repro.obs.export` — JSONL + table exporters
+"""
+
+from repro.obs.export import (
+    metric_records,
+    read_jsonl,
+    render_metrics_table,
+    span_records,
+    telemetry_records,
+    to_jsonl,
+    write_jsonl,
+)
+from repro.obs.health import NULL_HEALTH, ElementHealth, HealthBoard, HealthEvent
+from repro.obs.registry import (
+    NULL_METRIC,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricRegistry,
+)
+from repro.obs.telemetry import NOOP_TELEMETRY, Telemetry
+from repro.obs.tracing import NULL_TRACER, Span, TraceContext, Tracer
+
+__all__ = [
+    "Counter",
+    "ElementHealth",
+    "Gauge",
+    "HealthBoard",
+    "HealthEvent",
+    "Histogram",
+    "MetricFamily",
+    "MetricRegistry",
+    "NOOP_TELEMETRY",
+    "NULL_HEALTH",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "Span",
+    "Telemetry",
+    "TraceContext",
+    "Tracer",
+    "metric_records",
+    "read_jsonl",
+    "render_metrics_table",
+    "span_records",
+    "telemetry_records",
+    "to_jsonl",
+    "write_jsonl",
+]

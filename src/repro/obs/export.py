@@ -1,0 +1,118 @@
+"""Exporters: JSONL dumps and human-readable tables for telemetry data.
+
+Every line of a JSONL export is self-describing via a ``"record"`` field
+(``metric`` / ``span`` / ``health_element`` / ``health_event``), so one file
+can hold a whole run and ``tools/generate_report.py`` can fold it into the
+results report without guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
+
+
+def metric_records(registry: Any) -> list[dict[str, Any]]:
+    out = []
+    for entry in registry.collect():
+        record = {"record": "metric"}
+        record.update(entry)
+        out.append(record)
+    return out
+
+
+def span_records(tracer: Any) -> list[dict[str, Any]]:
+    out = []
+    for span in getattr(tracer, "spans", []):
+        record = {"record": "span"}
+        record.update(span.to_dict())
+        out.append(record)
+    return out
+
+
+def health_records(board: Any) -> list[dict[str, Any]]:
+    snapshot = board.as_dict()
+    out: list[dict[str, Any]] = []
+    for element in snapshot["elements"]:
+        record = {"record": "health_element"}
+        record.update(element)
+        out.append(record)
+    for event in snapshot["events"]:
+        record = {"record": "health_event"}
+        record.update(event)
+        out.append(record)
+    return out
+
+
+def telemetry_records(telemetry: "Telemetry") -> list[dict[str, Any]]:
+    """Everything one run produced, as one flat JSONL-ready list."""
+    return (
+        metric_records(telemetry.registry)
+        + span_records(telemetry.tracer)
+        + health_records(telemetry.health)
+    )
+
+
+def to_jsonl(records: Iterable[dict[str, Any]]) -> str:
+    return "".join(json.dumps(record, sort_keys=True) + "\n" for record in records)
+
+
+def write_jsonl(path: str, records: Iterable[dict[str, Any]]) -> int:
+    """Write records to ``path``; returns the number of lines written."""
+    text = to_jsonl(records)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text.count("\n")
+
+
+def read_jsonl(path: str) -> list[dict[str, Any]]:
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_metrics_table(registry: Any) -> str:
+    """Fixed-width table of every metric child, grouped by family."""
+    entries = registry.collect()
+    if not entries:
+        return "no metrics recorded"
+    rows: list[tuple[str, str, str]] = []
+    for entry in entries:
+        name = entry["metric"] + _format_labels(entry["labels"])
+        if entry["kind"] == "histogram":
+            value = (
+                f"count={_format_value(entry['count'])} "
+                f"mean={entry['mean']:.6g} p95={entry['p95']:.6g}"
+            )
+        else:
+            value = _format_value(entry["value"])
+        rows.append((name, entry["kind"], value))
+    name_w = max(len(r[0]) for r in rows)
+    kind_w = max(len(r[1]) for r in rows)
+    lines = [f"{'metric'.ljust(name_w)}  {'kind'.ljust(kind_w)}  value"]
+    lines.append(f"{'-' * name_w}  {'-' * kind_w}  -----")
+    lines.extend(
+        f"{name.ljust(name_w)}  {kind.ljust(kind_w)}  {value}"
+        for name, kind, value in rows
+    )
+    return "\n".join(lines)

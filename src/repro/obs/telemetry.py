@@ -1,0 +1,149 @@
+"""The Telemetry facade: one handle per simulation, wired through Network.
+
+Instrumented code never imports concrete registries or tracers; it asks the
+facade. When disabled (the default — benchmarks stay honest) every component
+behind the facade is a shared null singleton and every helper bails on the
+first ``enabled`` check, so the cost at each call site is one attribute load
+and one branch.
+
+Two propagation mechanisms, both safe because the simulator executes one
+scheduled callback at a time in one Python process:
+
+* ``current`` + :meth:`use` — a dynamically-scoped ambient span context.
+  Code that fires async continuations re-establishes the context itself
+  (the callback closes over the ctx and wraps its body in ``use``).
+* :meth:`bind` / :meth:`lookup` — a bounded correlation map for hops where
+  no closure survives, keyed by protocol identifiers that already cross
+  the layer boundary (e.g. a ``ClientRequest`` content digest reappearing
+  in a BFT pre-prepare). No wire format changes, ever.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Callable, Hashable, Iterator
+
+from repro.obs.health import NULL_HEALTH, HealthBoard
+from repro.obs.registry import NULL_REGISTRY, MetricRegistry
+from repro.obs.tracing import (
+    DEFAULT_SPAN_CAPACITY,
+    NULL_TRACER,
+    Span,
+    TraceContext,
+    Tracer,
+)
+
+# The correlation map evicts its oldest binding past this size; protocol
+# identifiers are unbound as soon as their hop completes, so a healthy run
+# stays far below it.
+DEFAULT_CORRELATION_CAP = 4096
+
+
+class Telemetry:
+    """Facade over registry + tracer + health board + propagation state."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] | None = None,
+        span_capacity: int = DEFAULT_SPAN_CAPACITY,
+        correlation_cap: int = DEFAULT_CORRELATION_CAP,
+    ) -> None:
+        self.enabled = enabled
+        if enabled:
+            self.registry = MetricRegistry()
+            self.tracer = Tracer(clock=clock, capacity=span_capacity)
+            self.health = HealthBoard()
+        else:
+            self.registry = NULL_REGISTRY  # type: ignore[assignment]
+            self.tracer = NULL_TRACER  # type: ignore[assignment]
+            self.health = NULL_HEALTH  # type: ignore[assignment]
+        self.current: TraceContext | None = None
+        self.correlation_cap = correlation_cap
+        self.correlation_dropped = 0
+        self._correlation: OrderedDict[Hashable, TraceContext] = OrderedDict()
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self.tracer.bind_clock(clock)
+
+    def now(self) -> float:
+        return self.tracer.now() if self.enabled else 0.0
+
+    # -- ambient context -----------------------------------------------------
+
+    @contextmanager
+    def use(self, ctx: TraceContext | None) -> Iterator[None]:
+        """Make ``ctx`` the ambient parent for the enclosed synchronous work."""
+        previous = self.current
+        self.current = ctx
+        try:
+            yield
+        finally:
+            self.current = previous
+
+    # -- correlation map -----------------------------------------------------
+
+    def bind(self, key: Hashable, ctx: TraceContext | None) -> None:
+        """Remember ``ctx`` under a protocol identifier for a later hop."""
+        if not self.enabled or ctx is None:
+            return
+        if key in self._correlation:
+            self._correlation.move_to_end(key)
+        elif len(self._correlation) >= self.correlation_cap:
+            self._correlation.popitem(last=False)
+            self.correlation_dropped += 1
+        self._correlation[key] = ctx
+
+    def lookup(self, key: Hashable) -> TraceContext | None:
+        return self._correlation.get(key)
+
+    def unbind(self, key: Hashable) -> None:
+        self._correlation.pop(key, None)
+
+    # -- span helpers (each bails immediately when disabled) -----------------
+
+    def begin(
+        self,
+        name: str,
+        parent: TraceContext | None = None,
+        pid: str = "",
+        **attrs: Any,
+    ) -> Span | None:
+        if not self.enabled:
+            return None
+        return self.tracer.begin(name, parent=parent, pid=pid, **attrs)
+
+    def end(self, span: Span | None, end: float | None = None) -> None:
+        if self.enabled:
+            self.tracer.end(span, end=end)
+
+    def point(
+        self,
+        name: str,
+        parent: TraceContext | None = None,
+        pid: str = "",
+        **attrs: Any,
+    ) -> Span | None:
+        if not self.enabled:
+            return None
+        return self.tracer.point(name, parent=parent, pid=pid, **attrs)
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float | None = None,
+        parent: TraceContext | None = None,
+        pid: str = "",
+        **attrs: Any,
+    ) -> Span | None:
+        if not self.enabled:
+            return None
+        return self.tracer.record(
+            name, start, end=end, parent=parent, pid=pid, **attrs
+        )
+
+
+#: The shared disabled facade — the default everywhere telemetry is optional.
+NOOP_TELEMETRY = Telemetry(enabled=False)

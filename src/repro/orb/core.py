@@ -31,6 +31,7 @@ from repro.orb.errors import (
 )
 from repro.orb.pluggable import PluggableProtocol
 from repro.orb.servant import Servant
+from repro.obs import NOOP_TELEMETRY
 
 
 class Orb:
@@ -45,6 +46,13 @@ class Orb:
         self.platform = platform
         self.adapter = ObjectAdapter()
         self._transports: dict[str, PluggableProtocol] = {}
+        # Deployment wiring (bootstrap) swaps this for the system telemetry.
+        self.telemetry = NOOP_TELEMETRY
+
+    def _count(self, name: str, help: str) -> None:
+        t = self.telemetry
+        if t.enabled:
+            t.registry.counter(name, help).inc()
 
     # -- transports ---------------------------------------------------------
 
@@ -70,6 +78,7 @@ class Orb:
         response_expected: bool = True,
     ) -> bytes:
         """Encode a request in this process's native byte order."""
+        self._count("orb_requests_marshalled_total", "GIOP Requests encoded")
         return encode_request(
             self.repository,
             ref.interface_name,
@@ -114,6 +123,7 @@ class Orb:
         nested invocations; the caller drives generators to completion.
         Application exceptions propagate to the caller.
         """
+        self._count("orb_dispatches_total", "Servant dispatches")
         servant: Servant = self.adapter.servant_for(message.object_key)
         if servant.interface.name != message.interface_name:
             raise BadOperation(
@@ -129,6 +139,7 @@ class Orb:
         marshalling — modelling a platform whose arithmetic pipeline carried
         less precision all along.
         """
+        self._count("orb_replies_marshalled_total", "GIOP Replies encoded")
         perturbed = self.platform.perturb_result(result)
         return encode_reply(
             self.repository,
@@ -141,6 +152,7 @@ class Orb:
 
     def marshal_exception_reply(self, message: RequestMessage, exc: Exception) -> bytes:
         """Encode an exception reply."""
+        self._count("orb_exception_replies_total", "GIOP exception Replies encoded")
         if not isinstance(exc, CorbaError):
             exc = BadOperation(f"servant raised {type(exc).__name__}: {exc}")
         exception_id, description, status = exception_to_wire(exc)

@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.telemetry import NOOP_TELEMETRY, Telemetry
 from repro.sim.latency import FixedLatency, LatencyModel
 from repro.sim.multicast import MulticastGroup
 from repro.sim.process import Process, ProcessId
@@ -90,6 +91,10 @@ class Network:
         self.trace = TraceRecorder()
         self.trace.enabled = False
         self.stats = TrafficStats()
+        self.telemetry: Telemetry = NOOP_TELEMETRY
+        # Metric children cached at enable time so the wire hot path pays one
+        # attribute load + method call per event, never a labels() lookup.
+        self._m_sent = self._m_delivered = self._m_dropped = self._m_bytes = None
         # Pairs (a, b) that cannot currently communicate, stored symmetrically.
         self._partitioned: set[frozenset[ProcessId]] = set()
         # Transmission filters (firewall proxies): every filter must return
@@ -159,6 +164,9 @@ class Network:
         size = payload_size(payload)
         self.stats.bytes_sent += size
         self.trace.record(self.scheduler.now, "send", src, dst, payload)
+        if self._m_sent is not None:
+            self._m_sent.inc()
+            self._m_bytes.inc(size)
         self._transmit(src, dst, payload, size)
 
     def multicast(self, src: ProcessId, group_addr: str, payload: Any) -> None:
@@ -176,27 +184,32 @@ class Network:
         for member in sorted(group.members):
             self.stats.messages_sent += 1
             self.stats.bytes_sent += size
+            if self._m_sent is not None:
+                self._m_sent.inc()
+                self._m_bytes.inc(size)
             self._transmit(src, member, payload, size)
+
+    def _drop(self, src: ProcessId, dst: ProcessId, payload: Any, reason: str) -> None:
+        self.stats.messages_dropped += 1
+        self.trace.record(self.scheduler.now, "drop", src, dst, payload)
+        if self._m_dropped is not None:
+            self._m_dropped.labels(reason=reason).inc()
 
     def _transmit(self, src: ProcessId, dst: ProcessId, payload: Any, size: int) -> None:
         if dst not in self.processes:
             # Receiver gone (e.g. expelled then deregistered): drop silently,
             # as IP would.
-            self.stats.messages_dropped += 1
-            self.trace.record(self.scheduler.now, "drop", src, dst, payload)
+            self._drop(src, dst, payload, "unreachable")
             return
         if self.is_partitioned(src, dst):
-            self.stats.messages_dropped += 1
-            self.trace.record(self.scheduler.now, "drop", src, dst, payload)
+            self._drop(src, dst, payload, "partition")
             return
         if self.config.drop_probability and self.rng.random() < self.config.drop_probability:
-            self.stats.messages_dropped += 1
-            self.trace.record(self.scheduler.now, "drop", src, dst, payload)
+            self._drop(src, dst, payload, "loss")
             return
         for admit in self._filters:
             if not admit(src, dst, payload):
-                self.stats.messages_dropped += 1
-                self.trace.record(self.scheduler.now, "drop", src, dst, payload)
+                self._drop(src, dst, payload, "filter")
                 return
         delay = self.config.latency.sample(self.rng)
         delay += size * self.config.per_byte_delay
@@ -206,9 +219,13 @@ class Network:
             # Receiver may have been removed or crashed in the interim.
             if dst not in self.processes:
                 self.stats.messages_dropped += 1
+                if self._m_dropped is not None:
+                    self._m_dropped.labels(reason="late").inc()
                 return
             self.stats.messages_delivered += 1
             self.trace.record(self.scheduler.now, "deliver", src, dst, payload)
+            if self._m_delivered is not None:
+                self._m_delivered.inc()
             receiver.deliver(src, payload)
 
         self.scheduler.schedule(delay, do_deliver)
@@ -229,3 +246,22 @@ class Network:
         if capacity is not None:
             self.trace.capacity = capacity
         return self.trace
+
+    def enable_telemetry(self) -> Telemetry:
+        """Attach a live :class:`Telemetry` facade clocked by this world."""
+        if not self.telemetry.enabled:
+            self.telemetry = Telemetry(enabled=True, clock=lambda: self.scheduler.now)
+            registry = self.telemetry.registry
+            self._m_sent = registry.counter(
+                "net_messages_sent_total", "Unicast transmissions (incl. multicast fan-out)"
+            )
+            self._m_delivered = registry.counter(
+                "net_messages_delivered_total", "Messages handed to a receiver"
+            )
+            self._m_dropped = registry.counter(
+                "net_messages_dropped_total", "Wire-level drops", labels=("reason",)
+            )
+            self._m_bytes = registry.counter(
+                "net_bytes_sent_total", "Payload bytes put on the wire"
+            )
+        return self.telemetry

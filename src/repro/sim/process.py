@@ -54,6 +54,15 @@ class Process:
         """Current simulated time."""
         return self._require_network().scheduler.now
 
+    @property
+    def telemetry(self):
+        """The world's telemetry facade (the shared no-op when unattached)."""
+        if self.network is None:
+            from repro.obs.telemetry import NOOP_TELEMETRY
+
+            return NOOP_TELEMETRY
+        return self.network.telemetry
+
     # -- messaging --------------------------------------------------------
 
     def send(self, dst: ProcessId, payload: Any) -> None:

@@ -46,11 +46,13 @@ class TraceRecorder:
         self.events: list[TraceEvent] = []
         self.capacity = capacity
         self.enabled = True
+        self.dropped = 0
 
     def record(self, time: float, kind: str, src: str, dst: str, payload: Any) -> None:
         if not self.enabled:
             return
         if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
             return
         self.events.append(
             TraceEvent(
@@ -65,6 +67,7 @@ class TraceRecorder:
 
     def clear(self) -> None:
         self.events.clear()
+        self.dropped = 0
 
     def filter(
         self,
@@ -103,7 +106,10 @@ class TraceRecorder:
     def render(self, limit: int | None = None) -> str:
         """Human-readable multi-line rendering (used by figure benches)."""
         rows = self.events if limit is None else self.events[:limit]
-        return "\n".join(str(e) for e in rows)
+        lines = [str(e) for e in rows]
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped (capacity {self.capacity})")
+        return "\n".join(lines)
 
 
 def render_sequence_diagram(

@@ -1,0 +1,145 @@
+"""Metric registry semantics: instruments, labels, cardinality, disabled mode."""
+
+import pytest
+
+from repro.obs import (
+    NULL_METRIC,
+    NULL_REGISTRY,
+    NOOP_TELEMETRY,
+    MetricRegistry,
+    Telemetry,
+)
+from repro.obs.registry import DEFAULT_SAMPLE_CAP
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricRegistry()
+        c = reg.counter("reqs_total", "requests")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricRegistry()
+        c = reg.counter("reqs_total", "requests")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        reg = MetricRegistry()
+        g = reg.gauge("depth", "queue depth")
+        g.set(10)
+        g.dec(3)
+        g.inc(1)
+        assert g.value == 8
+
+    def test_histogram_summary(self):
+        reg = MetricRegistry()
+        h = reg.histogram("lat", "latency")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        s = h.labels().summary()
+        assert s["count"] == 4
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["min"] == 1.0 and s["max"] == 4.0
+
+    def test_histogram_exact_beyond_sample_cap(self):
+        reg = MetricRegistry()
+        h = reg.histogram("lat", "latency")
+        for _ in range(DEFAULT_SAMPLE_CAP + 50):
+            h.observe(1.0)
+        s = h.labels().summary()
+        assert s["count"] == DEFAULT_SAMPLE_CAP + 50
+        assert len(h.labels().samples) == DEFAULT_SAMPLE_CAP
+
+    def test_same_name_returns_same_family(self):
+        reg = MetricRegistry()
+        assert reg.counter("x", "x") is reg.counter("x", "x")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricRegistry()
+        reg.counter("x", "x")
+        with pytest.raises(ValueError):
+            reg.gauge("x", "x")
+
+    def test_label_mismatch_raises(self):
+        reg = MetricRegistry()
+        reg.counter("x", "x", labels=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("x", "x", labels=("b",))
+
+
+class TestLabels:
+    def test_children_are_cached_per_combination(self):
+        reg = MetricRegistry()
+        fam = reg.counter("x", "x", labels=("op",))
+        fam.labels(op="add").inc()
+        fam.labels(op="add").inc()
+        fam.labels(op="sub").inc()
+        assert fam.labels(op="add").value == 2
+        assert fam.labels(op="sub").value == 1
+
+    def test_wrong_label_names_raise(self):
+        reg = MetricRegistry()
+        fam = reg.counter("x", "x", labels=("op",))
+        with pytest.raises(ValueError):
+            fam.labels(nope="add")
+
+    def test_labelless_use_of_labeled_family_raises(self):
+        reg = MetricRegistry()
+        fam = reg.counter("x", "x", labels=("op",))
+        with pytest.raises(ValueError):
+            fam.inc()
+
+    def test_cardinality_cap_routes_to_overflow_child(self):
+        from repro.obs.registry import MetricFamily
+
+        fam = MetricFamily("x", "counter", labelnames=("k",), max_children=4)
+        for i in range(10):
+            fam.labels(k=str(i)).inc()
+        assert fam.overflowed == 6
+        # the overflow child absorbed the excess combinations
+        overflow = fam.labels(k="anything-new")
+        assert overflow.value >= 6
+
+    def test_collect_is_flat_and_typed(self):
+        reg = MetricRegistry()
+        reg.counter("c", "c").inc()
+        reg.histogram("h", "h").observe(2.0)
+        records = reg.collect()
+        kinds = {r["metric"]: r["kind"] for r in records}
+        assert kinds == {"c": "counter", "h": "histogram"}
+
+
+class TestDisabledMode:
+    def test_null_registry_allocates_nothing(self):
+        m = NULL_REGISTRY.counter("anything", "help", labels=("a", "b"))
+        assert m is NULL_METRIC
+        assert m.labels(a="1", b="2") is NULL_METRIC
+        m.inc()
+        m.observe(3.0)
+        m.set(7)
+        assert m.value == 0
+        assert list(NULL_REGISTRY.families()) == []
+        assert NULL_REGISTRY.collect() == []
+
+    def test_noop_telemetry_is_fully_disabled(self):
+        t = NOOP_TELEMETRY
+        assert not t.enabled
+        assert t.begin("span") is None
+        t.bind("key", None)
+        assert t.lookup("key") is None
+        assert t.registry is NULL_REGISTRY
+        assert t.health.record_expulsion(("e1",)) == 0
+
+    def test_enabled_telemetry_is_live(self):
+        t = Telemetry()
+        span = t.begin("work", pid="p1")
+        assert span is not None
+        with t.use(span.ctx):
+            child = t.begin("inner", parent=t.current)
+        t.end(child)
+        t.end(span)
+        assert child.trace_id == span.trace_id
+        assert child.parent_id == span.span_id

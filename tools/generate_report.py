@@ -6,11 +6,16 @@ captures every printed results table and sequence diagram, and writes them —
 grouped by experiment — into RESULTS.md. EXPERIMENTS.md interprets these
 numbers against the paper; RESULTS.md is the raw, reproducible record.
 
-Usage:  python tools/generate_report.py [output.md]
+With ``--metrics file.jsonl`` (repeatable), telemetry records exported by
+``python -m repro trace/metrics --json`` — or any ``repro.obs.write_jsonl``
+stream — are folded into the report as an extra section.
+
+Usage:  python tools/generate_report.py [output.md] [--metrics file.jsonl]...
 """
 
 from __future__ import annotations
 
+import json
 import re
 import subprocess
 import sys
@@ -73,8 +78,52 @@ def extract_timings(output: str) -> str:
     return tail[: end if end > 0 else None].rstrip()
 
 
+def render_metrics_jsonl(path: Path) -> str:
+    """One text block summarising an exported telemetry JSONL stream."""
+    records = [json.loads(line) for line in path.read_text().splitlines() if line.strip()]
+    by_kind: dict[str, list[dict]] = {}
+    for record in records:
+        by_kind.setdefault(record.get("record", "unknown"), []).append(record)
+    lines = [f"source: {path} ({len(records)} records)"]
+    for metric in by_kind.get("metric", []):
+        labels = metric.get("labels") or {}
+        suffix = (
+            "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+            if labels
+            else ""
+        )
+        if "value" in metric:
+            body = f"{metric['value']:g}"
+        else:
+            body = " ".join(
+                f"{key}={metric[key]:g}"
+                for key in ("count", "mean", "p95")
+                if key in metric
+            )
+        lines.append(f"  {metric['metric']}{suffix}  {body}")
+    spans = by_kind.get("span", [])
+    if spans:
+        traces = {s["trace_id"] for s in spans}
+        lines.append(f"  spans: {len(spans)} across {len(traces)} trace(s)")
+    events = by_kind.get("health_event", [])
+    for event in events:
+        lines.append(
+            f"  health event: {event['kind']} {event['element']} "
+            f"t={event['time']:g} trace={event.get('trace_id')}"
+        )
+    return "\n".join(lines)
+
+
 def main() -> None:
-    target = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / "RESULTS.md"
+    argv = sys.argv[1:]
+    metrics_paths: list[Path] = []
+    while "--metrics" in argv:
+        at = argv.index("--metrics")
+        if at + 1 >= len(argv):
+            raise SystemExit("--metrics requires a JSONL file path")
+        metrics_paths.append(Path(argv[at + 1]))
+        argv = argv[:at] + argv[at + 2 :]
+    target = Path(argv[0]) if argv else REPO / "RESULTS.md"
     output = run_benchmarks()
     sections = extract_sections(output)
     stamp = datetime.now(timezone.utc).strftime("%Y-%m-%d %H:%M UTC")
@@ -93,6 +142,11 @@ def main() -> None:
         parts.append("## Wall-clock timings (pytest-benchmark)\n")
         parts.append("```")
         parts.append(timings)
+        parts.append("```")
+    for path in metrics_paths:
+        parts.append(f"\n## Telemetry metrics — {path.name}\n")
+        parts.append("```")
+        parts.append(render_metrics_jsonl(path))
         parts.append("```")
     target.write_text("\n".join(parts) + "\n")
     print(f"wrote {target} ({len(sections)} sections)")
