@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Intrusion drill: detect, prove, expel, and rekey a compromised replica.
+"""Intrusion drill: detect, prove, expel, repair, and readmit a replica.
 
-The full §3.6 story in one run:
+The full §3.6 story — plus the recovery half the paper left as future
+work — in one run:
 
 1. element ``calc-e2`` is compromised (returns corrupted values);
 2. the client's voter masks the lie (f+1 honest agreement) *and* identifies
@@ -13,7 +14,15 @@ The full §3.6 story in one run:
    communication group without it;
 5. the expelled element can no longer decrypt traffic; service continues;
 6. a malicious client then tries to expel a *correct* element with forged
-   proof — and is denied.
+   proof — and is denied;
+7. ``calc-e2`` is repaired and sends the Group Manager a *signed* rejoin
+   petition; the GM readmits it and rotates every connection key to a new
+   membership epoch;
+8. the readmitted element catches up by adopting a cross-validated message
+   queue snapshot from 2f+1 peers — no full object-state copy — and votes
+   with the majority again;
+9. key epochs: the pre-expulsion keys the intruder may have exfiltrated
+   are fenced out, even though the element is a member once more.
 
 Run:  python examples/intrusion_drill.py
 """
@@ -77,6 +86,47 @@ def main() -> None:
     system.run_until(lambda: bool(verdicts))
     print(f"  Group Manager verdict: {verdicts[0].decode()}")
     print(f"  calc-e0 still serving: add(7, 7) = {stub.add(7.0, 7.0)}")
+
+    print("\nStep 7: calc-e2 is repaired and petitions to rejoin")
+    expelled.repaired = True
+    for i in range(3):
+        stub.add(float(i), 100.0)  # traffic calc-e2 misses while expelled
+    rejoin_verdicts: list[bytes] = []
+    done: list[bool] = []
+    expelled.recover_membership(
+        callback=rejoin_verdicts.append, on_complete=done.append
+    )
+    system.run_until(lambda: bool(done))
+    print(f"  signed rejoin petition -> GM verdict: {rejoin_verdicts[0].decode()}")
+    gm = system.gm_elements[0]
+    print(f"  GM membership: expelled={sorted(gm.state.expelled)} "
+          f"readmitted={gm.readmissions}")
+
+    print("\nStep 8: state transfer from the message queue (no object copy)")
+    recovery = expelled.recovery
+    print(f"  adopted a peer queue snapshot: {recovery.transfers_completed} "
+          f"transfer(s), {recovery.bytes_transferred} bytes on the wire")
+    print(f"  calc-e2 diverged: {expelled.diverged}  (back in sync)")
+    served_before = len(expelled.dispatched)
+    print(f"  add(6, 7) = {stub.add(6.0, 7.0)}")
+    system.settle(1.0)
+    print(f"  calc-e2 dispatched {len(expelled.dispatched) - served_before} "
+          "new request(s) and votes with the majority")
+
+    print("\nStep 9: key epochs fence out the intruder's old keys")
+    print(f"  membership key epoch: {gm.state.key_epoch} "
+          "(bumped at expulsion AND readmission)")
+    honest = system.elements["calc-e0"]
+    keys = honest.key_store.connections[conn_id]
+    fenced = sorted(
+        key_id for key_id, epoch in keys.epoch_of.items()
+        if epoch < keys.fence_floor
+    )
+    live = sorted(keys.keys)
+    print(f"  calc-e0 retains generations {live}; pre-expulsion generations "
+          "are gone —")
+    print("  anything the intruder exfiltrated before expulsion is useless, "
+          f"fenced={not fenced}")
 
 
 if __name__ == "__main__":

@@ -98,6 +98,38 @@ def _traced_intrusion_drill():
     return system, result
 
 
+def _recovery_drill():
+    """Queue-mode calc domain: detect → expel → repair → readmit → recover.
+
+    Returns ``(system, liar, recovered, result)`` where ``recovered`` is
+    the recovery outcome and ``result`` a post-recovery voted invocation.
+    """
+    from repro.itdos.bootstrap import ItdosSystem
+    from repro.itdos.faults import LyingElement
+    from repro.workloads.scenarios import CalculatorServant, standard_repository
+
+    system = ItdosSystem(seed=7, repository=standard_repository(), telemetry=True)
+    system.add_server_domain(
+        "calc", f=1,
+        servants=lambda element: {b"calc": CalculatorServant()},
+        byzantine={2: LyingElement},
+    )
+    client = system.add_client("demo-client")
+    stub = client.stub(system.ref("calc", b"calc"))
+    stub.add(2.0, 3.0)
+    system.settle(3.0)  # voter detection, change_request, expulsion
+    liar = system.elements["calc-e2"]
+    liar.repaired = True
+    for i in range(4):  # traffic the expelled element misses
+        stub.add(float(i), 1.0)
+    done: list[bool] = []
+    liar.recover_membership(on_complete=done.append)
+    system.run_until(lambda: bool(done))
+    result = stub.add(10.0, 20.0)
+    system.settle(1.0)
+    return system, liar, done[0], result
+
+
 def _json_path(args: list[str]) -> tuple[str | None, list[str]]:
     """Pop ``--json PATH`` out of the argument list."""
     if "--json" in args:
@@ -118,15 +150,28 @@ def cmd_trace(args: list[str]) -> int:
     except ValueError as exc:
         print(f"trace: {exc}")
         return 2
+    scenario = "calc"
+    if args and args[0] in ("calc", "recovery"):
+        scenario, args = args[0], args[1:]
     if args:
-        print(f"trace: unexpected arguments {args!r} (only --json PATH)")
+        print(f"trace: unexpected arguments {args!r} "
+              "(only [calc|recovery] and --json PATH)")
         return 2
-    system, result = _traced_calc_invocation()
+    if scenario == "recovery":
+        system, _liar, _recovered, result = _recovery_drill()
+        print(f"post-recovery add(10, 20) = {result}")
+        only = "recovery."
+    else:
+        system, result = _traced_calc_invocation()
+        print(f"traced add(2, 3) = {result}")
+        only = None
     tracer = system.telemetry.tracer
-    print(f"traced add(2, 3) = {result}")
     for trace_id in tracer.trace_ids():
+        rendered = tracer.render(trace_id)
+        if only is not None and only not in rendered:
+            continue
         print()
-        print(tracer.render(trace_id))
+        print(rendered)
     if json_path is not None:
         try:
             lines = write_jsonl(json_path, span_records(tracer))
@@ -166,6 +211,48 @@ def cmd_metrics(args: list[str]) -> int:
     return 0
 
 
+def cmd_recover(args: list[str]) -> int:
+    """Run the detect → expel → repair → readmit → state-transfer drill."""
+    from repro.obs import telemetry_records, write_jsonl
+
+    try:
+        json_path, args = _json_path(args)
+    except ValueError as exc:
+        print(f"recover: {exc}")
+        return 2
+    if args:
+        print(f"recover: unexpected arguments {args!r} (only --json PATH)")
+        return 2
+    system, liar, recovered, result = _recovery_drill()
+    t = system.telemetry
+    gm = system.gm_elements[0]
+    print(f"expelled then readmitted: {list(gm.readmissions)}")
+    print(f"recovery outcome        : {'recovered' if recovered else 'gave up'} "
+          f"(verdict {liar.recovery.last_verdict!r}, "
+          f"{liar.recovery.transfers_completed} transfer(s), "
+          f"{liar.recovery.bytes_transferred} bytes)")
+    print(f"membership key epoch    : {gm.state.key_epoch}")
+    print(f"post-recovery add(10,20): {result}  "
+          f"<- {liar.pid} votes with the majority again")
+    tracer = t.tracer
+    for trace_id in tracer.trace_ids():
+        rendered = tracer.render(trace_id)
+        if "recovery." not in rendered:
+            continue
+        print()
+        print(rendered)
+    print()
+    print(t.health.render())
+    if json_path is not None:
+        try:
+            lines = write_jsonl(json_path, telemetry_records(t))
+        except OSError as exc:
+            print(f"recover: cannot write {json_path}: {exc}")
+            return 1
+        print(f"\nwrote {lines} telemetry records to {json_path}")
+    return 0
+
+
 DEMOS = {
     "quickstart": demo_quickstart,
     "intrusion": demo_intrusion,
@@ -175,6 +262,7 @@ DEMOS = {
 COMMANDS = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "recover": cmd_recover,
 }
 
 

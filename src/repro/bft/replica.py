@@ -212,6 +212,13 @@ class BftReplica(Process):
         if handler is not None:
             handler(src, payload)
 
+    def on_restart(self) -> None:
+        """Reboot bookkeeping: timer handles died with the restart, so drop
+        them; the retransmission tick re-arms on the next delivery."""
+        self._retransmit_timer = None
+        self._vc_timer = None
+        self._state_transfer_pending = False
+
     # --------------------------------------------------- retransmission tick
 
     def _schedule_retransmit(self) -> None:
@@ -671,6 +678,64 @@ class BftReplica(Process):
             self.next_seq = max(self.next_seq, self.stable_seq)
             self._drain_pending()
 
+    # ---------------------------------------------- checkpoint fetch (recovery)
+
+    def stable_checkpoint(self) -> tuple[int, bytes, tuple[CheckpointMsg, ...]]:
+        """The latest stable checkpoint: ``(seq, snapshot, 2f+1 proof)``.
+
+        Public accessor for the recovery subsystem: a rejoining element
+        fetches peers' stable checkpoints out of band and validates them
+        with :meth:`verify_checkpoint_proof`.
+        """
+        return self.stable_seq, self._stable_snapshot, self._stable_proof
+
+    def verify_checkpoint_proof(
+        self, seq: int, state_digest: bytes, proof: tuple[CheckpointMsg, ...]
+    ) -> bool:
+        """Is ``proof`` a valid 2f+1 certificate for ``(seq, digest)``?"""
+        senders = {c.sender for c in proof}
+        digests = {c.state_digest for c in proof}
+        seqs = {c.seq for c in proof}
+        return (
+            len(senders) >= self.config.quorum
+            and digests == {state_digest}
+            and seqs == {seq}
+            and senders.issubset(set(self.config.replica_ids))
+        )
+
+    def adopt_stable_checkpoint(
+        self, seq: int, snapshot: bytes, proof: tuple[CheckpointMsg, ...]
+    ) -> bool:
+        """Adopt a peer's stable-checkpoint *bookkeeping* without restoring.
+
+        Used by recovery-level state transfer: the caller has already
+        brought the application layer to (at least) ``seq`` by other means,
+        so only the BFT-side checkpoint state moves — stable seq, proof,
+        log pruning. Returns False if the proof fails or is not ahead.
+        """
+        if seq <= self.stable_seq:
+            return False
+        if not self.verify_checkpoint_proof(seq, digest(snapshot), proof):
+            return False
+        self.stable_seq = seq
+        self._stable_proof = proof
+        self._stable_snapshot = snapshot
+        self._own_snapshots[seq] = snapshot
+        if self.last_executed < seq:
+            self.last_executed = seq
+        for old_seq in [s for s in self.log if s <= seq]:
+            del self.log[old_seq]
+        for old_seq in [s for s in self._checkpoints if s <= seq]:
+            del self._checkpoints[old_seq]
+        for old_seq in [s for s in self._own_snapshots if s < seq]:
+            del self._own_snapshots[old_seq]
+        self._awaiting.clear()
+        self._refresh_vc_timer()
+        if self.is_primary:
+            self.next_seq = max(self.next_seq, self.stable_seq)
+        self._try_execute()
+        return True
+
     # --------------------------------------------------------- state transfer
 
     def _request_state_transfer(
@@ -712,14 +777,8 @@ class BftReplica(Process):
         if digest(msg.snapshot) != msg.state_digest:
             return
         # Proof: 2f+1 checkpoint messages from distinct replicas, same digest.
-        senders = {c.sender for c in msg.checkpoint_proof}
-        digests = {c.state_digest for c in msg.checkpoint_proof}
-        seqs = {c.seq for c in msg.checkpoint_proof}
-        if (
-            len(senders) < self.config.quorum
-            or digests != {msg.state_digest}
-            or seqs != {msg.stable_seq}
-            or not senders.issubset(set(self.config.replica_ids))
+        if not self.verify_checkpoint_proof(
+            msg.stable_seq, msg.state_digest, msg.checkpoint_proof
         ):
             return
         self.restore_fn(msg.snapshot, msg.stable_seq)

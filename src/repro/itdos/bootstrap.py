@@ -89,6 +89,7 @@ class ItdosSystem:
         self.clients: dict[str, ItdosClient] = {}
         self.elements: dict[str, ItdosServerElement] = {}
         self.gm_elements: list[GroupManagerElement] = []
+        self.proactive_schedulers: list[Any] = []
         # -- Group Manager domain -------------------------------------------
         n_gm = 3 * f_gm + 1
         gm_ids = tuple(f"gm-{i}" for i in range(n_gm))
@@ -226,6 +227,29 @@ class ItdosSystem:
     def domain_elements(self, domain_id: str) -> list[ItdosServerElement]:
         info = self.directory.domain(domain_id)
         return [self.elements[pid] for pid in info.element_ids]
+
+    def enable_proactive_recovery(
+        self, domain_id: str, period: float = 5.0, downtime: float = 0.05
+    ):
+        """Round-robin ``domain_id``'s elements through restart → rejoin →
+        state transfer every ``period`` simulated seconds (repro.recovery).
+
+        Bounds an undetected intruder's dwell time: each rotation wipes the
+        element's volatile state and forces a ``fresh_keys`` rejoin, so the
+        membership key epoch advances and pre-restart connection keys die.
+        Returns the started :class:`ProactiveRecoveryScheduler`.
+        """
+        from repro.recovery.proactive import ProactiveRecoveryScheduler
+
+        scheduler = ProactiveRecoveryScheduler(
+            self.network,
+            self.domain_elements(domain_id),
+            period=period,
+            downtime=downtime,
+        )
+        scheduler.start()
+        self.proactive_schedulers.append(scheduler)
+        return scheduler
 
     def settle(self, duration: float = 2.0, max_events: int = 2_000_000) -> None:
         """Run the simulation forward (e.g. to finish the GM bootstrap)."""

@@ -52,6 +52,7 @@ from repro.itdos.messages import (
     parse_payload,
 )
 from repro.itdos.vvm import majority_vote
+from repro.recovery.messages import RejoinPetition
 
 
 @dataclass
@@ -85,6 +86,17 @@ class _GmState:
     expelled: set[str] = field(default_factory=set)
     queued_opens: list[OpenRequest] = field(default_factory=list)
     completed_rekey_epochs: set[int] = field(default_factory=set)
+    # Membership key epoch (repro.recovery): bumped on every membership
+    # change — expulsion *and* (re)admission — never on periodic rekey
+    # ticks. Share envelopes carry it plus the fence floor: the oldest
+    # epoch receivers may keep. The floor rises only on readmission and
+    # fresh-keys refresh (killing a formerly compromised element's keys);
+    # plain expulsions leave it alone so that f back-to-back expulsion
+    # rekeys cannot strand in-flight traffic.
+    key_epoch: int = 0
+    fence_floor: int = 0
+    # Highest rejoin-petition nonce accepted per element (replay guard).
+    rejoin_nonces: dict[str, int] = field(default_factory=dict)
 
 
 class GroupManagerElement(BftReplica):
@@ -154,6 +166,7 @@ class GroupManagerElement(BftReplica):
         OpenRequest: "gm.open",
         ChangeRequest: "gm.change",
         ReadmitRequest: "gm.readmit",
+        RejoinPetition: "gm.rejoin",
         RekeyTick: "gm.rekey",
     }
 
@@ -187,6 +200,8 @@ class GroupManagerElement(BftReplica):
             return self._exec_change(message, client_id)
         if isinstance(message, ReadmitRequest):
             return self._exec_readmit(message, client_id)
+        if isinstance(message, RejoinPetition):
+            return self._exec_rejoin(message, client_id)
         if isinstance(message, RekeyTick):
             return self._exec_rekey_tick(message, client_id)
         if isinstance(message, SmiopRequest):
@@ -380,6 +395,8 @@ class GroupManagerElement(BftReplica):
                 client_domain=record.client_domain,
                 target_domain=record.target_domain,
                 ciphertext=encrypt(pairwise, plaintext, enc_nonce),
+                epoch=self.state.key_epoch,
+                fence_floor=self.state.fence_floor,
             )
             self.send(participant, envelope)
         self.keys_issued.append((record.conn_id, record.key_id))
@@ -496,22 +513,52 @@ class GroupManagerElement(BftReplica):
             return b"BAD"
         if request.element not in self.state.expelled:
             return b"OK"  # idempotent: already a member
-        self.state.expelled.discard(request.element)
-        self.readmissions.append(request.element)
+        self._readmit(request.element, request.domain_id)
+        return b"READMITTED"
+
+    def _exec_rejoin(self, petition: RejoinPetition, client_id: str) -> bytes:
+        """EXTENSION: the signed rejoin handshake (:mod:`repro.recovery`).
+
+        The same membership action as :meth:`_exec_readmit`, hardened: the
+        petition must verify under the element's registered signing key and
+        carry a nonce above any previously accepted one, so neither a third
+        party nor a replayed old petition can flip membership. A petition
+        with ``fresh_keys`` from a member in good standing (the proactive-
+        recovery restart) rotates the key epoch without a membership change.
+        """
+        if petition.element != client_id:
+            return b"BAD"  # only the element itself may petition
+        domain = self.directory.domains.get(petition.domain_id)
+        if domain is None or petition.element not in domain.element_ids:
+            return b"BAD"
+        if not self.directory.keyring.verify(
+            petition.element, petition.body(), petition.signature
+        ):
+            return b"BAD"  # forged or tampered petition
+        last = self.state.rejoin_nonces.get(petition.element, -1)
+        if petition.nonce <= last:
+            return b"REPLAY"
+        self.state.rejoin_nonces[petition.element] = petition.nonce
+        if petition.element in self.state.expelled:
+            self._readmit(petition.element, petition.domain_id)
+            return b"READMITTED"
+        if petition.fresh_keys:
+            self._rekey_domain(petition.domain_id, fence=True)
+            return b"REFRESHED"
+        return b"OK"  # idempotent: already a member, no refresh asked
+
+    def _readmit(self, element: str, domain_id: str) -> None:
+        """Re-add ``element`` to membership and rotate the key epoch."""
+        self.state.expelled.discard(element)
+        self.readmissions.append(element)
         t = self.telemetry
         if t.enabled:
-            newly = t.health.record_readmission(
-                (request.element,), time=self.now, ctx=t.current
-            )
+            newly = t.health.record_readmission((element,), time=self.now, ctx=t.current)
             if newly:
                 t.registry.counter(
                     "gm_readmissions_total", "Elements readmitted after repair"
                 ).inc(newly)
-        for record in sorted(self.state.connections.values(), key=lambda r: r.conn_id):
-            if request.domain_id in (record.target_domain, record.client_domain):
-                record.key_id += 1
-                self._issue_keys(record)
-        return b"READMITTED"
+        self._rekey_domain(domain_id, fence=True)
 
     def _expel(self, accused: tuple[str, ...], accused_domain: str) -> None:
         """Key the faulty element(s) out of every communication group."""
@@ -528,8 +575,39 @@ class GroupManagerElement(BftReplica):
                 t.registry.counter(
                     "gm_expulsions_total", "Elements keyed out of communication groups"
                 ).inc(newly)
+        self._rekey_domain(accused_domain)
+
+    def _rekey_domain(self, domain_id: str, fence: bool = False) -> None:
+        """Membership changed: advance the key epoch and rotate every
+        communication group touching ``domain_id``.
+
+        Every expulsion *and* (re)admission lands here, so connection keys
+        move to both a new generation and a new membership epoch. When
+        ``fence`` is set (readmission, fresh-keys refresh) the fence floor
+        rises to one epoch behind the rotation, and receivers
+        (:class:`~repro.itdos.keys.ConnectionKeys`) drop every generation
+        from before it — a previously compromised element's exfiltrated
+        keys are useless after its readmission even though it is, once
+        again, a member (§3.5). Plain expulsions rotate without raising
+        the floor: the rotation already locks the expelled element out of
+        future traffic, and honest participants may still need the old
+        generation for requests in flight (up to f expulsions can rekey
+        back-to-back while one request is outstanding).
+        """
+        self.state.key_epoch += 1
+        if fence:
+            self.state.fence_floor = self.state.key_epoch - 1
+        t = self.telemetry
+        if t.enabled:
+            t.health.record_key_epoch(
+                self.state.key_epoch, time=self.now, ctx=t.current,
+                detail=f"domain={domain_id}",
+            )
+            t.registry.gauge(
+                "gm_key_epoch", "Current membership key epoch"
+            ).set(self.state.key_epoch)
         for record in sorted(self.state.connections.values(), key=lambda r: r.conn_id):
-            if accused_domain in (record.target_domain, record.client_domain):
+            if domain_id in (record.target_domain, record.client_domain):
                 record.key_id += 1
                 self._issue_keys(record)
 
@@ -557,6 +635,9 @@ class GroupManagerElement(BftReplica):
                 ],
                 "expelled": sorted(state.expelled),
                 "rekey_epochs": sorted(state.completed_rekey_epochs),
+                "key_epoch": state.key_epoch,
+                "fence_floor": state.fence_floor,
+                "rejoin_nonces": dict(sorted(state.rejoin_nonces.items())),
                 # Nonces already drawn (per conn/key) and the PRNG position,
                 # so a restored element draws the *same* future nonces as
                 # its peers. GM-internal material only.
@@ -597,6 +678,9 @@ class GroupManagerElement(BftReplica):
             state.conn_by_pair[pair] = record.conn_id
         state.expelled = set(data["expelled"])
         state.completed_rekey_epochs = set(data.get("rekey_epochs", []))
+        state.key_epoch = data.get("key_epoch", 0)
+        state.fence_floor = data.get("fence_floor", 0)
+        state.rejoin_nonces = dict(data.get("rejoin_nonces", {}))
         state._nonce_cache = {  # type: ignore[attr-defined]
             (conn, key): nonce for conn, key, nonce in data.get("nonce_cache", [])
         }

@@ -26,13 +26,32 @@ class PendingKeyAssembly:
     key_id: int
     nonce: bytes | None = None
     shares: dict[int, KeyShare] = field(default_factory=dict)
+    # share.index -> the membership epoch that GM element claimed for this
+    # generation, and the fence floor (oldest epoch still acceptable) it
+    # announced. Both are adopted as the MINIMUM over contributing shares:
+    # a single faulty GM can only delay epoch fencing (safe), never trigger
+    # it early to lock honest traffic out.
+    epochs: dict[int, int] = field(default_factory=dict)
+    floors: dict[int, int] = field(default_factory=dict)
     # GM elements whose shares failed verification — "the client and server
     # replication domain elements ... can verify which Group Manager
     # replication domain elements acted correctly" (§3.5).
     invalid_from: list[str] = field(default_factory=list)
 
+    def adopted_epoch(self) -> int:
+        return min(self.epochs.values()) if self.epochs else 0
+
+    def adopted_floor(self) -> int:
+        return min(self.floors.values()) if self.floors else 0
+
     def add(
-        self, public: DprfPublic, gm_element: str, nonce: bytes, share: KeyShare
+        self,
+        public: DprfPublic,
+        gm_element: str,
+        nonce: bytes,
+        share: KeyShare,
+        epoch: int = 0,
+        fence_floor: int = 0,
     ) -> SymmetricKey | None:
         """Add one share; returns the combined key when enough are valid."""
         if self.nonce is None:
@@ -46,6 +65,8 @@ class PendingKeyAssembly:
             self.invalid_from.append(gm_element)
             return None
         self.shares[share.index] = share
+        self.epochs[share.index] = epoch
+        self.floors[share.index] = fence_floor
         if len(self.shares) >= public.threshold:
             try:
                 return combine_shares(
@@ -70,15 +91,39 @@ class ConnectionKeys:
     conn_id: int
     keys: dict[int, SymmetricKey] = field(default_factory=dict)
     current_key_id: int = -1
+    # Membership-epoch fence (recovery subsystem): the Group Manager ships
+    # a ``fence_floor`` with each generation — the oldest membership epoch
+    # still acceptable. Generations issued under an older epoch are dropped
+    # immediately, regardless of the generation-count window above. The GM
+    # raises the floor only on *readmission* (and fresh-keys refresh), to
+    # one epoch behind the rotation: plain expulsions — which can come f
+    # back-to-back while a request is in flight — keep earlier generations
+    # decryptable, while a readmission fences every key the expelled
+    # element ever held.
+    current_epoch: int = 0
+    fence_floor: int = 0
+    epoch_of: dict[int, int] = field(default_factory=dict)
 
-    def install(self, key: SymmetricKey) -> None:
+    def install(self, key: SymmetricKey, epoch: int = 0, fence_floor: int = 0) -> None:
         self.keys[key.key_id] = key
+        self.epoch_of[key.key_id] = epoch
         if key.key_id > self.current_key_id:
             self.current_key_id = key.key_id
             for old in [
                 k for k in self.keys if k < key.key_id - self.RETAINED_GENERATIONS
             ]:
                 del self.keys[old]
+                self.epoch_of.pop(old, None)
+        if epoch > self.current_epoch:
+            self.current_epoch = epoch
+        if fence_floor > self.fence_floor:
+            self.fence_floor = fence_floor
+        if self.fence_floor > 0:
+            for old in [
+                k for k, e in self.epoch_of.items() if e < self.fence_floor
+            ]:
+                self.keys.pop(old, None)
+                del self.epoch_of[old]
 
     def current(self) -> SymmetricKey | None:
         return self.keys.get(self.current_key_id)
@@ -99,7 +144,14 @@ class KeyStore:
         self.invalid_share_events: list[tuple[str, int, int]] = []  # (gm, conn, key)
 
     def offer_share(
-        self, gm_element: str, conn_id: int, key_id: int, nonce: bytes, share: KeyShare
+        self,
+        gm_element: str,
+        conn_id: int,
+        key_id: int,
+        nonce: bytes,
+        share: KeyShare,
+        epoch: int = 0,
+        fence_floor: int = 0,
     ) -> SymmetricKey | None:
         """Feed one decrypted share; returns the key if it just completed."""
         existing = self.connections.get(conn_id)
@@ -115,18 +167,25 @@ class KeyStore:
             (conn_id, key_id), PendingKeyAssembly(conn_id=conn_id, key_id=key_id)
         )
         before_invalid = len(pending.invalid_from)
-        key = pending.add(self.public, gm_element, nonce, share)
+        key = pending.add(
+            self.public, gm_element, nonce, share, epoch=epoch,
+            fence_floor=fence_floor,
+        )
         if len(pending.invalid_from) > before_invalid:
             self.invalid_share_events.append((gm_element, conn_id, key_id))
         if key is None:
             return None
+        adopted_epoch = pending.adopted_epoch()
+        adopted_floor = pending.adopted_floor()
         del self._pending[(conn_id, key_id)]
-        self.install(key, conn_id)
+        self.install(key, conn_id, epoch=adopted_epoch, fence_floor=adopted_floor)
         return key
 
-    def install(self, key: SymmetricKey, conn_id: int) -> None:
+    def install(
+        self, key: SymmetricKey, conn_id: int, epoch: int = 0, fence_floor: int = 0
+    ) -> None:
         keys = self.connections.setdefault(conn_id, ConnectionKeys(conn_id=conn_id))
-        keys.install(key)
+        keys.install(key, epoch=epoch, fence_floor=fence_floor)
         for callback in self._waiters.pop((conn_id, key.key_id), []):
             callback(key)
         # Waiters for generations we just aged out will never fire; drop
@@ -152,6 +211,10 @@ class KeyStore:
     def current_key(self, conn_id: int) -> SymmetricKey | None:
         keys = self.connections.get(conn_id)
         return keys.current() if keys else None
+
+    def current_epoch(self, conn_id: int) -> int:
+        keys = self.connections.get(conn_id)
+        return keys.current_epoch if keys else 0
 
     def key_for(self, conn_id: int, key_id: int) -> SymmetricKey | None:
         keys = self.connections.get(conn_id)

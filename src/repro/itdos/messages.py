@@ -24,7 +24,7 @@ Message kinds:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.crypto.dleq import DleqProof
 from repro.crypto.dprf import KeyShare
@@ -386,6 +386,24 @@ class CoinMessage:
         return CoinMessage(phase=phase, pid=fields["pid"], value=fields["value"])
 
 
+# Payload kinds contributed by other packages (e.g. repro.recovery), keyed
+# by kind tag. Registration keeps `parse_payload` the single dispatch point
+# without this module importing its extensions (no circular imports).
+_EXTENSION_KINDS: dict[str, Callable[[dict[str, Any]], Any]] = {}
+
+
+def register_payload_kind(kind: str, parser: Callable[[dict[str, Any]], Any]) -> None:
+    """Register a parser for an extension payload kind.
+
+    Idempotent for the same parser; registering a different parser under an
+    existing kind is a deployment bug and raises.
+    """
+    existing = _EXTENSION_KINDS.get(kind)
+    if existing is not None and existing is not parser:
+        raise ValueError(f"payload kind {kind!r} already registered")
+    _EXTENSION_KINDS[kind] = parser
+
+
 def parse_payload(raw: bytes) -> Any:
     """Decode a BFT payload into its typed ITDOS message."""
     fields = decode_payload(raw)
@@ -404,6 +422,12 @@ def parse_payload(raw: bytes) -> Any:
         return RekeyTick.from_fields(fields)
     if kind in (CoinMessage.KIND_COMMIT, CoinMessage.KIND_REVEAL):
         return CoinMessage.from_fields(kind, fields)
+    extension = _EXTENSION_KINDS.get(kind)
+    if extension is not None:
+        try:
+            return extension(fields)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PayloadError(f"malformed {kind!r} payload: {exc}") from exc
     raise PayloadError(f"unknown payload kind {kind!r}")
 
 
@@ -450,6 +474,15 @@ class GmShareEnvelope:
     client_domain: str
     target_domain: str
     ciphertext: bytes  # encrypt(pairwise, canonical(key_share_to_dict(...)))
+    # Membership epoch this generation was issued under, and the oldest
+    # epoch still acceptable. Every membership change (expulsion or
+    # readmission, §3.6) advances the epoch; a readmission or fresh-keys
+    # refresh also raises the fence floor, making receivers drop every
+    # generation from before it — a formerly compromised element's
+    # pre-expulsion keys are useless after rejoin. Plain expulsions leave
+    # the floor alone so in-flight traffic survives back-to-back rekeys.
+    epoch: int = 0
+    fence_floor: int = 0
 
     def wire_size(self) -> int:
         return 96 + len(self.ciphertext)

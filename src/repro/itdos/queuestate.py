@@ -104,11 +104,44 @@ class MessageQueue:
         )
 
     def restore(self, raw: bytes) -> None:
-        """Adopt a snapshot fetched via state transfer."""
+        """Adopt a snapshot fetched via state transfer.
+
+        Snapshots arrive from peers, so nothing is installed until the
+        whole snapshot validates: entries must be well-formed
+        ``[seq, payload]`` pairs with strictly increasing sequence
+        numbers, and the byte total must fit this queue's budget.
+        On failure the queue is left untouched.
+        """
         data = parse_canonical(raw)
         if not isinstance(data, dict) or "items" not in data:
             raise ValueError("malformed queue snapshot")
-        self.items = [QueueItem(seq=seq, payload=payload) for seq, payload in data["items"]]
-        self.processed_count = data["processed"]
-        self.bytes_held = sum(len(item.payload) for item in self.items)
-        self.total_appended = self.processed_count + len(self.items)
+        processed = data.get("processed")
+        if not isinstance(processed, int) or isinstance(processed, bool) or processed < 0:
+            raise ValueError("malformed queue snapshot: bad processed count")
+        entries = data["items"]
+        if not isinstance(entries, list):
+            raise ValueError("malformed queue snapshot: items is not a list")
+        items: list[QueueItem] = []
+        total = 0
+        last_seq: int | None = None
+        for entry in entries:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise ValueError("malformed queue snapshot entry")
+            seq, payload = entry
+            if not isinstance(seq, int) or isinstance(seq, bool):
+                raise ValueError("malformed queue snapshot entry: bad seq")
+            if not isinstance(payload, bytes):
+                raise ValueError("malformed queue snapshot entry: bad payload")
+            if last_seq is not None and seq <= last_seq:
+                raise ValueError("queue snapshot sequence numbers must increase")
+            last_seq = seq
+            total += len(payload)
+            if total > self.max_bytes:
+                raise QueueOverflow(
+                    f"queue snapshot exceeds budget: {total} > {self.max_bytes}"
+                )
+            items.append(QueueItem(seq=seq, payload=payload))
+        self.items = items
+        self.processed_count = processed
+        self.bytes_held = total
+        self.total_appended = processed + len(items)

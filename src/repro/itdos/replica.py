@@ -58,6 +58,8 @@ from repro.itdos.messages import (
 )
 from repro.itdos.queuestate import MessageQueue
 from repro.itdos.sockets import SmiopEndpoint, traffic_nonce
+from repro.recovery.coordinator import RecoveryCoordinator
+from repro.recovery.messages import QueueStateRequest, QueueStateResponse
 from repro.itdos.voter import RequestVoter, VoteOutcome
 from repro.itdos.vvm import Comparator
 from repro.orb.core import Orb
@@ -132,6 +134,14 @@ class ItdosServerElement(BftReplica):
         self._parked: _Parked | None = None
         self._pumping = False
         self.diverged = False  # queue-mode element that lost sync (§3.1)
+        # Recovery (repro.recovery): while diverged, every payload our own
+        # ordering executes is buffered so a state transfer can replay the
+        # tail past whatever snapshot it adopts. The anchor is the execution
+        # position buffering started at — the buffer covers (anchor, now].
+        self.recovery = RecoveryCoordinator(self)
+        self._recovery_buffer: list[tuple[int, bytes]] = []
+        self._recovery_buffer_bytes = 0
+        self._recovery_anchor: int | None = None
         # BFT hooks.
         self.execute_fn = self._bft_execute
         self.snapshot_fn = self._snapshot
@@ -169,6 +179,12 @@ class ItdosServerElement(BftReplica):
             return
         if isinstance(payload, BodyRequest):
             self._handle_body_request(src, payload)
+            return
+        if isinstance(payload, QueueStateRequest):
+            self._serve_queue_state(src, payload)
+            return
+        if isinstance(payload, QueueStateResponse):
+            self.recovery.handle_response(src, payload)
             return
         if self.endpoint.handle_message(src, payload):
             return
@@ -209,7 +225,13 @@ class ItdosServerElement(BftReplica):
                 )
             self.incoming[envelope.conn_id] = record
         key = self.key_store.offer_share(
-            envelope.gm_element, envelope.conn_id, envelope.key_id, nonce, share
+            envelope.gm_element,
+            envelope.conn_id,
+            envelope.key_id,
+            nonce,
+            share,
+            epoch=envelope.epoch,
+            fence_floor=envelope.fence_floor,
         )
         if key is not None:
             self._pump()  # a deferred request may now be decryptable
@@ -219,11 +241,48 @@ class ItdosServerElement(BftReplica):
 
     def _bft_execute(self, payload: bytes, seq: int, client_id: str, timestamp: int) -> bytes:
         if self.diverged:
-            return STATIC_ACK  # keep acking, but the element is out of sync
+            # Keep acking so the domain's ordering makes progress, and
+            # buffer the tail for the recovery replay.
+            self._buffer_tail(seq, payload)
+            return STATIC_ACK
         self.queue.append(seq, payload)
         self._append_chain = digest(self._append_chain + payload)
         self._pump()
         return STATIC_ACK
+
+    # -- divergence and the recovery tail buffer ----------------------------------------
+
+    def _mark_diverged(self) -> None:
+        """Flag loss of sync and start buffering the ordered tail.
+
+        Everything :meth:`_bft_execute` sees from here on is kept (byte-
+        bounded) so :class:`~repro.recovery.coordinator.RecoveryCoordinator`
+        can replay the entries that postdate whatever peer snapshot it
+        adopts. The anchor records where coverage begins.
+        """
+        self.diverged = True
+        if self._recovery_anchor is None:
+            self._recovery_anchor = self.last_executed
+            self._recovery_buffer = []
+            self._recovery_buffer_bytes = 0
+
+    def _buffer_tail(self, seq: int, payload: bytes) -> None:
+        if self._recovery_anchor is None:
+            self._recovery_anchor = seq - 1
+        self._recovery_buffer.append((seq, payload))
+        self._recovery_buffer_bytes += len(payload)
+        if self._recovery_buffer_bytes > self.queue.max_bytes:
+            # Same budget as the queue itself. On overflow drop the stale
+            # prefix and re-anchor here — the coordinator then requires a
+            # snapshot at least this fresh before adopting.
+            self._recovery_buffer = [(seq, payload)]
+            self._recovery_buffer_bytes = len(payload)
+            self._recovery_anchor = seq - 1
+
+    def _clear_recovery_buffer(self) -> None:
+        self._recovery_buffer = []
+        self._recovery_buffer_bytes = 0
+        self._recovery_anchor = None
 
     # -- the ORB loop -------------------------------------------------------------------
 
@@ -233,6 +292,8 @@ class ItdosServerElement(BftReplica):
         self._pumping = True
         try:
             while True:
+                if self.diverged:
+                    return  # went out of sync mid-drain; await recovery
                 if self._parked is not None:
                     if not self._feed_parked():
                         return
@@ -304,7 +365,7 @@ class ItdosServerElement(BftReplica):
                 self.queue.pop_head()
                 self.undecryptable_skipped += 1
                 if self.state_mode == "queue":
-                    self.diverged = True
+                    self._mark_diverged()
                 return True
             # Key shares (Figure 3 step 2) have not landed yet; the request
             # stays at the head so ordering is preserved.
@@ -660,24 +721,93 @@ class ItdosServerElement(BftReplica):
             if record is not None and record.client_kind == "singleton":
                 self.send(record.client, cached)
 
-    # -- readmission (extension, paper §4 future work) ----------------------------------------
+    # -- readmission and recovery (extension, paper §4 future work) ---------------------------
 
     def petition_readmission(self, callback: Callable[[bytes], None] | None = None) -> None:
         """Ask the Group Manager to re-admit this (repaired) element.
 
-        On success the GM rekeys every affected communication group with
-        this element included; the blocked queue drains by skipping the
-        missed generations, and (in object mode) the next checkpoint
-        divergence triggers state transfer to repair servant state.
+        Sends the *signed* rejoin handshake (:mod:`repro.recovery`): the GM
+        verifies the element's signature and replay nonce, re-adds it to
+        domain membership, and rotates every affected communication group
+        to a fresh membership key epoch. Membership only — use
+        :meth:`recover_membership` to also catch the replicated queue up
+        via state transfer.
         """
-        from repro.itdos.messages import ReadmitRequest
+        self.recovery.petition(callback=callback)
 
-        request = ReadmitRequest(
-            requester=self.pid, element=self.pid, domain_id=self.domain_id
+    def recover_membership(
+        self,
+        callback: Callable[[bytes], None] | None = None,
+        fresh_keys: bool = False,
+        on_complete: Callable[[bool], None] | None = None,
+    ) -> None:
+        """Full recovery: rejoin handshake plus queue state transfer.
+
+        The end-to-end path for a repaired or restarted element: petition
+        the GM (readmission + key-epoch rotation; pass ``fresh_keys`` to
+        force the rotation even when never expelled, the proactive-recovery
+        case), then adopt a cross-validated ``MessageQueue`` snapshot from
+        ``2f+1`` peers and replay the buffered ordered tail. ``callback``
+        receives the GM verdict; ``on_complete`` fires when recovery
+        finishes (with its success as a bool).
+        """
+        self.recovery.begin(
+            callback=callback, fresh_keys=fresh_keys, on_complete=on_complete
         )
-        self.endpoint.gm_engine.invoke(
-            request.to_payload(), callback or (lambda verdict: None)
+
+    def _serve_queue_state(self, src: str, request: QueueStateRequest) -> None:
+        """Answer a rejoining peer's state-transfer fetch.
+
+        Only fellow domain members are served, and only from an element
+        that is itself in sync — a diverged element must not export state
+        it does not trust. The response pairs the live queue snapshot with
+        our stable PBFT checkpoint certificate so the joiner can anchor the
+        fetched state to the BFT layer.
+        """
+        if request.domain_id != self.domain_id or request.requester != src:
+            return
+        if src not in self.domain_info.element_ids:
+            return
+        if self.diverged:
+            return
+        stable_seq, snapshot, proof = self.stable_checkpoint()
+        t = self.telemetry
+        if t.enabled:
+            t.point(
+                "recovery.serve", pid=self.pid, peer=src, attempt=request.attempt
+            )
+        self.send(
+            src,
+            QueueStateResponse(
+                sender=self.pid,
+                domain_id=self.domain_id,
+                attempt=request.attempt,
+                appended=self.queue.total_appended,
+                chain=self._append_chain,
+                snapshot=self.queue.snapshot(),
+                last_executed=self.last_executed,
+                stable_seq=stable_seq,
+                checkpoint_snapshot=snapshot,
+                checkpoint_proof=proof,
+            ),
         )
+
+    def on_restart(self) -> None:
+        """A rebooted element keeps its identity, directory, and key store,
+        but every volatile piece of the ORB loop is wiped. A queue-mode
+        element comes back diverged: the queue contents cannot be trusted
+        across a reboot, so :meth:`recover_membership` must re-adopt them
+        from peers (object mode instead heals through ordinary BFT state
+        transfer)."""
+        super().on_restart()
+        self._parked = None
+        self._pumping = False
+        self._body_cache.clear()
+        self._reply_cache.clear()
+        if self.state_mode == "queue":
+            self.queue.items.clear()
+            self.queue.bytes_held = 0
+            self._mark_diverged()
 
     # -- checkpoint state --------------------------------------------------------------------
 
@@ -715,9 +845,17 @@ class ItdosServerElement(BftReplica):
             self.queue.processed_count = data.get("appended", 0)
             self.queue.total_appended = data.get("appended", 0)
             self.diverged = False
+            self._clear_recovery_buffer()
         else:
-            # Queue mode cannot reconstruct servant state from a digest:
-            # the element is permanently out of sync and must be expelled
-            # and re-admitted — the virtual synchrony consequence §3.1
-            # accepts.
+            # Queue mode cannot reconstruct the queue contents from a
+            # digest checkpoint: the element is out of sync until the
+            # recovery subsystem re-adopts the queue from peers (or, if it
+            # never recovers, until expulsion — the virtual synchrony
+            # consequence §3.1 accepts). State transfer moved our execution
+            # position, so re-anchor the tail buffer at the restored
+            # position: entries before it were never buffered by us and
+            # must come from a peer snapshot at least this fresh.
             self.diverged = True
+            self._recovery_buffer = []
+            self._recovery_buffer_bytes = 0
+            self._recovery_anchor = seq

@@ -433,7 +433,13 @@ class SmiopEndpoint:
         except (AuthenticationError, ValueError, KeyError):
             return True  # corrupt share envelope: drop
         key = self.key_store.offer_share(
-            envelope.gm_element, envelope.conn_id, envelope.key_id, nonce, share
+            envelope.gm_element,
+            envelope.conn_id,
+            envelope.key_id,
+            nonce,
+            share,
+            epoch=envelope.epoch,
+            fence_floor=envelope.fence_floor,
         )
         if key is not None:
             self._key_ready(envelope)

@@ -70,6 +70,9 @@ class HealthBoard:
 
     elements: dict[str, ElementHealth] = field(default_factory=dict)
     events: list[HealthEvent] = field(default_factory=list)
+    # Highest communication-key membership epoch observed (Group Manager
+    # rollup): every expulsion/readmission advances it.
+    key_epoch: int = 0
 
     enabled = True
 
@@ -162,6 +165,24 @@ class HealthBoard:
             self._event(time, "readmission", pid, detail, ctx)
         return newly
 
+    def record_key_epoch(
+        self,
+        epoch: int,
+        time: float = 0.0,
+        ctx: TraceContext | None = None,
+        detail: str = "",
+    ) -> bool:
+        """Roll the key epoch forward; dedups replayed GM executions.
+
+        Returns True only on the first report of a new epoch (every GM
+        replica executes the same ordered membership change).
+        """
+        if epoch <= self.key_epoch:
+            return False
+        self.key_epoch = epoch
+        self._event(time, "key_epoch", "gm", detail or f"epoch={epoch}", ctx)
+        return True
+
     # -- queries / rendering -------------------------------------------------
 
     def expelled(self) -> list[str]:
@@ -174,6 +195,7 @@ class HealthBoard:
         return {
             "elements": [h.as_dict() for _, h in sorted(self.elements.items())],
             "events": [e.as_dict() for e in self.events],
+            "key_epoch": self.key_epoch,
         }
 
     def render(self) -> str:
@@ -204,6 +226,9 @@ class HealthBoard:
 
         lines = [fmt(headers), fmt(tuple("-" * w for w in widths))]
         lines.extend(fmt(row) for row in rows)
+        if self.key_epoch:
+            lines.append("")
+            lines.append(f"key epoch: {self.key_epoch}")
         if self.events:
             lines.append("")
             lines.append("events:")
@@ -228,6 +253,7 @@ class NullHealthBoard:
     enabled = False
     elements: dict = {}
     events: list = []
+    key_epoch = 0
 
     def element(self, pid: str) -> None:
         return None
@@ -247,6 +273,9 @@ class NullHealthBoard:
     def record_readmission(self, pids: Iterable[str], **kwargs: Any) -> int:
         return 0
 
+    def record_key_epoch(self, epoch: int, **kwargs: Any) -> bool:
+        return False
+
     def expelled(self) -> list:
         return []
 
@@ -254,7 +283,7 @@ class NullHealthBoard:
         return []
 
     def as_dict(self) -> dict[str, Any]:
-        return {"elements": [], "events": []}
+        return {"elements": [], "events": [], "key_epoch": 0}
 
     def render(self) -> str:
         return "health board disabled"

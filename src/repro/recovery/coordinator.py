@@ -1,0 +1,326 @@
+"""The per-element recovery coordinator.
+
+Drives the two halves of recovery for one
+:class:`~repro.itdos.replica.ItdosServerElement`:
+
+1. **Rejoin** — send the signed :class:`RejoinPetition` through the Group
+   Manager's ordering and wait for the replicated verdict. A successful
+   verdict means the GM has re-added the element to domain membership and
+   rotated every affected connection key to a new membership epoch.
+2. **Queue state transfer** — fetch each peer's ``MessageQueue.snapshot()``
+   plus its stable PBFT checkpoint, cross-validate the response
+   fingerprints across peers, adopt a matching set, and replay the
+   *buffered ordered tail*: every payload the element's own ordering
+   executed while it was diverged (buffered by
+   ``ItdosServerElement._bft_execute``) whose sequence number postdates the
+   adopted snapshot.
+
+The cross-validation quorum starts at ``2f+1`` matching responses — enough
+to guarantee the adopted snapshot is both *correct* (≥ f+1 honest) and
+*fresh* (intersects every commit quorum). If the domain cannot produce that
+many matching answers (peers mid-checkpoint, or f of them mute), later
+rounds degrade to the correctness minimum ``f+1``, accepting possible
+staleness; staleness is safe because adoption additionally requires the
+peer's execution position to cover our buffering anchor, so the snapshot
+plus our replayed tail reconstructs a prefix-consistent queue.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.crypto.digests import digest
+from repro.itdos.queuestate import QueueOverflow
+from repro.recovery.messages import (
+    QueueStateRequest,
+    QueueStateResponse,
+    RejoinPetition,
+    petition_body,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.itdos.replica import ItdosServerElement
+
+#: Verdicts after which the joiner is (again) a member in good standing.
+ADMITTED_VERDICTS = (b"READMITTED", b"REFRESHED", b"OK")
+
+
+class RecoveryCoordinator:
+    """Petition → fetch → cross-validate → restore → replay, with retries."""
+
+    def __init__(self, element: "ItdosServerElement") -> None:
+        self.element = element
+        self.active = False
+        self.succeeded = False
+        self.attempt = 0
+        self.last_verdict: bytes | None = None
+        self.transfers_completed = 0
+        self.recovered_at: float | None = None
+        self.bytes_transferred = 0
+        self._petition_nonce = 0
+        self._fresh_keys = False
+        self._responses: dict[str, QueueStateResponse] = {}
+        self._timer: Any = None
+        self._span: Any = None
+        self._on_complete: Callable[[bool], None] | None = None
+
+    # -- rejoin petition ---------------------------------------------------
+
+    def _next_nonce(self) -> int:
+        # Monotone even across a restart that wiped the counter: anchor on
+        # simulated time in microseconds, tiebroken by the local counter.
+        now_us = int(self.element.now * 1_000_000)
+        self._petition_nonce = max(self._petition_nonce + 1, now_us)
+        return self._petition_nonce
+
+    def make_petition(self, fresh_keys: bool = False) -> RejoinPetition:
+        element = self.element
+        nonce = self._next_nonce()
+        body = petition_body(element.pid, element.domain_id, fresh_keys, nonce)
+        return RejoinPetition(
+            element=element.pid,
+            domain_id=element.domain_id,
+            fresh_keys=bool(fresh_keys),
+            nonce=nonce,
+            signature=element.signer.sign(body),
+        )
+
+    def petition(
+        self,
+        callback: Callable[[bytes], None] | None = None,
+        fresh_keys: bool = False,
+    ) -> None:
+        """Send the signed rejoin handshake (membership only, no transfer)."""
+        element = self.element
+        t = element.telemetry
+        request = self.make_petition(fresh_keys)
+        span = (
+            t.begin("recovery.petition", pid=element.pid, fresh=bool(fresh_keys))
+            if t.enabled
+            else None
+        )
+
+        def on_verdict(verdict: bytes) -> None:
+            self.last_verdict = verdict
+            if span is not None:
+                span.attrs["verdict"] = verdict.decode("ascii", "replace")
+                t.end(span)
+            if callback is not None:
+                callback(verdict)
+
+        with t.use(span.ctx if span is not None else None):
+            element.endpoint.gm_engine.invoke(request.to_payload(), on_verdict)
+
+    # -- full recovery -----------------------------------------------------
+
+    def begin(
+        self,
+        callback: Callable[[bytes], None] | None = None,
+        fresh_keys: bool = False,
+        on_complete: Callable[[bool], None] | None = None,
+    ) -> None:
+        """Rejoin, then (queue mode) transfer state until caught up.
+
+        ``callback`` receives the GM's petition verdict; ``on_complete``
+        fires once the whole recovery finishes (``True``) or every transfer
+        attempt is exhausted (``False``). In object mode the petition alone
+        completes recovery — servant state is repaired by the ordinary BFT
+        checkpoint/state-transfer machinery, not by queue adoption.
+        """
+        element = self.element
+        if self.active:
+            return
+        self.active = True
+        self.succeeded = False
+        self.attempt = 0
+        self._fresh_keys = bool(fresh_keys)
+        self._on_complete = on_complete
+        t = element.telemetry
+        self._span = (
+            t.begin("recovery.recover", pid=element.pid, fresh=bool(fresh_keys))
+            if t.enabled
+            else None
+        )
+        if element.state_mode == "queue":
+            # From here on the ordered tail is buffered, so anything our own
+            # ordering executes during recovery can be replayed on top of
+            # whatever snapshot we adopt.
+            element._mark_diverged()
+
+        def on_verdict(verdict: bytes) -> None:
+            if callback is not None:
+                callback(verdict)
+            if verdict not in ADMITTED_VERDICTS:
+                self._finish(False)
+            elif element.state_mode == "queue":
+                self._start_transfer()
+            else:
+                self._finish(True)
+
+        with t.use(self._span.ctx if self._span is not None else None):
+            self.petition(callback=on_verdict, fresh_keys=fresh_keys)
+
+    # -- queue state transfer ----------------------------------------------
+
+    def _start_transfer(self) -> None:
+        element = self.element
+        self.attempt += 1
+        if self.attempt > element.directory.recovery_max_attempts:
+            self._finish(False)
+            return
+        self._responses = {}
+        t = element.telemetry
+        if t.enabled:
+            t.point(
+                "recovery.transfer",
+                parent=self._span.ctx if self._span is not None else None,
+                pid=element.pid,
+                attempt=self.attempt,
+                quorum=self._required_matching(),
+            )
+        request = QueueStateRequest(
+            requester=element.pid, domain_id=element.domain_id, attempt=self.attempt
+        )
+        for peer in element.domain_info.element_ids:
+            if peer != element.pid:
+                element.send(peer, request)
+        # Later rounds wait longer — peers may be settling a checkpoint.
+        window = element.directory.recovery_fetch_window * self.attempt
+        self._timer = element.set_timer(window, self._window_closed)
+
+    def _required_matching(self) -> int:
+        info = self.element.domain_info
+        if self.attempt <= self.element.directory.recovery_full_quorum_attempts:
+            return min(2 * info.f + 1, info.n - 1)
+        return info.f + 1
+
+    def handle_response(self, src: str, response: QueueStateResponse) -> None:
+        element = self.element
+        if not self.active or response.attempt != self.attempt:
+            return  # stale round
+        if src != response.sender or src not in element.domain_info.element_ids:
+            return
+        if src == element.pid or response.domain_id != element.domain_id:
+            return
+        self._responses[src] = response
+        # Adopt as soon as some fingerprint reaches the quorum — no need to
+        # sit out the rest of the window.
+        required = self._required_matching()
+        if any(len(g) >= required for g in self._groups().values()):
+            if self._timer is not None:
+                element.cancel_timer(self._timer)
+                self._timer = None
+            self._try_adopt()
+
+    def _groups(self) -> dict[bytes, list[QueueStateResponse]]:
+        groups: dict[bytes, list[QueueStateResponse]] = {}
+        for response in self._responses.values():
+            groups.setdefault(response.fingerprint(), []).append(response)
+        return groups
+
+    def _window_closed(self) -> None:
+        self._timer = None
+        self._try_adopt()
+
+    def _try_adopt(self) -> None:
+        if not self.active:
+            return
+        element = self.element
+        required = self._required_matching()
+        anchor = (
+            element._recovery_anchor
+            if element._recovery_anchor is not None
+            else element.last_executed
+        )
+        best: QueueStateResponse | None = None
+        for members in self._groups().values():
+            if len(members) < required:
+                continue
+            candidate = members[0]
+            if candidate.last_executed < anchor:
+                # Snapshot predates our buffering anchor: our buffer cannot
+                # bridge the gap between it and our own execution position.
+                continue
+            if best is None or candidate.last_executed > best.last_executed:
+                best = candidate
+        if best is not None and self._adopt(best):
+            self._finish(True)
+        else:
+            self._start_transfer()
+
+    def _adopt(self, response: QueueStateResponse) -> bool:
+        element = self.element
+        t = element.telemetry
+        # The checkpoint certificate must check out before anything mutates:
+        # 2f+1 signed-by-membership CheckpointMsgs over the peer's snapshot.
+        if response.stable_seq > 0 and not element.verify_checkpoint_proof(
+            response.stable_seq,
+            digest(response.checkpoint_snapshot),
+            response.checkpoint_proof,
+        ):
+            return False
+        try:
+            element.queue.restore(response.snapshot)
+        except (ValueError, QueueOverflow):
+            return False  # retry round will overwrite any partial state
+        element._append_chain = response.chain
+        # Replay the buffered ordered tail past the snapshot position.
+        replayed = 0
+        for seq, payload in element._recovery_buffer:
+            if seq <= response.last_executed:
+                continue
+            try:
+                element.queue.append(seq, payload)
+            except (ValueError, QueueOverflow):
+                return False
+            element._append_chain = digest(element._append_chain + payload)
+            replayed += 1
+        if response.last_executed > element.last_executed:
+            element.last_executed = response.last_executed
+        element.diverged = False
+        element._clear_recovery_buffer()
+        # Adopt the peer's stable checkpoint *after* un-diverging so any
+        # execution it unblocks appends to the queue instead of the buffer.
+        if response.stable_seq > element.stable_seq:
+            element.adopt_stable_checkpoint(
+                response.stable_seq,
+                response.checkpoint_snapshot,
+                response.checkpoint_proof,
+            )
+        self.transfers_completed += 1
+        self.recovered_at = element.now
+        self.bytes_transferred += response.wire_size()
+        if t.enabled:
+            t.point(
+                "recovery.restore",
+                parent=self._span.ctx if self._span is not None else None,
+                pid=element.pid,
+                source=response.sender,
+                adopted_exec=response.last_executed,
+                replayed=replayed,
+                snapshot_bytes=len(response.snapshot),
+            )
+            t.registry.counter(
+                "recovery_transfers_total", "Queue state transfers completed"
+            ).inc()
+        element._pump()
+        return True
+
+    def _finish(self, success: bool) -> None:
+        self.active = False
+        self.succeeded = success
+        if self._timer is not None:
+            self.element.cancel_timer(self._timer)
+            self._timer = None
+        t = self.element.telemetry
+        if self._span is not None:
+            self._span.attrs["outcome"] = "recovered" if success else "gave_up"
+            t.end(self._span)
+            self._span = None
+        if t.enabled and not success:
+            t.registry.counter(
+                "recovery_failures_total", "Recoveries that exhausted every attempt"
+            ).inc()
+        on_complete, self._on_complete = self._on_complete, None
+        if on_complete is not None:
+            on_complete(success)

@@ -1,0 +1,151 @@
+"""Recovery protocol messages.
+
+Two message groups:
+
+* the **rejoin handshake** — a :class:`RejoinPetition` travels through the
+  Group Manager's ordering exactly like Figure 3's ``open_request``, but is
+  additionally *signed* with the element's registered RSA key and carries a
+  monotone nonce, so the GM can check that the petitioner controls the
+  element identity and that an old petition is not being replayed;
+* **queue state transfer** — point-to-point
+  :class:`QueueStateRequest`/:class:`QueueStateResponse` between fellow
+  domain elements. The response bundles the peer's live
+  ``MessageQueue.snapshot()``, its rolling append chain, and its stable
+  PBFT checkpoint (snapshot + 2f+1 certificate), letting the joiner
+  cross-validate the fetched state against the BFT layer before adopting.
+
+The petition payload kind is registered with
+:func:`repro.itdos.messages.register_payload_kind` at import, so the
+existing ``parse_payload`` dispatch decodes it without this package being a
+dependency of :mod:`repro.itdos.messages`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.digests import digest
+from repro.crypto.encoding import canonical_bytes
+from repro.itdos.messages import encode_payload, register_payload_kind
+
+
+def petition_body(element: str, domain_id: str, fresh_keys: bool, nonce: int) -> bytes:
+    """The exact bytes a rejoin petitioner signs."""
+    return canonical_bytes(
+        {
+            "purpose": "rejoin",
+            "element": element,
+            "domain": domain_id,
+            "fresh_keys": bool(fresh_keys),
+            "nonce": nonce,
+        }
+    )
+
+
+@dataclass(frozen=True)
+class RejoinPetition:
+    """Signed request to re-enter (or key-refresh) a replication domain.
+
+    ``fresh_keys`` distinguishes the proactive-recovery case: an element in
+    good standing that just restarted asks for a key-epoch rotation even
+    though it was never expelled, so any keys exfiltrated before the
+    restart die with the old epoch.
+    """
+
+    element: str
+    domain_id: str
+    fresh_keys: bool
+    nonce: int
+    signature: bytes
+
+    KIND = "rejoin_petition"
+
+    def body(self) -> bytes:
+        return petition_body(self.element, self.domain_id, self.fresh_keys, self.nonce)
+
+    def to_payload(self) -> bytes:
+        return encode_payload(
+            self.KIND,
+            {
+                "element": self.element,
+                "domain_id": self.domain_id,
+                "fresh_keys": self.fresh_keys,
+                "nonce": self.nonce,
+                "signature": self.signature,
+            },
+        )
+
+    @staticmethod
+    def from_fields(fields: dict[str, Any]) -> "RejoinPetition":
+        return RejoinPetition(
+            element=fields["element"],
+            domain_id=fields["domain_id"],
+            fresh_keys=fields["fresh_keys"],
+            nonce=fields["nonce"],
+            signature=fields["signature"],
+        )
+
+    def trace_label(self) -> str:
+        return f"rejoin_petition({self.element},fresh={self.fresh_keys})"
+
+
+register_payload_kind(RejoinPetition.KIND, RejoinPetition.from_fields)
+
+
+@dataclass(frozen=True)
+class QueueStateRequest:
+    """Ask a fellow domain element for its current queue state."""
+
+    requester: str
+    domain_id: str
+    attempt: int
+
+    def trace_label(self) -> str:
+        return f"queue_state_request({self.requester},attempt={self.attempt})"
+
+
+@dataclass(frozen=True)
+class QueueStateResponse:
+    """One peer's view of the replicated queue, anchored to its checkpoint.
+
+    ``checkpoint_proof`` is the 2f+1 :class:`~repro.bft.messages.CheckpointMsg`
+    certificate for ``(stable_seq, checkpoint_snapshot)`` — the recovery
+    "checkpoint fetch RPC". Proof *contents* differ per peer (different
+    quorum subsets), so :meth:`fingerprint` covers everything except it.
+    """
+
+    sender: str
+    domain_id: str
+    attempt: int
+    appended: int  # payloads ever ordered into the queue
+    chain: bytes  # rolling digest of the ordered history
+    snapshot: bytes  # MessageQueue.snapshot()
+    last_executed: int  # the peer's BFT execution position
+    stable_seq: int
+    checkpoint_snapshot: bytes
+    checkpoint_proof: tuple = ()
+
+    def fingerprint(self) -> bytes:
+        """Digest used to cross-validate responses across peers."""
+        return digest(
+            canonical_bytes(
+                {
+                    "appended": self.appended,
+                    "chain": self.chain,
+                    "snapshot": digest(self.snapshot),
+                    "last_executed": self.last_executed,
+                    "stable_seq": self.stable_seq,
+                    "checkpoint": digest(self.checkpoint_snapshot),
+                }
+            )
+        )
+
+    def wire_size(self) -> int:
+        return 96 + len(self.snapshot) + len(self.checkpoint_snapshot)
+
+    def trace_label(self) -> str:
+        return (
+            f"queue_state_response(i={self.sender},exec={self.last_executed},"
+            f"{len(self.snapshot)}B)"
+        )

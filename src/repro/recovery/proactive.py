@@ -1,0 +1,110 @@
+"""Proactive recovery: periodically restart elements before they fail.
+
+Proactive recovery (Castro & Liskov 2000; the paper's §4 "survivability
+architecture" direction) bounds the *dwell time* of an undetected intruder:
+even if an adversary silently controls an element, a periodic
+restart→rejoin→state-transfer rotation evicts it, and the rejoin's
+``fresh_keys`` petition rotates the membership key epoch so any exfiltrated
+connection keys die with the old epoch.
+
+The scheduler round-robins the domain's elements on the simulation
+scheduler. Each cycle: ``crash()`` the element, wait ``downtime``,
+``restart()`` it (wiping volatile state), then run the full
+:meth:`~repro.itdos.replica.ItdosServerElement.recover_membership` path.
+Elements already crashed or mid-recovery are skipped, so a slow recovery is
+never preempted by its own scheduler. With ``period`` spacing between
+restarts, at most one element is down at a time — the domain keeps its
+``2f+1`` live quorum throughout (for f ≥ 1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.itdos.replica import ItdosServerElement
+    from repro.sim.network import Network
+
+
+class ProactiveRecoveryScheduler:
+    """Round-robin restart→rejoin→state-transfer over a domain's elements."""
+
+    def __init__(
+        self,
+        network: "Network",
+        elements: list["ItdosServerElement"],
+        period: float = 5.0,
+        downtime: float = 0.05,
+    ) -> None:
+        if not elements:
+            raise ValueError("proactive recovery needs at least one element")
+        if downtime >= period:
+            raise ValueError("downtime must be shorter than the rotation period")
+        self.network = network
+        self.elements = list(elements)
+        self.period = period
+        self.downtime = downtime
+        self.active = False
+        self.cycles_started = 0
+        self.cycles_completed = 0
+        # (time, pid, phase) with phase in {"restart", "recovered", "failed"}.
+        self.events: list[tuple[float, str, str]] = []
+        self._index = 0
+        self._handle: Any = None
+
+    def start(self) -> None:
+        if self.active:
+            return
+        self.active = True
+        self._handle = self.network.scheduler.schedule(self.period, self._tick)
+
+    def stop(self) -> None:
+        self.active = False
+        if self._handle is not None:
+            self.network.scheduler.cancel(self._handle)
+            self._handle = None
+
+    # -- one rotation step -------------------------------------------------
+
+    def _tick(self) -> None:
+        if not self.active:
+            return
+        element = self._next_element()
+        if element is not None:
+            self._recover_one(element)
+        self._handle = self.network.scheduler.schedule(self.period, self._tick)
+
+    def _next_element(self) -> "ItdosServerElement | None":
+        for _ in range(len(self.elements)):
+            element = self.elements[self._index % len(self.elements)]
+            self._index += 1
+            if not element.crashed and not element.recovery.active:
+                return element
+        return None
+
+    def _recover_one(self, element: "ItdosServerElement") -> None:
+        t = element.telemetry
+        span = t.begin("recovery.proactive", pid=element.pid) if t.enabled else None
+        self.cycles_started += 1
+        self.events.append((self.network.scheduler.now, element.pid, "restart"))
+        element.crash()
+
+        def reboot() -> None:
+            element.restart()
+
+            def done(success: bool) -> None:
+                self.cycles_completed += 1
+                phase = "recovered" if success else "failed"
+                self.events.append((self.network.scheduler.now, element.pid, phase))
+                if span is not None:
+                    span.attrs["outcome"] = phase
+                    verdict = element.recovery.last_verdict or b""
+                    span.attrs["verdict"] = verdict.decode("ascii", "replace")
+                    t.end(span)
+
+            with t.use(span.ctx if span is not None else None):
+                element.recover_membership(fresh_keys=True, on_complete=done)
+
+        # Scheduled on the raw network scheduler, not element.set_timer: the
+        # element is crashed and must still come back.
+        self.network.scheduler.schedule(self.downtime, reboot)

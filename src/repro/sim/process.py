@@ -117,6 +117,23 @@ class Process:
         """Resume after a crash. State is whatever the subclass preserved."""
         self.crashed = False
 
+    def restart(self) -> None:
+        """Reboot the process: cancel every pending timer, clear the crash
+        flag, and give the subclass its :meth:`on_restart` reset hook.
+
+        Unlike :meth:`recover`, timers armed before the crash do not fire
+        after a restart — a rebooted process re-arms its own periodic work.
+        """
+        scheduler = self._require_network().scheduler
+        for handle in list(self._timers):
+            scheduler.cancel(handle)
+        self._timers.clear()
+        self.crashed = False
+        self.on_restart()
+
+    def on_restart(self) -> None:
+        """Reset volatile state after :meth:`restart`. Subclasses override."""
+
     def __repr__(self) -> str:
         status = " CRASHED" if self.crashed else ""
         return f"<{type(self).__name__} {self.pid}{status}>"

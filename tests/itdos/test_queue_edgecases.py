@@ -1,0 +1,108 @@
+"""MessageQueue edge cases: selective pop, budget boundary, snapshots.
+
+The queue is the replicated state machine (§3.1), and with the recovery
+subsystem its snapshots now travel *between* elements — so restore() must
+treat every snapshot as untrusted input and the budget arithmetic must be
+exact at the boundary.
+"""
+
+import pytest
+
+from repro.crypto.encoding import canonical_bytes
+from repro.itdos.queuestate import MessageQueue, QueueOverflow
+
+
+def test_pop_first_on_empty_queue_returns_none():
+    queue = MessageQueue()
+    assert queue.pop_first(lambda payload: True) is None
+    assert queue.processed_count == 0
+
+
+def test_pop_first_without_match_leaves_queue_intact():
+    queue = MessageQueue()
+    queue.append(1, b"alpha")
+    queue.append(2, b"beta")
+    assert queue.pop_first(lambda payload: payload == b"missing") is None
+    assert len(queue) == 2
+    assert queue.bytes_held == len(b"alpha") + len(b"beta")
+    assert queue.processed_count == 0
+    # A matching predicate still extracts mid-queue without disturbing order.
+    item = queue.pop_first(lambda payload: payload == b"beta")
+    assert item is not None and item.seq == 2
+    assert [i.seq for i in queue.items] == [1]
+
+
+def test_append_at_exact_budget_boundary():
+    queue = MessageQueue(max_bytes=10)
+    queue.append(1, b"x" * 4)
+    queue.append(2, b"y" * 6)  # lands exactly on the budget
+    assert queue.bytes_held == 10
+    with pytest.raises(QueueOverflow):
+        queue.append(3, b"z")  # one byte over
+    # The failed append must not corrupt the accounting.
+    assert queue.bytes_held == 10
+    assert queue.total_appended == 2
+
+
+def test_snapshot_restore_roundtrip_with_non_ascii_payloads():
+    queue = MessageQueue()
+    payloads = [
+        "héllo wörld".encode("utf-8"),
+        "消息队列".encode("utf-8"),
+        bytes(range(256)),  # every byte value, not valid UTF-8
+    ]
+    for seq, payload in enumerate(payloads, start=5):
+        queue.append(seq, payload)
+    queue.pop_head()
+
+    twin = MessageQueue()
+    twin.restore(queue.snapshot())
+    assert [i.seq for i in twin.items] == [i.seq for i in queue.items]
+    assert [i.payload for i in twin.items] == [i.payload for i in queue.items]
+    assert twin.processed_count == queue.processed_count
+    assert twin.bytes_held == queue.bytes_held
+    assert twin.total_appended == queue.total_appended
+    assert twin.snapshot() == queue.snapshot()
+
+
+def test_restore_rejects_non_monotone_sequence_numbers():
+    queue = MessageQueue()
+    queue.append(1, b"keep")
+    bad = canonical_bytes({"processed": 0, "items": [[3, b"a"], [3, b"b"]]})
+    with pytest.raises(ValueError):
+        queue.restore(bad)
+    # Failed restore leaves the queue untouched.
+    assert [i.payload for i in queue.items] == [b"keep"]
+    assert queue.bytes_held == 4
+
+
+def test_restore_rejects_snapshot_over_budget():
+    queue = MessageQueue(max_bytes=8)
+    big = canonical_bytes({"processed": 0, "items": [[1, b"x" * 5], [2, b"y" * 4]]})
+    with pytest.raises(QueueOverflow):
+        queue.restore(big)
+    assert len(queue) == 0 and queue.bytes_held == 0
+    # Exactly at the budget is fine.
+    queue.restore(canonical_bytes({"processed": 2, "items": [[1, b"x" * 8]]}))
+    assert queue.bytes_held == 8
+    assert queue.total_appended == 3  # processed + restored items
+
+
+@pytest.mark.parametrize(
+    "raw",
+    [
+        canonical_bytes([1, 2, 3]),  # not a dict
+        canonical_bytes({"processed": 0}),  # missing items
+        canonical_bytes({"processed": -1, "items": []}),  # negative processed
+        canonical_bytes({"processed": True, "items": []}),  # bool is not a count
+        canonical_bytes({"processed": 0, "items": [[1]]}),  # malformed entry
+        canonical_bytes({"processed": 0, "items": [[True, b"x"]]}),  # bool seq
+        canonical_bytes({"processed": 0, "items": [[1, "text"]]}),  # str payload
+    ],
+)
+def test_restore_rejects_malformed_snapshots(raw):
+    queue = MessageQueue()
+    queue.append(1, b"keep")
+    with pytest.raises(ValueError):
+        queue.restore(raw)
+    assert [i.payload for i in queue.items] == [b"keep"]
