@@ -26,6 +26,7 @@ from repro.bft.auth import HmacAuth, MessageAuth, NullAuth, RsaAuth
 from repro.bft.client import BftClient, BftClientEngine
 from repro.bft.config import BftConfig
 from repro.bft.messages import (
+    BatchMsg,
     BftReply,
     CheckpointMsg,
     ClientRequest,
@@ -42,6 +43,7 @@ from repro.bft.messages import (
 from repro.bft.replica import BftReplica, build_group
 
 __all__ = [
+    "BatchMsg",
     "BftClient",
     "BftClientEngine",
     "BftConfig",

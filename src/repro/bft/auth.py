@@ -9,6 +9,12 @@ they can serve as transferable expulsion proof (§3.6). Three strategies:
   so safety against *our* fault injectors is preserved.
 * :class:`HmacAuth` — one MAC per receiver over the canonical content.
 * :class:`RsaAuth` — one signature per message, verifiable by anyone.
+
+Both cryptographic strategies share the message's memoized canonical
+encoding (``auth`` is outside the canonical fields, so clean and stamped
+instances encode identically) and keep a bounded cache of stamped forms:
+stamping a message for n receivers marshals once, and a retransmission of
+an identical message reuses the whole authenticator vector or signature.
 """
 
 from __future__ import annotations
@@ -17,7 +23,28 @@ import dataclasses
 from abc import ABC, abstractmethod
 from typing import Any
 
+from repro.crypto.encoding import canonical_bytes
+from repro.crypto.memo import MemoCache
 from repro.crypto.signing import HmacAuthenticator, KeyRing, RsaSigner
+
+#: Stamped protocol messages retained per strategy instance. Sized to cover
+#: a replica's retransmission working set (a few dozen live messages), not
+#: the whole log.
+STAMP_CACHE_SIZE = 1024
+
+
+def _content_bytes(message: Any) -> bytes:
+    """The canonical bytes a MAC or signature covers.
+
+    ``auth`` never participates in ``canonical_fields()``, so a stamped
+    message's own content bytes are exactly what its sender authenticated —
+    no stripped copy is needed on either side, and messages that memoize
+    their encoding hash once across stamp, accept, and retransmit.
+    """
+    encode = getattr(message, "canonical_encoding", None)
+    if callable(encode):
+        return encode()
+    return canonical_bytes(message)
 
 
 class MessageAuth(ABC):
@@ -46,13 +73,34 @@ class NullAuth(MessageAuth):
 class HmacAuth(MessageAuth):
     """Authenticator vectors over pairwise keys (Castro–Liskov style)."""
 
-    def __init__(self, authenticator: HmacAuthenticator) -> None:
+    def __init__(
+        self, authenticator: HmacAuthenticator, stamp_cache_size: int = STAMP_CACHE_SIZE
+    ) -> None:
         self.authenticator = authenticator
+        # (message, receivers) -> stamped copy. Keyed on content equality,
+        # so the fresh-but-identical prepares/commits a retransmission tick
+        # rebuilds hit without re-MACing.
+        self._stamped = MemoCache(maxsize=stamp_cache_size)
+
+    @property
+    def stamp_cache(self) -> MemoCache:
+        return self._stamped
 
     def stamp(self, message: Any, receivers: list[str]) -> Any:
-        others = [r for r in receivers if r != self.authenticator.own_id]
-        vector = self.authenticator.authenticator(others, message)
-        return dataclasses.replace(message, auth=vector)
+        others = tuple(r for r in receivers if r != self.authenticator.own_id)
+        key = (message, others)
+        cached = self._stamped.get(key)
+        if cached is not None:
+            return cached
+        data = _content_bytes(message)  # marshalled once, shared by every MAC
+        vector = {
+            peer: self.authenticator.mac_for(peer, data)
+            for peer in others
+            if self.authenticator.knows(peer)
+        }
+        stamped = dataclasses.replace(message, auth=vector)
+        self._stamped.put(key, stamped)
+        return stamped
 
     def accept(self, src: str, message: Any) -> bool:
         auth = getattr(message, "auth", None)
@@ -61,24 +109,37 @@ class HmacAuth(MessageAuth):
         mac = auth.get(self.authenticator.own_id)
         if mac is None:
             return False
-        clean = dataclasses.replace(message, auth=None)
-        return self.authenticator.check(src, clean, mac)
+        return self.authenticator.check(src, _content_bytes(message), mac)
 
 
 class RsaAuth(MessageAuth):
     """One transferable signature per message."""
 
-    def __init__(self, signer: RsaSigner, keyring: KeyRing) -> None:
+    def __init__(
+        self,
+        signer: RsaSigner,
+        keyring: KeyRing,
+        stamp_cache_size: int = STAMP_CACHE_SIZE,
+    ) -> None:
         self.signer = signer
         self.keyring = keyring
+        self._stamped = MemoCache(maxsize=stamp_cache_size)
+
+    @property
+    def stamp_cache(self) -> MemoCache:
+        return self._stamped
 
     def stamp(self, message: Any, receivers: list[str]) -> Any:
-        signature = self.signer.sign(message)
-        return dataclasses.replace(message, auth=signature)
+        cached = self._stamped.get(message)
+        if cached is not None:
+            return cached
+        signature = self.signer.sign(_content_bytes(message))
+        stamped = dataclasses.replace(message, auth=signature)
+        self._stamped.put(message, stamped)
+        return stamped
 
     def accept(self, src: str, message: Any) -> bool:
         auth = getattr(message, "auth", None)
         if not isinstance(auth, (bytes, bytearray)):
             return False
-        clean = dataclasses.replace(message, auth=None)
-        return self.keyring.verify(src, clean, bytes(auth))
+        return self.keyring.verify(src, _content_bytes(message), bytes(auth))

@@ -48,12 +48,26 @@ class BftClientEngine:
     :meth:`handle_message`, which returns True when it consumed the payload.
     """
 
-    def __init__(self, owner: Process, config: BftConfig) -> None:
+    def __init__(
+        self,
+        owner: Process,
+        config: BftConfig,
+        max_outstanding: int | None = None,
+    ) -> None:
         self.owner = owner
         self.config = config
+        # Client-side pipelining cap: with ``max_outstanding`` set, extra
+        # invokes queue locally and dispatch as earlier ones complete.
+        # PBFT's client-table dedup keys on the *latest* timestamp per
+        # client, so a single client must keep its requests ordered — cap 1
+        # reproduces the paper's one-outstanding-request discipline while
+        # letting callers submit back-to-back load; batching then amortizes
+        # across many such clients.
+        self.max_outstanding = max_outstanding
         self._timestamp = 0
         self._view_estimate = 0
         self._pending: dict[int, _PendingOp] = {}  # timestamp -> op
+        self._queue: list[tuple[bytes, ReplyCallback]] = []
         self.completed: list[tuple[int, bytes]] = []  # (timestamp, result)
 
     @property
@@ -68,7 +82,18 @@ class BftClientEngine:
         """Submit an operation; returns its timestamp (the client-local id).
 
         ``callback`` fires once with the accepted (f+1-matching) result.
+        Returns ``-1`` when the outstanding cap defers the submission; the
+        operation gets its timestamp when it actually dispatches.
         """
+        if (
+            self.max_outstanding is not None
+            and len(self._pending) >= self.max_outstanding
+        ):
+            self._queue.append((payload, callback or (lambda result: None)))
+            return -1
+        return self._submit(payload, callback)
+
+    def _submit(self, payload: bytes, callback: ReplyCallback | None) -> int:
         self._timestamp += 1
         timestamp = self._timestamp
         request = ClientRequest(
@@ -135,19 +160,34 @@ class BftClientEngine:
             self.completed.append((payload.timestamp, payload.result))
             del self._pending[payload.timestamp]
             op.callback(payload.result)
+            self._dispatch_queued()
         return True
+
+    def _dispatch_queued(self) -> None:
+        while self._queue and (
+            self.max_outstanding is None
+            or len(self._pending) < self.max_outstanding
+        ):
+            payload, callback = self._queue.pop(0)
+            self._submit(payload, callback)
 
     @property
     def outstanding(self) -> int:
         return len(self._pending)
 
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
 
 class BftClient(Process):
     """Standalone client process for one replication group."""
 
-    def __init__(self, pid: str, config: BftConfig) -> None:
+    def __init__(
+        self, pid: str, config: BftConfig, max_outstanding: int | None = None
+    ) -> None:
         super().__init__(pid)
-        self.engine = BftClientEngine(self, config)
+        self.engine = BftClientEngine(self, config, max_outstanding=max_outstanding)
         self.config = config
 
     def invoke(self, payload: bytes, callback: ReplyCallback | None = None) -> int:

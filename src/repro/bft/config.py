@@ -23,6 +23,16 @@ class BftConfig:
     client_retry_timeout: float = 0.5
     # "none" | "hmac" | "rsa" — how protocol messages are authenticated.
     auth_mode: str = "none"
+    # Request batching (Castro–Liskov): the primary accumulates up to
+    # ``batch_size`` requests into one ordered batch, waiting at most
+    # ``batch_delay`` once the first request of a batch is pending. The
+    # defaults reproduce unbatched PBFT exactly — every request flushes
+    # immediately, with no timer scheduled.
+    batch_size: int = 1
+    batch_delay: float = 0.0
+    # Maximum concurrent in-flight sequence numbers at the primary before
+    # new batches queue (0 = bounded only by the watermark window).
+    pipeline_window: int = 0
     # Multicast address used for replica-to-replica protocol traffic; when
     # None, the group id doubles as the address.
     multicast_address: str | None = None
@@ -40,6 +50,12 @@ class BftConfig:
             raise ValueError("checkpoint_interval must be >= 1")
         if self.auth_mode not in ("none", "hmac", "rsa"):
             raise ValueError(f"unknown auth_mode {self.auth_mode!r}")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.batch_delay < 0:
+            raise ValueError("batch_delay must be non-negative")
+        if self.pipeline_window < 0:
+            raise ValueError("pipeline_window must be non-negative")
 
     @property
     def n(self) -> int:

@@ -17,8 +17,26 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.crypto.digests import digest
+from repro.crypto.encoding import canonical_bytes
+from repro.crypto.memo import MemoCache
 
 _HEADER_OVERHEAD = 48  # nominal per-message framing cost in bytes
+
+# Content-addressed caches shared by every message instance. Keys are the
+# messages themselves: frozen dataclasses whose ``auth`` field is excluded
+# from comparison and hashing, so a clean message and its stamped copy map
+# to the same entry — the bytes computed when the sender stamps are the
+# bytes every receiver verifies, hashed exactly once.
+_ENCODING_CACHE = MemoCache(maxsize=8192)
+_DIGEST_CACHE = MemoCache(maxsize=8192)
+
+
+def marshal_cache_stats() -> dict[str, dict[str, float]]:
+    """Observability hook: hit/miss/eviction counters for both caches."""
+    return {
+        "encoding": _ENCODING_CACHE.stats(),
+        "digest": _DIGEST_CACHE.stats(),
+    }
 
 
 def _auth_size(auth: dict[str, bytes] | bytes | None) -> int:
@@ -36,8 +54,27 @@ class BftMessage:
     def canonical_fields(self) -> dict:  # pragma: no cover - overridden
         raise NotImplementedError
 
+    def canonical_encoding(self) -> bytes:
+        """Canonical TLV bytes of the message content, memoized.
+
+        Level 1 is a per-instance slot; level 2 is the content-addressed
+        LRU, which a stamped copy (equal under dataclass comparison — the
+        ``auth`` field never compares) shares with the clean original.
+        """
+        cached = self.__dict__.get("_enc")
+        if cached is None:
+            cached = _ENCODING_CACHE.memo(self, lambda: canonical_bytes(self))
+            object.__setattr__(self, "_enc", cached)
+        return cached
+
     def content_digest(self) -> bytes:
-        return digest(self)
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = _DIGEST_CACHE.memo(
+                self, lambda: digest(self.canonical_encoding())
+            )
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     def wire_size(self) -> int:
         return _HEADER_OVERHEAD + _payload_size(self.canonical_fields())
@@ -91,13 +128,38 @@ class ClientRequest(BftMessage):
 
 
 @dataclass(frozen=True)
+class BatchMsg(BftMessage):
+    """An ordered batch of client requests sharing one sequence number.
+
+    Castro–Liskov batching: under load the primary runs the three-phase
+    protocol once per *batch*, amortizing protocol messages and
+    authentication across requests from many clients / virtual
+    connections. The batch digest is what prepare, commit, and
+    view-change certificates cover; execution unpacks the requests in
+    batch order, so per-client reply semantics are untouched. An empty
+    batch is the no-op filler for view-change sequence gaps.
+    """
+
+    requests: tuple[ClientRequest, ...]
+
+    def canonical_fields(self) -> dict:
+        return {"requests": [r.canonical_fields() for r in self.requests]}
+
+    def wire_size(self) -> int:
+        return _HEADER_OVERHEAD + sum(r.wire_size() for r in self.requests)
+
+    def trace_label(self) -> str:
+        return f"Batch(k={len(self.requests)})"
+
+
+@dataclass(frozen=True)
 class PrePrepareMsg(BftMessage):
-    """<PRE-PREPARE, v, n, d> piggybacking the request itself."""
+    """<PRE-PREPARE, v, n, d> piggybacking the request batch itself."""
 
     view: int
     seq: int
-    request_digest: bytes
-    request: ClientRequest
+    request_digest: bytes  # the batch's content digest
+    batch: BatchMsg
     sender: str
     auth: dict[str, bytes] | bytes | None = field(default=None, compare=False)
 
@@ -110,7 +172,7 @@ class PrePrepareMsg(BftMessage):
         }
 
     def wire_size(self) -> int:
-        return super().wire_size() + self.request.wire_size() + _auth_size(self.auth)
+        return super().wire_size() + self.batch.wire_size() + _auth_size(self.auth)
 
     def trace_label(self) -> str:
         return f"PrePrepare(v={self.view},n={self.seq})"

@@ -24,6 +24,7 @@ from typing import Any, Callable
 from repro.bft.auth import MessageAuth, NullAuth
 from repro.bft.config import BftConfig
 from repro.bft.messages import (
+    BatchMsg,
     BftReply,
     CheckpointMsg,
     ClientRequest,
@@ -65,6 +66,11 @@ class _LogEntry:
     committed: bool = False
     executed: bool = False
     commit_sent: bool = False
+    # Our own contribution messages, kept so retransmission ticks and
+    # duplicate pre-prepares re-send the identical (cache-hitting) form
+    # instead of rebuilding and re-stamping it.
+    own_prepare: PrepareMsg | None = None
+    own_commit: CommitMsg | None = None
     # Phase entry times (telemetry only; 0.0 = phase not observed locally).
     t_pre_prepare: float = 0.0
     t_prepared: float = 0.0
@@ -115,8 +121,14 @@ class BftReplica(Process):
         self.last_executed = 0
         self.stable_seq = 0
         self.log: dict[int, _LogEntry] = {}
-        # Requests delivered but not orderable yet (window full / view change).
+        # Requests delivered but not orderable yet (view change in flight).
         self.pending_requests: list[ClientRequest] = []
+        # Primary-side batch accumulator: requests waiting for the current
+        # batch to fill, its delay timer to fire, or the pipeline window /
+        # watermark window to free a sequence number.
+        self._batch: list[ClientRequest] = []
+        self._batch_digests: set[bytes] = set()
+        self._batch_timer: TimerHandle | None = None
         # client_id -> (timestamp, cached BftReply) of last executed request.
         self.client_table: dict[str, tuple[int, BftReply | None]] = {}
         # Checkpoint messages by seq then sender.
@@ -217,6 +229,7 @@ class BftReplica(Process):
         them; the retransmission tick re-arms on the next delivery."""
         self._retransmit_timer = None
         self._vc_timer = None
+        self._batch_timer = None
         self._state_transfer_pending = False
 
     # --------------------------------------------------- retransmission tick
@@ -239,7 +252,12 @@ class BftReplica(Process):
         if self.in_view_change and self._last_view_change is not None:
             self._mcast(self._last_view_change)
             return
-        # Unexecuted log entries: re-send our contribution for the lowest few.
+        # A batch stranded by a restart or a re-gained window: force it out.
+        if self._batch:
+            self._maybe_flush(force=True)
+        # Unexecuted log entries: re-send our contribution for the lowest
+        # few, reusing the stored message objects so the auth layer's
+        # stamped-form cache hits instead of re-MACing every tick.
         pending = sorted(
             seq for seq, entry in self.log.items()
             if entry.pre_prepare is not None and not entry.executed
@@ -254,7 +272,8 @@ class BftReplica(Process):
                 self._mcast(pre_prepare)
             else:
                 self._mcast(
-                    PrepareMsg(
+                    entry.own_prepare
+                    or PrepareMsg(
                         view=pre_prepare.view,
                         seq=seq,
                         request_digest=pre_prepare.request_digest,
@@ -263,7 +282,8 @@ class BftReplica(Process):
                 )
             if entry.commit_sent:
                 self._mcast(
-                    CommitMsg(
+                    entry.own_commit
+                    or CommitMsg(
                         view=pre_prepare.view,
                         seq=seq,
                         request_digest=pre_prepare.request_digest,
@@ -339,7 +359,7 @@ class BftReplica(Process):
                 continue
             # Validate the commit certificate: 2f+1 distinct replicas over
             # the pre-prepare's digest, each individually authentic.
-            if pre_prepare.request_digest != pre_prepare.request.content_digest():
+            if pre_prepare.request_digest != pre_prepare.batch.content_digest():
                 return
             senders = set()
             for commit in commits:
@@ -390,41 +410,106 @@ class BftReplica(Process):
             self._p2p(self.primary, request)
 
     def _order(self, request: ClientRequest) -> None:
-        """Primary: assign the next sequence number and pre-prepare."""
-        if self.next_seq + 1 > self.high_watermark:
-            self.pending_requests.append(request)
-            return
+        """Primary: queue the request for the next batch and maybe flush."""
+        request_digest = request.content_digest()
+        if request_digest in self._batch_digests:
+            return  # already queued for an upcoming batch
         # Don't order the same request twice — but re-multicast the original
         # pre-prepare, which may have been lost at some backups.
-        request_digest = request.content_digest()
         for entry in self.log.values():
             if (
                 entry.pre_prepare is not None
-                and entry.pre_prepare.request_digest == request_digest
                 and not entry.executed
+                and any(
+                    r.content_digest() == request_digest
+                    for r in entry.pre_prepare.batch.requests
+                )
             ):
                 if entry.pre_prepare.view == self.view:
                     self._mcast(entry.pre_prepare)
                 return
+        self._batch.append(request)
+        self._batch_digests.add(request_digest)
+        self._maybe_flush()
+
+    def _can_assign(self) -> bool:
+        """May the primary put another sequence number in flight?"""
+        if self.next_seq + 1 > self.high_watermark:
+            return False
+        window = self.config.pipeline_window
+        if window and self.next_seq - self.last_executed >= window:
+            return False
+        return True
+
+    def _maybe_flush(self, force: bool = False) -> None:
+        """Emit as many batches as the pipeline allows.
+
+        An under-full batch waits for ``batch_delay`` (zero-delay timers
+        still coalesce every same-tick arrival, thanks to the scheduler's
+        FIFO tie-break) unless ``force`` is set. Requests that the
+        watermark or pipeline window keeps out stay queued here and flush
+        when :meth:`_try_execute` or :meth:`_stabilize` frees a slot.
+        """
+        if not self.is_primary or self.in_view_change:
+            return
+        while self._batch and self._can_assign():
+            if len(self._batch) < self.config.batch_size and not force:
+                self._arm_batch_timer()
+                return
+            count = min(len(self._batch), self.config.batch_size)
+            chunk, self._batch = self._batch[:count], self._batch[count:]
+            for request in chunk:
+                self._batch_digests.discard(request.content_digest())
+            self._emit_batch(tuple(chunk))
+        if not self._batch and self._batch_timer is not None:
+            self.cancel_timer(self._batch_timer)
+            self._batch_timer = None
+
+    def _arm_batch_timer(self) -> None:
+        if self._batch_timer is None:
+            self._batch_timer = self.set_timer(
+                self.config.batch_delay, self._on_batch_timeout
+            )
+
+    def _on_batch_timeout(self) -> None:
+        self._batch_timer = None
+        self._maybe_flush(force=True)
+
+    def _emit_batch(self, requests: tuple[ClientRequest, ...]) -> None:
+        """Assign the next sequence number to one batch and pre-prepare."""
+        batch = BatchMsg(requests=requests)
         self.next_seq += 1
         pre_prepare = PrePrepareMsg(
             view=self.view,
             seq=self.next_seq,
-            request_digest=request_digest,
-            request=request,
+            request_digest=batch.content_digest(),
+            batch=batch,
             sender=self.pid,
         )
         t = self.telemetry
         if t.enabled:
-            ctx = t.lookup(request_digest)
-            if ctx is not None:
-                t.point(
-                    "bft.pre_prepare",
-                    parent=ctx,
-                    pid=self.pid,
-                    seq=self.next_seq,
-                    view=self.view,
-                )
+            for request in requests:
+                ctx = t.lookup(request.content_digest())
+                if ctx is not None:
+                    t.point(
+                        "bft.pre_prepare",
+                        parent=ctx,
+                        pid=self.pid,
+                        seq=self.next_seq,
+                        view=self.view,
+                    )
+            t.registry.histogram(
+                "bft_batch_size",
+                "Requests per ordered batch",
+                labels=("group",),
+            ).labels(group=self.config.address).observe(float(len(requests)))
+            t.registry.histogram(
+                "bft_pipeline_occupancy",
+                "In-flight sequence numbers when a batch is emitted",
+                labels=("group",),
+            ).labels(group=self.config.address).observe(
+                float(self.next_seq - self.last_executed)
+            )
         self._mcast(pre_prepare)
 
     def on_duplicate_request(self, request: ClientRequest) -> None:
@@ -435,6 +520,16 @@ class BftReplica(Process):
         pending, self.pending_requests = self.pending_requests, []
         for request in pending:
             self._on_client_request(self.pid, request)
+
+    def _fold_batch_into_pending(self) -> None:
+        """Return accumulated-but-unordered requests to the pending list."""
+        if self._batch:
+            self.pending_requests.extend(self._batch)
+            self._batch = []
+            self._batch_digests.clear()
+        if self._batch_timer is not None:
+            self.cancel_timer(self._batch_timer)
+            self._batch_timer = None
 
     # ------------------------------------------------------ three-phase core
 
@@ -448,7 +543,7 @@ class BftReplica(Process):
             return
         if not self.stable_seq < msg.seq <= self.high_watermark:
             return
-        if msg.request_digest != msg.request.content_digest():
+        if msg.request_digest != msg.batch.content_digest():
             return
         entry = self._entry(msg.seq)
         if entry.pre_prepare is not None:
@@ -462,7 +557,8 @@ class BftReplica(Process):
                 ):
                     if not self.is_primary:
                         self._mcast(
-                            PrepareMsg(
+                            entry.own_prepare
+                            or PrepareMsg(
                                 view=msg.view,
                                 seq=msg.seq,
                                 request_digest=msg.request_digest,
@@ -471,7 +567,8 @@ class BftReplica(Process):
                         )
                     if entry.commit_sent:
                         self._mcast(
-                            CommitMsg(
+                            entry.own_commit
+                            or CommitMsg(
                                 view=msg.view,
                                 seq=msg.seq,
                                 request_digest=msg.request_digest,
@@ -481,11 +578,14 @@ class BftReplica(Process):
                 return  # already accepted one for this (or a later) view
         entry.pre_prepare = msg
         entry.t_pre_prepare = self.now
-        if msg.request.client_id != NULL_CLIENT:
-            request_digest = msg.request_digest
-            if request_digest not in self._awaiting and not entry.executed:
-                self._awaiting.add(request_digest)
-                self._ensure_vc_timer()
+        if not entry.executed:
+            for request in msg.batch.requests:
+                if request.client_id == NULL_CLIENT:
+                    continue
+                request_digest = request.content_digest()
+                if request_digest not in self._awaiting:
+                    self._awaiting.add(request_digest)
+                    self._ensure_vc_timer()
         if not self.is_primary:
             prepare = PrepareMsg(
                 view=msg.view,
@@ -493,6 +593,7 @@ class BftReplica(Process):
                 request_digest=msg.request_digest,
                 sender=self.pid,
             )
+            entry.own_prepare = prepare
             self._mcast(prepare)
         self._check_prepared(msg.seq)
         self._check_committed(msg.seq)
@@ -520,16 +621,17 @@ class BftReplica(Process):
             entry.t_prepared = self.now
             t = self.telemetry
             if t.enabled:
-                ctx = t.lookup(pre_prepare.request_digest)
-                if ctx is not None:
-                    t.record(
-                        "bft.prepare",
-                        entry.t_pre_prepare or self.now,
-                        end=self.now,
-                        parent=ctx,
-                        pid=self.pid,
-                        seq=seq,
-                    )
+                for request in pre_prepare.batch.requests:
+                    ctx = t.lookup(request.content_digest())
+                    if ctx is not None:
+                        t.record(
+                            "bft.prepare",
+                            entry.t_pre_prepare or self.now,
+                            end=self.now,
+                            parent=ctx,
+                            pid=self.pid,
+                            seq=seq,
+                        )
             if not entry.commit_sent:
                 entry.commit_sent = True
                 commit = CommitMsg(
@@ -538,6 +640,7 @@ class BftReplica(Process):
                     request_digest=pre_prepare.request_digest,
                     sender=self.pid,
                 )
+                entry.own_commit = commit
                 self._mcast(commit)
             self._check_committed(seq)
 
@@ -565,16 +668,17 @@ class BftReplica(Process):
             entry.committed = True
             t = self.telemetry
             if t.enabled:
-                ctx = t.lookup(pre_prepare.request_digest)
-                if ctx is not None:
-                    t.record(
-                        "bft.commit",
-                        entry.t_prepared or self.now,
-                        end=self.now,
-                        parent=ctx,
-                        pid=self.pid,
-                        seq=seq,
-                    )
+                for request in pre_prepare.batch.requests:
+                    ctx = t.lookup(request.content_digest())
+                    if ctx is not None:
+                        t.record(
+                            "bft.commit",
+                            entry.t_prepared or self.now,
+                            end=self.now,
+                            parent=ctx,
+                            pid=self.pid,
+                            seq=seq,
+                        )
             self._try_execute()
 
     def _try_execute(self) -> None:
@@ -587,10 +691,16 @@ class BftReplica(Process):
             entry.executed = True
             # Real progress: relax the escalated view-change patience.
             self._consecutive_view_changes = 0
-            self._execute(entry.pre_prepare.request, self.last_executed)
+            # Every replica unpacks the batch in its recorded order, so
+            # execution stays deterministic across the group; all requests
+            # of one batch share its sequence number.
+            for request in entry.pre_prepare.batch.requests:
+                self._execute(request, self.last_executed)
             if self.last_executed % self.config.checkpoint_interval == 0:
                 self._take_checkpoint(self.last_executed)
         self._refresh_vc_timer()
+        # Completed instances free pipeline-window slots for queued batches.
+        self._maybe_flush()
 
     def _execute(self, request: ClientRequest, seq: int) -> None:
         request_digest = request.content_digest()
@@ -677,6 +787,8 @@ class BftReplica(Process):
         if self.is_primary:
             self.next_seq = max(self.next_seq, self.stable_seq)
             self._drain_pending()
+            # The advanced watermark may admit batches the window held back.
+            self._maybe_flush()
 
     # ---------------------------------------------- checkpoint fetch (recovery)
 
@@ -831,6 +943,10 @@ class BftReplica(Process):
             return
         self.in_view_change = True
         self._consecutive_view_changes += 1
+        # Unflushed batched requests go back to pending: the new primary
+        # re-orders them (ours never reached a pre-prepare, so nothing is
+        # lost by the log wipe below).
+        self._fold_batch_into_pending()
         t = self.telemetry
         if t.enabled:
             t.health.record_view_change(self.pid, new_view, time=self.now)
@@ -933,17 +1049,17 @@ class BftReplica(Process):
                     best[seq] = cert
         max_s = max(best) if best else min_s
         pre_prepares = []
+        empty_batch = BatchMsg(requests=())
         for seq in range(min_s + 1, max_s + 1):
-            if seq in best:
-                request = best[seq].pre_prepare.request
-            else:
-                request = ClientRequest(client_id=NULL_CLIENT, timestamp=0, payload=b"")
+            # Sequence gaps are filled with an empty batch — a no-op that
+            # keeps execution contiguous without inventing null requests.
+            batch = best[seq].pre_prepare.batch if seq in best else empty_batch
             pre_prepares.append(
                 PrePrepareMsg(
                     view=new_view,
                     seq=seq,
-                    request_digest=request.content_digest(),
-                    request=request,
+                    request_digest=batch.content_digest(),
+                    batch=batch,
                     sender=self.pid,
                 )
             )
@@ -984,6 +1100,9 @@ class BftReplica(Process):
         if self._vc_timer is not None:
             self.cancel_timer(self._vc_timer)
             self._vc_timer = None
+        # A primary demoted without having started the view change itself
+        # may still hold an accumulating batch; requeue it for reordering.
+        self._fold_batch_into_pending()
         # Entries from the old view that never prepared are superseded; the
         # new primary's re-issued pre-prepares will replace them.
         for seq, entry in list(self.log.items()):

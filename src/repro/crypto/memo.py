@@ -1,0 +1,89 @@
+"""Bounded content-addressed memoization for the protocol hot path.
+
+The ordering stack hashes the same message many times: a pre-prepare is
+digested when built, once per receiver when MAC-stamped, again at every
+receiver's accept, and once more per retransmission tick. All of those
+calls encode the same canonical bytes. :class:`MemoCache` is a small LRU
+keyed by the (hashable, frozen) message itself, so equal messages —
+including stamped copies, whose ``auth`` field is excluded from equality
+and hashing — share one encoding and one digest.
+
+The cache is deliberately dumb: no weak references (frozen dataclasses
+holding only primitives are cheap to retain), no locks (the simulation is
+single-threaded), just strict LRU eviction plus hit/miss/eviction counters
+so benchmarks can report cache effectiveness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+
+class MemoCache:
+    """A bounded LRU mapping with hit/miss/eviction accounting."""
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def memo(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on a miss."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+            return value
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "size": float(len(self._data)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "hit_rate": self.hit_rate,
+        }

@@ -63,6 +63,9 @@ class ItdosSystem:
         protocol_auth: str = "none",
         gm_element_class: type[GroupManagerElement] = GroupManagerElement,
         telemetry: bool = False,
+        bft_batch_size: int = 1,
+        bft_batch_delay: float = 0.0,
+        bft_pipeline_window: int = 0,
     ) -> None:
         if protocol_auth not in ("none", "hmac"):
             raise ValueError(f"unsupported protocol_auth {protocol_auth!r}")
@@ -85,6 +88,9 @@ class ItdosSystem:
             checkpoint_interval=checkpoint_interval,
             large_reply_threshold=large_reply_threshold,
             telemetry=self.network.telemetry,
+            bft_batch_size=bft_batch_size,
+            bft_batch_delay=bft_batch_delay,
+            bft_pipeline_window=bft_pipeline_window,
         )
         self.clients: dict[str, ItdosClient] = {}
         self.elements: dict[str, ItdosServerElement] = {}

@@ -54,6 +54,9 @@ class DomainInfo:
         # the primary, or lossy links thrash the group through views.
         view_change_timeout: float = 2.0,
         client_retry_timeout: float = 0.5,
+        batch_size: int = 1,
+        batch_delay: float = 0.0,
+        pipeline_window: int = 0,
     ) -> BftConfig:
         """The PBFT group backing this domain's ordering (§3.2: "the
         replication domain is the ordering group")."""
@@ -64,6 +67,9 @@ class DomainInfo:
             checkpoint_interval=checkpoint_interval,
             view_change_timeout=view_change_timeout,
             client_retry_timeout=client_retry_timeout,
+            batch_size=batch_size,
+            batch_delay=batch_delay,
+            pipeline_window=pipeline_window,
         )
 
 
@@ -83,6 +89,12 @@ class SystemDirectory:
     vote_abs_tol: float = 1e-9
     vote_rel_tol: float = 1e-9
     checkpoint_interval: int = 16
+    # Ordering-path batching knobs, applied uniformly to every domain's
+    # PBFT group (all processes must derive identical configs). Defaults
+    # reproduce the unbatched protocol.
+    bft_batch_size: int = 1
+    bft_batch_delay: float = 0.0
+    bft_pipeline_window: int = 0
     # EXTENSION (§4 large objects): replies whose plaintext exceeds this
     # many bytes use digest voting + single body fetch (None disables).
     # Only float-free result types qualify (digests need exact values).
@@ -118,7 +130,10 @@ class SystemDirectory:
         """The canonical BFT configuration for a domain — every process in
         the system (replicas and clients alike) must derive it identically."""
         return self.domain(domain_id).bft_config(
-            checkpoint_interval=self.checkpoint_interval
+            checkpoint_interval=self.checkpoint_interval,
+            batch_size=self.bft_batch_size,
+            batch_delay=self.bft_batch_delay,
+            pipeline_window=self.bft_pipeline_window,
         )
 
     @property

@@ -48,8 +48,11 @@ class MessageQueue:
     bytes_held: int = 0
 
     def append(self, seq: int, payload: bytes) -> None:
-        if self.items and seq <= self.items[-1].seq:
-            raise ValueError("queue sequence numbers must increase")
+        # Non-decreasing, not strictly increasing: every request of one
+        # ordered batch carries the batch's sequence number, so a BFT
+        # instance may append several same-seq payloads back to back.
+        if self.items and seq < self.items[-1].seq:
+            raise ValueError("queue sequence numbers must not decrease")
         size = len(payload)
         if self.bytes_held + size > self.max_bytes:
             raise QueueOverflow(
@@ -108,9 +111,9 @@ class MessageQueue:
 
         Snapshots arrive from peers, so nothing is installed until the
         whole snapshot validates: entries must be well-formed
-        ``[seq, payload]`` pairs with strictly increasing sequence
-        numbers, and the byte total must fit this queue's budget.
-        On failure the queue is left untouched.
+        ``[seq, payload]`` pairs with non-decreasing sequence numbers
+        (batched requests share one number), and the byte total must fit
+        this queue's budget. On failure the queue is left untouched.
         """
         data = parse_canonical(raw)
         if not isinstance(data, dict) or "items" not in data:
@@ -132,8 +135,8 @@ class MessageQueue:
                 raise ValueError("malformed queue snapshot entry: bad seq")
             if not isinstance(payload, bytes):
                 raise ValueError("malformed queue snapshot entry: bad payload")
-            if last_seq is not None and seq <= last_seq:
-                raise ValueError("queue snapshot sequence numbers must increase")
+            if last_seq is not None and seq < last_seq:
+                raise ValueError("queue snapshot sequence numbers must not decrease")
             last_seq = seq
             total += len(payload)
             if total > self.max_bytes:

@@ -271,13 +271,29 @@ class ItdosServerElement(BftReplica):
             self._recovery_anchor = seq - 1
         self._recovery_buffer.append((seq, payload))
         self._recovery_buffer_bytes += len(payload)
-        if self._recovery_buffer_bytes > self.queue.max_bytes:
-            # Same budget as the queue itself. On overflow drop the stale
-            # prefix and re-anchor here — the coordinator then requires a
-            # snapshot at least this fresh before adopting.
-            self._recovery_buffer = [(seq, payload)]
-            self._recovery_buffer_bytes = len(payload)
-            self._recovery_anchor = seq - 1
+        if self._recovery_buffer_bytes <= self.queue.max_bytes:
+            return
+        # Same budget as the queue itself. On overflow drop stale entries
+        # from the front and re-anchor past them — always whole sequence
+        # numbers at a time: a batched BFT instance appends several
+        # same-seq payloads, and the replay is only sound all-or-nothing
+        # per instance (the coordinator compares the anchor against peers'
+        # instance-granular execution positions). The coordinator then
+        # requires a snapshot at least anchor-fresh before adopting.
+        buffer = self._recovery_buffer
+        dropped = 0
+        dropped_bytes = 0
+        while (
+            dropped < len(buffer)
+            and self._recovery_buffer_bytes - dropped_bytes > self.queue.max_bytes
+        ):
+            group_seq = buffer[dropped][0]
+            while dropped < len(buffer) and buffer[dropped][0] == group_seq:
+                dropped_bytes += len(buffer[dropped][1])
+                dropped += 1
+            self._recovery_anchor = group_seq
+        del buffer[:dropped]
+        self._recovery_buffer_bytes -= dropped_bytes
 
     def _clear_recovery_buffer(self) -> None:
         self._recovery_buffer = []

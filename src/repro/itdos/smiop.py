@@ -17,19 +17,57 @@ from repro.orb.pluggable import Connection, PluggableProtocol, ReplyHandler
 
 
 class SmiopConnectionAdapter(Connection):
-    """Presents an ITDOS virtual connection through the ORB's interface."""
+    """Presents an ITDOS virtual connection through the ORB's interface.
+
+    A virtual connection admits one outstanding two-way request (§3.6's
+    one-per-connection rule, enforced by the socket layer). Rather than
+    surface that as an error to the ORB, the adapter queues extra requests
+    and pumps the queue as replies decide — so many application-level calls
+    can be submitted back to back and the ordering layer's batching can
+    amortize them.
+    """
 
     def __init__(self, connection: OutgoingConnection) -> None:
         self.connection = connection
+        self._send_queue: list[tuple[bytes, ReplyHandler]] = []
 
     @property
     def connected(self) -> bool:
         return self.connection.connected
 
+    @property
+    def queued(self) -> int:
+        return len(self._send_queue)
+
     def send_request(self, wire: bytes, on_reply: ReplyHandler | None) -> None:
-        self.connection.send_request(wire, on_reply)
+        if on_reply is None:
+            # Oneway: no reply slot consumed, never queued.
+            self.connection.send_request(wire, None)
+            return
+        if self.connection.outstanding or self._send_queue:
+            self._send_queue.append((wire, on_reply))
+            return
+        self._dispatch(wire, on_reply)
+
+    def _dispatch(self, wire: bytes, on_reply: ReplyHandler) -> None:
+        def chained(reply: bytes) -> None:
+            # The socket clears its reply slot before invoking the handler,
+            # so the pump below sees the connection as free even if the
+            # handler itself raises.
+            try:
+                on_reply(reply)
+            finally:
+                self._pump_queue()
+
+        self.connection.send_request(wire, chained)
+
+    def _pump_queue(self) -> None:
+        while self._send_queue and not self.connection.outstanding:
+            wire, on_reply = self._send_queue.pop(0)
+            self._dispatch(wire, on_reply)
 
     def close(self) -> None:
+        self._send_queue.clear()
         self.connection.close()
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.itdos.vvm import Comparator, VoteDecision, majority_vote
+from repro.itdos.vvm import Comparator, VoteDecision, ballot_key, majority_vote
 from repro.obs.telemetry import NOOP_TELEMETRY, Telemetry
 
 # Hard cap on ballots retained for one request id: n can never legitimately
@@ -64,6 +64,11 @@ class ReplyVoter:
         self.current_request_id: int | None = None
         self.comparator: Comparator = Comparator.exact()
         self._ballots: list[tuple[str, Any]] = []
+        # Content keys parallel to ``_ballots``: byte-identical copies (the
+        # common case — all correct replicas of a deterministic servant)
+        # share comparator evaluations inside majority_vote. Purely a
+        # memoisation; decisions are identical with or without keys.
+        self._keys: list[bytes | None] = []
         self._raw: dict[str, Any] = {}
         self._decided: VoteDecision | None = None
         self.discarded = 0  # stale / overflow messages dropped (E9)
@@ -95,6 +100,7 @@ class ReplyVoter:
         self.current_request_id = request_id
         self.comparator = comparator
         self._ballots = []
+        self._keys = []
         self._raw = {}
         self._decided = None
         self._dissent_reported = set()
@@ -123,6 +129,7 @@ class ReplyVoter:
             self.discard("overflow")
             return
         self._ballots.append((sender, value))
+        self._keys.append(ballot_key(value))
         self._raw[sender] = raw
         if self._decided is None:
             self._maybe_decide()
@@ -141,7 +148,9 @@ class ReplyVoter:
 
     def _maybe_decide(self) -> None:
         # Early decision: f+1 identical values guarantee one correct sender.
-        decision = majority_vote(self._ballots, self.f + 1, self.comparator)
+        decision = majority_vote(
+            self._ballots, self.f + 1, self.comparator, keys=self._keys
+        )
         if not decision.decided and len(self._ballots) >= 2 * self.f + 1:
             # 2f+1 total received but no f+1 agreement — with at most f
             # faults this cannot happen for equal-valued correct replicas;
@@ -207,6 +216,8 @@ class RequestVoter:
         self.on_deliver = on_deliver
         self.telemetry = telemetry or NOOP_TELEMETRY
         self._ballots: dict[int, list[tuple[str, Any]]] = {}
+        # Parallel content keys per request id (see ReplyVoter._keys).
+        self._keys: dict[int, list[bytes | None]] = {}
         self._raw: dict[int, dict[str, Any]] = {}
         self._delivered_up_to = 0
         self.discarded = 0
@@ -248,8 +259,10 @@ class RequestVoter:
             self.discard("overflow")
             return
         ballots.append((sender, value))
+        keys = self._keys.setdefault(request_id, [])
+        keys.append(ballot_key(value))
         raw_by_sender[sender] = raw
-        decision = majority_vote(ballots, self.threshold, comparator)
+        decision = majority_vote(ballots, self.threshold, comparator, keys=keys)
         if decision.decided:
             representative = raw_by_sender.get(decision.supporters[0])
             outcome = VoteOutcome(
@@ -275,9 +288,11 @@ class RequestVoter:
             # order and delivery here is naturally ordered.
             self._delivered_up_to = request_id
             del self._ballots[request_id]
+            del self._keys[request_id]
             del self._raw[request_id]
             # Drop any older stragglers wholesale.
             for stale in [r for r in self._ballots if r <= request_id]:
                 self.discard("superseded", len(self._ballots.pop(stale, [])))
+                self._keys.pop(stale, None)
                 self._raw.pop(stale, None)
             self.on_deliver(outcome)

@@ -1,6 +1,7 @@
 """Unit tests for BFT message types: digests, sizes, labels."""
 
 from repro.bft.messages import (
+    BatchMsg,
     BftReply,
     CheckpointMsg,
     ClientRequest,
@@ -22,10 +23,10 @@ def make_request(payload=b"op", ts=1):
 
 
 def make_pre_prepare(seq=1, view=0):
-    request = make_request()
+    batch = BatchMsg(requests=(make_request(),))
     return PrePrepareMsg(
-        view=view, seq=seq, request_digest=request.content_digest(),
-        request=request, sender="r0",
+        view=view, seq=seq, request_digest=batch.content_digest(),
+        batch=batch, sender="r0",
     )
 
 
@@ -56,9 +57,24 @@ def test_wire_size_includes_payload_and_auth():
     assert authed.wire_size() == big.wire_size() + 32
 
 
-def test_pre_prepare_size_includes_request():
+def test_pre_prepare_size_includes_batch():
     pp = make_pre_prepare()
-    assert pp.wire_size() > pp.request.wire_size()
+    assert pp.wire_size() > pp.batch.wire_size()
+    assert pp.batch.wire_size() > sum(r.wire_size() for r in pp.batch.requests)
+
+
+def test_batch_digest_covers_membership_and_order():
+    a = make_request(b"a", ts=1)
+    b = make_request(b"b", ts=2)
+    assert (
+        BatchMsg(requests=(a, b)).content_digest()
+        != BatchMsg(requests=(b, a)).content_digest()
+    )
+    assert (
+        BatchMsg(requests=(a,)).content_digest()
+        != BatchMsg(requests=(a, b)).content_digest()
+    )
+    assert BatchMsg(requests=()).trace_label() == "Batch(k=0)"
 
 
 def test_trace_labels():

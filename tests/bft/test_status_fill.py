@@ -3,7 +3,7 @@ checkpoint (the Castro–Liskov status/retransmission mechanism)."""
 
 import pytest
 
-from repro.bft.messages import CommitMsg, FillMsg, PrePrepareMsg, ClientRequest
+from repro.bft.messages import BatchMsg, CommitMsg, FillMsg, PrePrepareMsg, ClientRequest
 from tests.bft.conftest import Harness
 
 
@@ -27,13 +27,14 @@ def test_fill_rejects_inconsistent_certificate():
     harness = Harness()
     replica = harness.replicas[1]
     request = ClientRequest(client_id="c", timestamp=1, payload=b"evil")
+    batch = BatchMsg(requests=(request,))
     pre_prepare = PrePrepareMsg(
-        view=0, seq=1, request_digest=request.content_digest(),
-        request=request, sender="grp-r0",
+        view=0, seq=1, request_digest=batch.content_digest(),
+        batch=batch, sender="grp-r0",
     )
     # Certificate with only 2 commits (< quorum 3).
     commits = tuple(
-        CommitMsg(view=0, seq=1, request_digest=request.content_digest(), sender=s)
+        CommitMsg(view=0, seq=1, request_digest=batch.content_digest(), sender=s)
         for s in ("grp-r0", "grp-r2")
     )
     replica.deliver("grp-r0", FillMsg(entries=((pre_prepare, commits),), sender="grp-r0"))
@@ -46,7 +47,7 @@ def test_fill_rejects_digest_mismatch():
     request = ClientRequest(client_id="c", timestamp=1, payload=b"evil")
     pre_prepare = PrePrepareMsg(
         view=0, seq=1, request_digest=b"\x00" * 32,  # wrong digest
-        request=request, sender="grp-r0",
+        batch=BatchMsg(requests=(request,)), sender="grp-r0",
     )
     commits = tuple(
         CommitMsg(view=0, seq=1, request_digest=b"\x00" * 32, sender=s)
@@ -60,9 +61,10 @@ def test_fill_rejects_foreign_commit_senders():
     harness = Harness()
     replica = harness.replicas[1]
     request = ClientRequest(client_id="c", timestamp=1, payload=b"evil")
-    digest = request.content_digest()
+    batch = BatchMsg(requests=(request,))
+    digest = batch.content_digest()
     pre_prepare = PrePrepareMsg(
-        view=0, seq=1, request_digest=digest, request=request, sender="grp-r0"
+        view=0, seq=1, request_digest=digest, batch=batch, sender="grp-r0"
     )
     commits = tuple(
         CommitMsg(view=0, seq=1, request_digest=digest, sender=s)
@@ -111,9 +113,10 @@ def test_duplicate_pre_prepare_triggers_prepare_resend():
     from repro.bft.messages import PrePrepareMsg, ClientRequest
 
     request = ClientRequest(client_id="cx", timestamp=1, payload=b"fresh")
+    batch = BatchMsg(requests=(request,))
     pre_prepare = PrePrepareMsg(
-        view=0, seq=2, request_digest=request.content_digest(),
-        request=request, sender=primary.pid,
+        view=0, seq=2, request_digest=batch.content_digest(),
+        batch=batch, sender=primary.pid,
     )
     backup.deliver(primary.pid, pre_prepare)
     first = backup.messages_sent.get("PrepareMsg", 0)

@@ -1,0 +1,168 @@
+"""MemoCache and the digest/marshal/stamp caches layered on it."""
+
+import dataclasses
+
+import pytest
+
+from repro.bft.auth import HmacAuth, RsaAuth
+from repro.bft.messages import (
+    BatchMsg,
+    ClientRequest,
+    PrepareMsg,
+    marshal_cache_stats,
+)
+from repro.crypto.digests import digest
+from repro.crypto.encoding import canonical_bytes
+from repro.crypto.memo import MemoCache
+from repro.crypto.signing import HmacAuthenticator, KeyRing
+
+
+# -- the cache itself ----------------------------------------------------------
+
+
+def test_memo_cache_basic_get_put():
+    cache = MemoCache(maxsize=4)
+    assert cache.get("a") is None
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert "a" in cache and len(cache) == 1
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_memo_cache_lru_eviction_order():
+    cache = MemoCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")  # refresh "a": "b" becomes least recent
+    cache.put("c", 3)
+    assert "a" in cache and "c" in cache
+    assert "b" not in cache
+    assert cache.evictions == 1
+    assert len(cache) == 2
+
+
+def test_memo_cache_memo_computes_once():
+    cache = MemoCache(maxsize=8)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return 42
+
+    assert cache.memo("k", compute) == 42
+    assert cache.memo("k", compute) == 42
+    assert len(calls) == 1
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == 0.5
+    stats = cache.stats()
+    assert stats["size"] == 1.0 and stats["hit_rate"] == 0.5
+
+
+def test_memo_cache_rejects_non_positive_size():
+    with pytest.raises(ValueError):
+        MemoCache(maxsize=0)
+
+
+def test_memo_cache_clear():
+    cache = MemoCache(maxsize=4)
+    cache.put("a", 1)
+    cache.clear()
+    assert len(cache) == 0 and "a" not in cache
+
+
+# -- message-level memoization -------------------------------------------------
+
+
+def test_canonical_encoding_memoized_and_correct():
+    request = ClientRequest(client_id="c", timestamp=1, payload=b"x")
+    encoded = request.canonical_encoding()
+    assert encoded == canonical_bytes(request)
+    # Same object returns the identical bytes object (per-instance slot).
+    assert request.canonical_encoding() is encoded
+    assert request.content_digest() == digest(encoded)
+
+
+def test_equal_messages_share_cached_encoding():
+    a = ClientRequest(client_id="c", timestamp=7, payload=b"shared")
+    b = ClientRequest(client_id="c", timestamp=7, payload=b"shared")
+    assert a is not b and a == b
+    # The second instance hits the shared L2 cache (same bytes object).
+    assert a.canonical_encoding() is b.canonical_encoding()
+    assert a.content_digest() is b.content_digest()
+
+
+def test_stamped_copy_shares_clean_encoding():
+    clean = PrepareMsg(view=0, seq=1, request_digest=b"\x00" * 32, sender="r0")
+    stamped = dataclasses.replace(clean, auth=b"mac")
+    # auth is outside equality/hash, so the cached encoding carries over.
+    assert clean.canonical_encoding() is stamped.canonical_encoding()
+    assert clean.content_digest() == stamped.content_digest()
+
+
+def test_marshal_cache_stats_shape():
+    stats = marshal_cache_stats()
+    assert set(stats) == {"encoding", "digest"}
+    for sub in stats.values():
+        assert {"size", "hits", "misses", "evictions", "hit_rate"} <= set(sub)
+
+
+# -- stamp caches in the auth strategies ---------------------------------------
+
+
+def test_hmac_stamp_cache_reuses_authenticator_vector():
+    auths = HmacAuthenticator.bootstrap(["a", "b", "c"], seed=0)
+    auth = HmacAuth(auths["a"])
+    message = PrepareMsg(view=0, seq=1, request_digest=b"\x01" * 32, sender="a")
+    first = auth.stamp(message, ["a", "b", "c"])
+    assert set(first.auth) == {"b", "c"}
+    # A rebuilt-but-equal message returns the SAME stamped object.
+    rebuilt = PrepareMsg(view=0, seq=1, request_digest=b"\x01" * 32, sender="a")
+    assert auth.stamp(rebuilt, ["a", "b", "c"]) is first
+    assert auth.stamp_cache.hits == 1
+    # Receivers verify the cached vector.
+    assert HmacAuth(auths["b"]).accept("a", first)
+    assert HmacAuth(auths["c"]).accept("a", first)
+
+
+def test_hmac_stamp_cache_distinguishes_receiver_sets():
+    auths = HmacAuthenticator.bootstrap(["a", "b", "c"], seed=0)
+    auth = HmacAuth(auths["a"])
+    message = PrepareMsg(view=0, seq=2, request_digest=b"\x02" * 32, sender="a")
+    broadcast = auth.stamp(message, ["a", "b", "c"])
+    p2p = auth.stamp(message, ["b"])
+    assert set(broadcast.auth) == {"b", "c"}
+    assert set(p2p.auth) == {"b"}
+
+
+def test_rsa_stamp_cache_reuses_signature():
+    ring, signers = KeyRing.bootstrap(["a", "b"], bits=256, seed=0)
+    auth = RsaAuth(signers["a"], ring)
+    message = PrepareMsg(view=0, seq=3, request_digest=b"\x03" * 32, sender="a")
+    first = auth.stamp(message, ["b"])
+    rebuilt = PrepareMsg(view=0, seq=3, request_digest=b"\x03" * 32, sender="a")
+    second = auth.stamp(rebuilt, ["b"])
+    assert second is first
+    assert auth.stamp_cache.hits == 1
+    assert RsaAuth(signers["b"], ring).accept("a", first)
+
+
+def test_stamp_cache_bounded():
+    auths = HmacAuthenticator.bootstrap(["a", "b"], seed=0)
+    auth = HmacAuth(auths["a"], stamp_cache_size=4)
+    for seq in range(10):
+        auth.stamp(
+            PrepareMsg(view=0, seq=seq, request_digest=b"\x04" * 32, sender="a"),
+            ["b"],
+        )
+    assert len(auth.stamp_cache) <= 4
+    assert auth.stamp_cache.evictions == 6
+
+
+def test_batch_digest_uses_memoized_members():
+    requests = tuple(
+        ClientRequest(client_id="c", timestamp=t, payload=b"p") for t in range(3)
+    )
+    batch = BatchMsg(requests=requests)
+    d1 = batch.content_digest()
+    assert batch.content_digest() is d1
+    assert BatchMsg(requests=requests).content_digest() == d1

@@ -120,3 +120,22 @@ def test_open_before_bootstrap_is_queued():
     client = system.add_client("alice")
     stub = client.stub(system.ref("calc", b"calc"))
     assert stub.add(1.0, 2.0) == 3.0
+
+
+def test_batched_ordering_through_full_stack():
+    """ItdosSystem's bft_batch_* knobs reach every domain's PBFT group via
+    SystemDirectory.bft_config_for: invocations still round-trip correctly
+    (GM handshake, SMIOP encryption, batched ordering, voting)."""
+    system = make_system(
+        seed=42, bft_batch_size=4, bft_batch_delay=0.002, bft_pipeline_window=4
+    )
+    system.add_server_domain(
+        "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+    )
+    config = system.directory.bft_config_for("calc")
+    assert config.batch_size == 4
+    assert config.pipeline_window == 4
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+    for i in range(6):
+        assert stub.add(float(i), 1.0) == float(i) + 1.0

@@ -68,7 +68,8 @@ def test_snapshot_restore_roundtrip_with_non_ascii_payloads():
 def test_restore_rejects_non_monotone_sequence_numbers():
     queue = MessageQueue()
     queue.append(1, b"keep")
-    bad = canonical_bytes({"processed": 0, "items": [[3, b"a"], [3, b"b"]]})
+    # Equal seqs are allowed (batched requests); decreasing seqs are not.
+    bad = canonical_bytes({"processed": 0, "items": [[3, b"a"], [2, b"b"]]})
     with pytest.raises(ValueError):
         queue.restore(bad)
     # Failed restore leaves the queue untouched.

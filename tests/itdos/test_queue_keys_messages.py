@@ -37,11 +37,14 @@ def test_queue_fifo_order():
     assert queue.processed_count == 2
 
 
-def test_queue_sequence_must_increase():
+def test_queue_sequence_must_not_decrease():
     queue = MessageQueue()
     queue.append(5, b"x")
+    # Equal sequence numbers are fine: every request of one ordered batch
+    # shares the batch's BFT sequence number.
+    queue.append(5, b"y")
     with pytest.raises(ValueError):
-        queue.append(5, b"y")
+        queue.append(4, b"z")
 
 
 def test_queue_overflow():
