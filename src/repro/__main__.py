@@ -253,6 +253,171 @@ def cmd_recover(args: list[str]) -> int:
     return 0
 
 
+def _marshal_corpus():
+    """(name, TypeCode, value) cells exercising each codec plan shape."""
+    from repro.giop.typecodes import (
+        TC_BOOLEAN,
+        TC_DOUBLE,
+        TC_STRING,
+        TC_ULONG,
+        SequenceType,
+        StructType,
+    )
+
+    sample = StructType(
+        "Sample", (("t", TC_DOUBLE), ("value", TC_DOUBLE), ("seq", TC_ULONG))
+    )
+    reading = StructType(
+        "Reading",
+        (
+            ("ok", TC_BOOLEAN),
+            ("label", TC_STRING),
+            ("samples", SequenceType(sample)),
+        ),
+    )
+    return [
+        ("struct", sample, {"t": 0.25, "value": 1.5, "seq": 7}),
+        ("seq<double>[256]", SequenceType(TC_DOUBLE), [float(i) for i in range(256)]),
+        (
+            "seq<struct>[64]",
+            SequenceType(sample),
+            [{"t": i * 0.5, "value": -i * 0.25, "seq": i} for i in range(64)],
+        ),
+        (
+            "mixed nested",
+            reading,
+            {
+                "ok": True,
+                "label": "sensor-7",
+                "samples": [
+                    {"t": i * 0.5, "value": i * 1.25, "seq": i} for i in range(16)
+                ],
+            },
+        ),
+    ]
+
+
+def cmd_bench(args: list[str]) -> int:
+    """``bench marshal``: compiled-codec vs interpreted CDR timings."""
+    import time
+
+    from repro.giop.cdr import CdrDecoder, CdrEncoder
+    from repro.giop.codec import (
+        BUFFER_POOL,
+        FastDecoder,
+        FastEncoder,
+        clear_codec_cache,
+        codec_cache_stats,
+        compile_codec,
+    )
+    from repro.obs import metric_records, render_metrics_table, write_jsonl
+    from repro.obs.registry import MetricRegistry
+
+    try:
+        json_path, args = _json_path(args)
+    except ValueError as exc:
+        print(f"bench: {exc}")
+        return 2
+    if args != ["marshal"]:
+        print("bench: usage: bench marshal [--json PATH]")
+        return 2
+
+    def rate(fn, min_time=0.1):
+        fn()  # warm: compile + caches
+        n = 1
+        while True:
+            start = time.perf_counter()
+            for _ in range(n):
+                fn()
+            elapsed = time.perf_counter() - start
+            if elapsed >= min_time:
+                return n / elapsed, elapsed / n
+            n *= 2
+
+    # The CLI owns its registry: system telemetry stays off by default.
+    registry = MetricRegistry()
+    compile_hist = registry.histogram(
+        "codec_compile_seconds", "TypeCode plan compilation time", labels=("tc",)
+    )
+    op_hist = registry.histogram(
+        "codec_marshal_seconds",
+        "Per-operation marshal cost",
+        labels=("tc", "op", "path"),
+    )
+    clear_codec_cache()
+    rows = []
+    for name, tc, value in _marshal_corpus():
+        start = time.perf_counter()
+        compile_codec(tc)
+        compile_hist.labels(tc=name).observe(time.perf_counter() - start)
+
+        def enc_interp(tc=tc, value=value):
+            encoder = CdrEncoder("big")
+            encoder.encode(tc, value)
+            return encoder.getvalue()
+
+        def enc_fast(tc=tc, value=value):
+            encoder = FastEncoder("big")
+            encoder.encode(tc, value)
+            wire = encoder.getvalue()
+            encoder.release()
+            return wire
+
+        wire = enc_interp()
+        assert wire == enc_fast()
+
+        def dec_interp(tc=tc, wire=wire):
+            return CdrDecoder(wire, "big").decode(tc)
+
+        def dec_fast(tc=tc, wire=wire):
+            return FastDecoder(wire, "big").decode(tc)
+
+        cells = {}
+        for op, path, fn in (
+            ("encode", "interpreted", enc_interp),
+            ("encode", "compiled", enc_fast),
+            ("decode", "interpreted", dec_interp),
+            ("decode", "compiled", dec_fast),
+        ):
+            ops, per_op = rate(fn)
+            cells[(op, path)] = ops
+            op_hist.labels(tc=name, op=op, path=path).observe(per_op)
+        rows.append(
+            f"  {name:18s} {len(wire):6d} B   "
+            f"encode x{cells[('encode', 'compiled')] / cells[('encode', 'interpreted')]:5.1f}   "
+            f"decode x{cells[('decode', 'compiled')] / cells[('decode', 'interpreted')]:5.1f}   "
+            f"({cells[('encode', 'compiled')]:,.0f} enc/s, "
+            f"{cells[('decode', 'compiled')]:,.0f} dec/s)"
+        )
+    print("compiled-codec speedup vs interpreted CDR (big-endian):")
+    for row in rows:
+        print(row)
+    stats = codec_cache_stats()
+    print()
+    print(
+        f"codec cache: {stats['size']:.0f} plans, hit rate "
+        f"{stats['hit_rate']:.1%} ({stats['hits']:.0f} hits / "
+        f"{stats['misses']:.0f} misses, {stats['compiled']:.0f} compiled)"
+    )
+    pool = BUFFER_POOL.stats()
+    print(
+        f"encoder pool: {pool['reused']:.0f} reuses, "
+        f"{pool['acquired']:.0f} fresh buffers"
+    )
+    print()
+    print(render_metrics_table(registry))
+    if json_path is not None:
+        records = metric_records(registry)
+        records.append({"record": "codec_cache", **stats})
+        try:
+            lines = write_jsonl(json_path, records)
+        except OSError as exc:
+            print(f"bench: cannot write {json_path}: {exc}")
+            return 1
+        print(f"\nwrote {lines} metric records to {json_path}")
+    return 0
+
+
 DEMOS = {
     "quickstart": demo_quickstart,
     "intrusion": demo_intrusion,
@@ -263,6 +428,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "recover": cmd_recover,
+    "bench": cmd_bench,
 }
 
 

@@ -19,16 +19,28 @@ extensions:
 """
 
 from repro.giop.cdr import CdrDecoder, CdrEncoder, CdrError
+from repro.giop.codec import (
+    FastDecoder,
+    FastEncoder,
+    clear_codec_cache,
+    codec_cache_stats,
+    compile_codec,
+    set_equivalence_check,
+    warm_interface,
+)
 from repro.giop.idl import InterfaceDef, InterfaceRepository, Operation, Parameter
 from repro.giop.ior import ObjectRef
 from repro.giop.messages import (
     GiopError,
     ReplyMessage,
     ReplyStatus,
+    RequestHeader,
     RequestMessage,
     decode_message,
     encode_reply,
     encode_request,
+    peek_request_header,
+    set_fast_wire,
 )
 from repro.giop.platforms import (
     LINUX_X86,
@@ -61,6 +73,8 @@ __all__ = [
     "CdrEncoder",
     "CdrError",
     "EnumType",
+    "FastDecoder",
+    "FastEncoder",
     "GiopError",
     "InterfaceDef",
     "InterfaceRepository",
@@ -72,6 +86,7 @@ __all__ = [
     "PlatformProfile",
     "ReplyMessage",
     "ReplyStatus",
+    "RequestHeader",
     "RequestMessage",
     "SOLARIS_SPARC",
     "SequenceType",
@@ -90,7 +105,14 @@ __all__ = [
     "TC_VOID",
     "TypeCode",
     "TypeCodeError",
+    "clear_codec_cache",
+    "codec_cache_stats",
+    "compile_codec",
     "decode_message",
     "encode_reply",
     "encode_request",
+    "peek_request_header",
+    "set_equivalence_check",
+    "set_fast_wire",
+    "warm_interface",
 ]

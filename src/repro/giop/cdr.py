@@ -138,7 +138,13 @@ class CdrDecoder:
     def _align(self, size: int) -> None:
         remainder = self._pos % size
         if remainder:
-            self._pos += size - remainder
+            pad = size - remainder
+            if self._pos + pad > len(self._data):
+                raise CdrError(
+                    f"truncated stream: need {pad} padding byte(s) at offset "
+                    f"{self._pos}, have {len(self._data) - self._pos}"
+                )
+            self._pos += pad
 
     def _take(self, size: int) -> bytes:
         if self._pos + size > len(self._data):

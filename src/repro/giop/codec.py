@@ -1,0 +1,874 @@
+"""Compiled CDR codecs: the marshal/vote fast path.
+
+ITDOS votes on *unmarshalled* data (§3.6), so every request is CDR-encoded
+once per sender and decoded ``3f+1`` times in the voters — marshalling, not
+the ordering protocol, dominates once batching has amortized the quorum
+traffic (Chondros et al. make the same observation about real PBFT
+deployments). The interpreted :class:`~repro.giop.cdr.CdrEncoder` /
+:class:`~repro.giop.cdr.CdrDecoder` walk the TypeCode tree recursively and
+issue one ``struct.pack``/``unpack`` per field; this module compiles a
+TypeCode tree **once** into a codec plan and reuses it for every value:
+
+* contiguous runs of fixed-size primitives — across struct nesting
+  boundaries — collapse into a single precomputed :class:`struct.Struct`,
+  with CDR alignment padding baked into the format as ``x`` pad bytes
+  (one format per entry phase mod 8, both byte orders);
+* sequences of fixed-size elements encode/decode through one bulk
+  ``pack``/``unpack_from`` call instead of one call per element;
+* variable parts (strings, nested sequences) become dedicated plan ops;
+* decode is **zero-copy**: a :class:`memoryview` cursor with
+  ``struct.unpack_from``, never ``bytes(data)`` up front;
+* encoders draw their output ``bytearray`` from a small process-wide pool.
+
+Plans are cached per process, keyed on TypeCode identity (the cache pins
+the TypeCode, so ``id`` reuse cannot alias entries). Receiver-makes-right
+is preserved: each plan precompiles both byte orders. The interpreted
+coder remains the oracle — an equivalence switch
+(:func:`set_equivalence_check`, or ``REPRO_CODEC_CHECK=1``) re-runs every
+compiled encode/decode through the interpreted path and asserts
+byte-identical output — and the fallback: TypeCodes the compiler does not
+recognise simply decline compilation and take the interpreted path.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import struct
+from operator import itemgetter as _itemgetter
+from typing import Any, Callable
+
+from repro.giop.cdr import CdrDecoder, CdrEncoder, CdrError
+from repro.giop.typecodes import (
+    EnumType,
+    PrimitiveType,
+    SequenceType,
+    StructType,
+    TypeCode,
+)
+
+# kind -> (struct format char, wire size, CDR natural alignment)
+_FIXED_LEAVES = {
+    "octet": ("B", 1, 1),
+    "boolean": ("B", 1, 1),
+    "short": ("h", 2, 2),
+    "ushort": ("H", 2, 2),
+    "long": ("i", 4, 4),
+    "ulong": ("I", 4, 4),
+    "longlong": ("q", 8, 8),
+    "ulonglong": ("Q", 8, 8),
+    "float": ("f", 4, 4),
+    "double": ("d", 8, 8),
+}
+
+_PACK_ERRORS = (struct.error, OverflowError, TypeError, ValueError)
+
+
+class _Uncompilable(Exception):
+    """This TypeCode has no compiled plan; the interpreted path handles it."""
+
+
+def _bool_dec(raw: int) -> bool:
+    if raw not in (0, 1):
+        raise CdrError(f"invalid boolean octet {raw}")
+    return bool(raw)
+
+
+def _enum_convs(tc: EnumType) -> tuple[Callable, Callable]:
+    ordinals = {label: i for i, label in enumerate(tc.labels)}
+    labels = tc.labels
+
+    def enc(value: Any) -> int:
+        try:
+            return ordinals[value]
+        except (KeyError, TypeError):
+            raise CdrError(f"{value!r} is not a label of enum {tc.name}") from None
+
+    def dec(raw: int) -> str:
+        if 0 <= raw < len(labels):
+            return labels[raw]
+        raise CdrError(f"ordinal {raw} out of range for enum {tc.name}")
+
+    return enc, dec
+
+
+# -- flat value model -----------------------------------------------------------
+#
+# A plan works on a *flat* value list: one slot per non-struct node of the
+# TypeCode tree, in depth-first field order. Encode flattens the nested
+# value once, then each op consumes its slots; decode runs the ops to fill
+# the flat list, then one prebuilt constructor re-nests it.
+
+
+def _flattener_for(tc: TypeCode) -> Callable[[Any, list], None]:
+    if isinstance(tc, StructType):
+        width = len(tc.fields)
+        if not any(isinstance(ftc, StructType) for _n, ftc in tc.fields):
+            # All-leaf struct: one C-level itemgetter per value. (The width
+            # check is what rejects extra keys; itemgetter catches missing.)
+            if width == 1:
+                (name, _ftc), = tc.fields
+
+                def flatten_one(value: Any, out: list) -> None:
+                    if len(value) != 1:
+                        raise CdrError(f"struct {tc.name} expects 1 field")
+                    out.append(value[name])
+
+                return flatten_one
+            getter = _itemgetter(*(name for name, _ftc in tc.fields))
+
+            def flatten_leaves(value: Any, out: list) -> None:
+                if len(value) != width:
+                    raise CdrError(f"struct {tc.name} expects {width} fields")
+                out += getter(value)
+
+            return flatten_leaves
+        subs = tuple((name, _flattener_for(ftc)) for name, ftc in tc.fields)
+
+        def flatten(value: Any, out: list) -> None:
+            if len(value) != width:
+                raise CdrError(f"struct {tc.name} expects {width} fields")
+            for name, fn in subs:
+                fn(value[name], out)
+
+        return flatten
+    return lambda value, out: out.append(value)
+
+
+def _builder_for(tc: TypeCode) -> tuple[int, Callable[[Any, int], Any]]:
+    if isinstance(tc, StructType):
+        if not any(isinstance(ftc, StructType) for _n, ftc in tc.fields):
+            names = tuple(name for name, _ftc in tc.fields)
+            width = len(names)
+
+            def build_leaves(flat: Any, i: int) -> dict:
+                return dict(zip(names, flat[i : i + width]))
+
+            return width, build_leaves
+        parts = []
+        total = 0
+        for name, ftc in tc.fields:
+            count, fn = _builder_for(ftc)
+            parts.append((name, count, fn))
+            total += count
+        subs = tuple(parts)
+
+        def build(flat: Any, i: int) -> dict:
+            value = {}
+            for name, count, fn in subs:
+                value[name] = fn(flat, i)
+                i += count
+            return value
+
+        return total, build
+    return 1, (lambda flat, i: flat[i])
+
+
+# -- plan ops ------------------------------------------------------------------
+
+
+class _Segment:
+    """A contiguous run of fixed-size primitives as one Struct per phase.
+
+    CDR alignment is relative to the encapsulation start, so the padding
+    inside a run depends only on the run's entry offset mod 8 (every CDR
+    alignment divides 8). The run is compiled once per phase and byte
+    order, with padding baked in as ``x`` bytes.
+    """
+
+    __slots__ = ("start", "count", "enc_convs", "dec_convs", "checks", "units",
+                 "sizes", "structs", "stable")
+
+    def __init__(self, leaves: list[tuple], start: int) -> None:
+        self.start = start
+        self.count = len(leaves)
+        self.enc_convs = tuple(
+            (i, conv) for i, (_c, _s, _a, conv, _d, _k) in enumerate(leaves) if conv
+        )
+        self.dec_convs = tuple(
+            (i, conv) for i, (_c, _s, _a, _e, conv, _k) in enumerate(leaves) if conv
+        )
+        # Value checks mirroring TypeCode.validate that struct.pack alone
+        # would miss: booleans must be bool, numbers must not be (pack
+        # happily coerces bool both ways).
+        self.checks = tuple(
+            (i, check == "bool")
+            for i, (_c, _s, _a, _e, _d, check) in enumerate(leaves)
+            if check
+        )
+        units = []
+        sizes = []
+        for phase in range(8):
+            pos = phase
+            body = []
+            for char, size, align, _enc, _dec, _check in leaves:
+                pad = -pos % align
+                if pad:
+                    body.append("x" * pad)
+                body.append(char)
+                pos += pad + size
+            units.append("".join(body))
+            sizes.append(pos - phase)
+        self.units = tuple(units)
+        self.sizes = tuple(sizes)
+        self.structs = (
+            tuple(struct.Struct(">" + unit) for unit in units),
+            tuple(struct.Struct("<" + unit) for unit in units),
+        )
+        # The run "repeats" at phase p when encoding it lands back on a
+        # phase with the identical layout — the bulk-sequence fast path.
+        self.stable = tuple(
+            units[(p + sizes[p]) % 8] == units[p] for p in range(8)
+        )
+
+    def encode(self, buf: bytearray, flat: list, order: int) -> None:
+        values = flat[self.start : self.start + self.count]
+        for i, must_be_bool in self.checks:
+            if (type(values[i]) is bool) is not must_be_bool:
+                raise CdrError(
+                    f"{'boolean' if must_be_bool else 'number'} expected, "
+                    f"got {values[i]!r}"
+                )
+        for i, conv in self.enc_convs:
+            values[i] = conv(values[i])
+        packer = self.structs[order][len(buf) % 8]
+        try:
+            buf += packer.pack(*values)
+        except _PACK_ERRORS as exc:
+            raise CdrError(f"cannot pack value run: {exc}") from exc
+
+    def decode(self, view: memoryview, pos: int, flat: list, order: int) -> int:
+        packer = self.structs[order][pos % 8]
+        size = packer.size
+        if pos + size > len(view):
+            raise CdrError(
+                f"truncated stream: need {size} bytes at offset {pos}, "
+                f"have {len(view) - pos}"
+            )
+        values = packer.unpack_from(view, pos)
+        if self.dec_convs:
+            values = list(values)
+            for i, conv in self.dec_convs:
+                values[i] = conv(values[i])
+        flat.extend(values)
+        return pos + size
+
+
+class _VoidOp:
+    """``void`` occupies a flat slot but zero wire bytes."""
+
+    __slots__ = ("slot",)
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+
+    def encode(self, buf: bytearray, flat: list, order: int) -> None:
+        if flat[self.slot] is not None:
+            raise CdrError(f"void must be None, got {flat[self.slot]!r}")
+
+    def decode(self, view: memoryview, pos: int, flat: list, order: int) -> int:
+        flat.append(None)
+        return pos
+
+
+class _StringOp:
+    """Length-prefixed, NUL-terminated UTF-8 string."""
+
+    __slots__ = ("slot",)
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+
+    def encode(self, buf: bytearray, flat: list, order: int) -> None:
+        value = flat[self.slot]
+        if not isinstance(value, str):
+            raise CdrError(f"cannot pack {value!r} as string")
+        encoded = value.encode("utf-8")
+        pad = -len(buf) % 4
+        endian = "big" if order == 0 else "little"
+        buf += (
+            b"\x00" * pad
+            + (len(encoded) + 1).to_bytes(4, endian)
+            + encoded
+            + b"\x00"
+        )
+
+    def decode(self, view: memoryview, pos: int, flat: list, order: int) -> int:
+        pos = _read_align(view, pos, 4)
+        length = _read_ulong(view, pos, order)
+        pos += 4
+        if length < 1:
+            raise CdrError("string missing NUL terminator")
+        if pos + length > len(view):
+            raise CdrError(
+                f"truncated stream: need {length} bytes at offset {pos}, "
+                f"have {len(view) - pos}"
+            )
+        raw = view[pos : pos + length]
+        if raw[length - 1] != 0:
+            raise CdrError("string not NUL-terminated")
+        try:
+            flat.append(str(raw[: length - 1], "utf-8"))
+        except UnicodeDecodeError as exc:
+            raise CdrError("invalid UTF-8 in string") from exc
+        return pos + length
+
+
+def _read_align(view: memoryview, pos: int, align: int) -> int:
+    pad = -pos % align
+    if pad:
+        if pos + pad > len(view):
+            raise CdrError(
+                f"truncated stream: need {pad} padding byte(s) at offset {pos}, "
+                f"have {len(view) - pos}"
+            )
+        pos += pad
+    return pos
+
+
+def _read_ulong(view: memoryview, pos: int, order: int) -> int:
+    if pos + 4 > len(view):
+        raise CdrError(
+            f"truncated stream: need 4 bytes at offset {pos}, "
+            f"have {len(view) - pos}"
+        )
+    return int.from_bytes(view[pos : pos + 4], "big" if order == 0 else "little")
+
+
+class _BulkSeqOp:
+    """Sequence of one fixed-size primitive: a single bulk pack/unpack."""
+
+    __slots__ = ("slot", "char", "size", "align", "enc_conv", "dec_conv",
+                 "bound", "kind")
+
+    def __init__(self, slot: int, element: TypeCode, bound: int | None) -> None:
+        self.slot = slot
+        self.bound = bound
+        if isinstance(element, EnumType):
+            self.char, self.size, self.align = "I", 4, 4
+            self.enc_conv, self.dec_conv = _enum_convs(element)
+            self.kind = "enum"
+        else:
+            self.char, self.size, self.align = _FIXED_LEAVES[element.kind]
+            self.enc_conv = self.dec_conv = None
+            self.kind = element.kind
+
+    def encode(self, buf: bytearray, flat: list, order: int) -> None:
+        value = flat[self.slot]
+        if not isinstance(value, (list, tuple)):
+            raise CdrError(f"cannot pack {value!r} as sequence")
+        n = len(value)
+        if self.bound is not None and n > self.bound:
+            raise CdrError(f"sequence length {n} exceeds bound {self.bound}")
+        pad = -len(buf) % 4
+        buf += b"\x00" * pad + n.to_bytes(4, "big" if order == 0 else "little")
+        if not n:
+            return
+        buf += b"\x00" * (-len(buf) % self.align)
+        if self.kind == "boolean":
+            if any(type(item) is not bool for item in value):
+                raise CdrError("boolean sequence requires bool elements")
+        elif self.enc_conv is None and any(type(item) is bool for item in value):
+            raise CdrError(f"sequence of {self.kind} rejects bool elements")
+        try:
+            if self.size == 1:  # octet / boolean: raw byte run
+                buf += bytes(value)
+            elif self.enc_conv is not None:
+                conv = self.enc_conv
+                buf += struct.pack(
+                    (">" if order == 0 else "<") + str(n) + self.char,
+                    *[conv(item) for item in value],
+                )
+            else:
+                buf += struct.pack(
+                    (">" if order == 0 else "<") + str(n) + self.char, *value
+                )
+        except _PACK_ERRORS as exc:
+            raise CdrError(f"cannot pack sequence of {self.kind}: {exc}") from exc
+
+    def decode(self, view: memoryview, pos: int, flat: list, order: int) -> int:
+        pos = _read_align(view, pos, 4)
+        n = _read_ulong(view, pos, order)
+        pos += 4
+        if self.bound is not None and n > self.bound:
+            raise CdrError(f"sequence length {n} exceeds bound {self.bound}")
+        if not n:
+            flat.append([])
+            return pos
+        pos = _read_align(view, pos, self.align)
+        need = n * self.size
+        if pos + need > len(view):
+            raise CdrError(
+                f"truncated stream: need {need} bytes at offset {pos}, "
+                f"have {len(view) - pos}"
+            )
+        if self.kind == "octet":
+            flat.append(list(view[pos : pos + need]))
+        elif self.kind == "boolean":
+            flat.append([_bool_dec(raw) for raw in view[pos : pos + need]])
+        else:
+            values = struct.unpack_from(
+                (">" if order == 0 else "<") + str(n) + self.char, view, pos
+            )
+            conv = self.dec_conv
+            if conv is not None:
+                flat.append([conv(raw) for raw in values])
+            else:
+                flat.append(list(values))
+        return pos + need
+
+
+class _LoopSeqOp:
+    """Sequence of compound elements, via the element's compiled plan.
+
+    When the element is purely fixed-size and its run layout repeats
+    (phase-stable), the whole tail of the sequence collapses into a single
+    repeated-unit pack/unpack; otherwise elements go one compiled plan at
+    a time — still far cheaper than interpretation.
+    """
+
+    __slots__ = ("slot", "element", "bound")
+
+    def __init__(self, slot: int, element: "CompiledCodec", bound: int | None) -> None:
+        self.slot = slot
+        self.element = element
+        self.bound = bound
+
+    def encode(self, buf: bytearray, flat: list, order: int) -> None:
+        value = flat[self.slot]
+        if not isinstance(value, (list, tuple)):
+            raise CdrError(f"cannot pack {value!r} as sequence")
+        n = len(value)
+        if self.bound is not None and n > self.bound:
+            raise CdrError(f"sequence length {n} exceeds bound {self.bound}")
+        pad = -len(buf) % 4
+        buf += b"\x00" * pad + n.to_bytes(4, "big" if order == 0 else "little")
+        element = self.element
+        seg = element.single_segment
+        bulk = seg is not None and not seg.enc_convs
+        i = 0
+        while i < n:
+            if bulk and n - i > 1:
+                phase = len(buf) % 8
+                if seg.stable[phase]:
+                    flat_tail: list = []
+                    flatten = element.flatten
+                    for item in value[i:]:
+                        flatten(item, flat_tail)
+                    try:
+                        buf += struct.pack(
+                            (">" if order == 0 else "<") + seg.units[phase] * (n - i),
+                            *flat_tail,
+                        )
+                    except _PACK_ERRORS as exc:
+                        raise CdrError(f"cannot pack sequence run: {exc}") from exc
+                    return
+            element.encode_value_into(buf, value[i], order)
+            i += 1
+
+    def decode(self, view: memoryview, pos: int, flat: list, order: int) -> int:
+        pos = _read_align(view, pos, 4)
+        n = _read_ulong(view, pos, order)
+        pos += 4
+        if self.bound is not None and n > self.bound:
+            raise CdrError(f"sequence length {n} exceeds bound {self.bound}")
+        element = self.element
+        seg = element.single_segment
+        bulk = seg is not None and not seg.dec_convs
+        out: list = []
+        i = 0
+        while i < n:
+            if bulk and n - i > 1:
+                phase = pos % 8
+                if seg.stable[phase]:
+                    remaining = n - i
+                    need = seg.sizes[phase] * remaining
+                    if pos + need > len(view):
+                        raise CdrError(
+                            f"truncated stream: need {need} bytes at offset "
+                            f"{pos}, have {len(view) - pos}"
+                        )
+                    values = struct.unpack_from(
+                        (">" if order == 0 else "<") + seg.units[phase] * remaining,
+                        view,
+                        pos,
+                    )
+                    count, build = element.count, element.build
+                    out.extend(build(values, k * count) for k in range(remaining))
+                    pos += need
+                    break
+            item, pos = element.decode_value(view, pos, order)
+            out.append(item)
+            i += 1
+        flat.append(out)
+        return pos
+
+
+# -- the compiled codec ---------------------------------------------------------
+
+
+class CompiledCodec:
+    """One TypeCode's codec plan: flatten → ops → (re)build."""
+
+    __slots__ = ("tc", "parts", "flatten", "build", "count", "single_segment")
+
+    def __init__(self, tc: TypeCode) -> None:
+        self.tc = tc
+        items: list[tuple[str, Any]] = []
+        _scan(tc, items)
+        parts: list[Any] = []
+        run: list[tuple] = []
+        slot = 0
+        run_start = 0
+        for kind, payload in items:
+            if kind == "fixed":
+                if not run:
+                    run_start = slot
+                run.append(payload)
+                slot += 1
+                continue
+            if run:
+                parts.append(_Segment(run, run_start))
+                run = []
+            if kind == "string":
+                parts.append(_StringOp(slot))
+            elif kind == "void":
+                parts.append(_VoidOp(slot))
+            else:  # sequence
+                seq_tc: SequenceType = payload
+                element = seq_tc.element
+                if isinstance(element, EnumType) or (
+                    isinstance(element, PrimitiveType)
+                    and element.kind in _FIXED_LEAVES
+                ):
+                    parts.append(_BulkSeqOp(slot, element, seq_tc.bound))
+                else:
+                    inner = compile_codec(element)
+                    if inner is None:
+                        raise _Uncompilable(repr(element))
+                    parts.append(_LoopSeqOp(slot, inner, seq_tc.bound))
+            slot += 1
+        if run:
+            parts.append(_Segment(run, run_start))
+        self.parts = tuple(parts)
+        self.flatten = _flattener_for(tc)
+        self.count, self.build = _builder_for(tc)
+        self.single_segment = (
+            parts[0]
+            if len(parts) == 1
+            and isinstance(parts[0], _Segment)
+            and parts[0].count == self.count
+            else None
+        )
+
+    def encode_value_into(self, buf: bytearray, value: Any, order: int) -> None:
+        flat: list = []
+        try:
+            self.flatten(value, flat)
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise CdrError(f"value does not match {self.tc!r}: {exc}") from exc
+        for part in self.parts:
+            part.encode(buf, flat, order)
+
+    def decode_value(self, view: memoryview, pos: int, order: int) -> tuple[Any, int]:
+        flat: list = []
+        for part in self.parts:
+            pos = part.decode(view, pos, flat, order)
+        return self.build(flat, 0), pos
+
+
+def _scan(tc: TypeCode, items: list) -> None:
+    """Flatten the TypeCode tree into plan items, one per flat slot."""
+    if isinstance(tc, StructType):
+        for _name, field_tc in tc.fields:
+            _scan(field_tc, items)
+        return
+    if isinstance(tc, EnumType):
+        enc, dec = _enum_convs(tc)
+        items.append(("fixed", ("I", 4, 4, enc, dec, None)))
+        return
+    if isinstance(tc, SequenceType):
+        items.append(("seq", tc))
+        return
+    if isinstance(tc, PrimitiveType):
+        kind = tc.kind
+        leaf = _FIXED_LEAVES.get(kind)
+        if leaf is not None:
+            char, size, align = leaf
+            dec = _bool_dec if kind == "boolean" else None
+            check = "bool" if kind == "boolean" else "notbool"
+            items.append(("fixed", (char, size, align, None, dec, check)))
+            return
+        if kind == "string":
+            items.append(("string", None))
+            return
+        if kind == "void":
+            items.append(("void", None))
+            return
+    raise _Uncompilable(repr(tc))
+
+
+# -- codec cache ----------------------------------------------------------------
+
+# id(tc) -> (tc, codec | None). The entry pins the TypeCode so its id can
+# never be recycled onto a different object while cached. None records a
+# TypeCode that declined compilation (interpreted fallback), so exotic
+# codes don't retry the compiler on every call.
+_CODEC_CACHE: dict[int, tuple[TypeCode, "CompiledCodec | None"]] = {}
+_CACHE_LIMIT = 4096
+_CACHE_STATS = {"hits": 0, "misses": 0, "compiled": 0, "uncompilable": 0,
+                "evictions": 0}
+
+
+def compile_codec(tc: TypeCode) -> CompiledCodec | None:
+    """The compiled codec for ``tc``, or None when it must stay interpreted."""
+    entry = _CODEC_CACHE.get(id(tc))
+    if entry is not None:
+        _CACHE_STATS["hits"] += 1
+        return entry[1]
+    _CACHE_STATS["misses"] += 1
+    try:
+        codec: CompiledCodec | None = CompiledCodec(tc)
+        _CACHE_STATS["compiled"] += 1
+    except _Uncompilable:
+        codec = None
+        _CACHE_STATS["uncompilable"] += 1
+    if len(_CODEC_CACHE) >= _CACHE_LIMIT:
+        # Deployed repositories hold a few dozen TypeCodes; only test
+        # fuzzers mint thousands. Wholesale reset keeps memory bounded.
+        _CODEC_CACHE.clear()
+        _CACHE_STATS["evictions"] += 1
+    _CODEC_CACHE[id(tc)] = (tc, codec)
+    return codec
+
+
+def codec_cache_stats() -> dict[str, float]:
+    total = _CACHE_STATS["hits"] + _CACHE_STATS["misses"]
+    return {
+        "size": float(len(_CODEC_CACHE)),
+        "hit_rate": _CACHE_STATS["hits"] / total if total else 0.0,
+        **{k: float(v) for k, v in _CACHE_STATS.items()},
+    }
+
+
+def clear_codec_cache() -> None:
+    _CODEC_CACHE.clear()
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
+
+
+def warm_interface(interface: Any) -> int:
+    """Precompile codecs for every operation of an IDL interface.
+
+    Called from stub construction and servant activation so first
+    invocations don't pay compile latency. Returns the number of TypeCodes
+    now compiled (cached included).
+    """
+    warmed = 0
+    for op in interface.operations:
+        for param in op.params:
+            warmed += compile_codec(param.tc) is not None
+        warmed += compile_codec(op.result) is not None
+    return warmed
+
+
+# -- encoder buffer pool ---------------------------------------------------------
+
+
+class _BufferPool:
+    """A small free-list of output bytearrays for FastEncoder."""
+
+    __slots__ = ("max_buffers", "max_bytes", "_free", "acquired", "reused")
+
+    def __init__(self, max_buffers: int = 32, max_bytes: int = 1 << 20) -> None:
+        self.max_buffers = max_buffers
+        self.max_bytes = max_bytes
+        self._free: list[bytearray] = []
+        self.acquired = 0
+        self.reused = 0
+
+    def acquire(self) -> bytearray:
+        if self._free:
+            self.reused += 1
+            return self._free.pop()
+        self.acquired += 1
+        return bytearray()
+
+    def release(self, buf: bytearray) -> None:
+        if len(self._free) < self.max_buffers and len(buf) <= self.max_bytes:
+            del buf[:]
+            self._free.append(buf)
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "free": float(len(self._free)),
+            "acquired": float(self.acquired),
+            "reused": float(self.reused),
+        }
+
+
+BUFFER_POOL = _BufferPool()
+
+
+# -- equivalence switch -----------------------------------------------------------
+
+_equivalence_check = os.environ.get("REPRO_CODEC_CHECK", "") not in ("", "0")
+
+
+def set_equivalence_check(enabled: bool) -> bool:
+    """Toggle interpreted-oracle checking; returns the previous setting."""
+    global _equivalence_check
+    previous = _equivalence_check
+    _equivalence_check = enabled
+    return previous
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    """Exact structural equality, NaN-tolerant (NaN == NaN here)."""
+    if isinstance(a, bool) != isinstance(b, bool):
+        return False
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (math.isnan(a) and math.isnan(b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(_values_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(map(_values_equal, a, b))
+    return a == b
+
+
+# -- drop-in fast coders -----------------------------------------------------------
+
+
+class FastEncoder(CdrEncoder):
+    """CdrEncoder that routes through compiled plans and a pooled buffer.
+
+    Byte-for-byte compatible with the interpreted encoder; TypeCodes
+    without a plan fall back to the inherited recursive path (which itself
+    re-enters compiled plans for any compilable children).
+    """
+
+    def __init__(self, byte_order: str = "big") -> None:
+        super().__init__(byte_order)
+        self._buffer = BUFFER_POOL.acquire()
+        self._order = 0 if byte_order == "big" else 1
+
+    def encode(self, tc: TypeCode, value: Any) -> None:
+        """Marshal ``value`` per ``tc``, rejecting the same values as the
+        interpreted ``validate``-then-encode path.
+
+        Compiled plans validate *while* packing (struct formats enforce
+        ranges; plan ops carry the bool/str/bound/field checks pack alone
+        would miss), so the recursive ``tc.validate`` walk — the dominant
+        cost of interpreted encoding — is skipped entirely.
+        """
+        codec = compile_codec(tc)
+        if codec is None:
+            super().encode(tc, value)
+            return
+        if _equivalence_check:
+            before = bytes(self._buffer)
+            codec.encode_value_into(self._buffer, value, self._order)
+            oracle = CdrEncoder(self.byte_order)
+            oracle._buffer = bytearray(before)
+            oracle.encode(tc, value)
+            if bytes(self._buffer) != bytes(oracle._buffer):
+                raise AssertionError(
+                    f"compiled codec diverged from interpreted CDR for {tc!r}: "
+                    f"{bytes(self._buffer)!r} != {bytes(oracle._buffer)!r}"
+                )
+            return
+        codec.encode_value_into(self._buffer, value, self._order)
+
+    def _encode_unchecked(self, tc: TypeCode, value: Any) -> None:
+        codec = compile_codec(tc)
+        if codec is None:
+            super()._encode_unchecked(tc, value)
+            return
+        if _equivalence_check:
+            before = bytes(self._buffer)
+            codec.encode_value_into(self._buffer, value, self._order)
+            oracle = CdrEncoder(self.byte_order)
+            oracle._buffer = bytearray(before)
+            oracle._encode_unchecked(tc, value)
+            if bytes(self._buffer) != bytes(oracle._buffer):
+                raise AssertionError(
+                    f"compiled codec diverged from interpreted CDR for {tc!r}: "
+                    f"{bytes(self._buffer)!r} != {bytes(oracle._buffer)!r}"
+                )
+            return
+        codec.encode_value_into(self._buffer, value, self._order)
+
+    def release(self) -> None:
+        """Return the output buffer to the pool (call after getvalue())."""
+        buf, self._buffer = self._buffer, bytearray()
+        BUFFER_POOL.release(buf)
+
+
+class FastDecoder(CdrDecoder):
+    """CdrDecoder over a zero-copy memoryview cursor with compiled plans."""
+
+    def __init__(self, data: Any, byte_order: str = "big") -> None:
+        if byte_order not in ("big", "little"):
+            raise ValueError("byte_order must be 'big' or 'little'")
+        self.byte_order = byte_order
+        self._prefix = ">" if byte_order == "big" else "<"
+        self._order = 0 if byte_order == "big" else 1
+        # No bytes(data) copy — the cursor reads the caller's buffer.
+        self._data = data if isinstance(data, memoryview) else memoryview(data)
+        self._pos = 0
+
+    def _take(self, size: int) -> bytes:
+        if self._pos + size > len(self._data):
+            raise CdrError(
+                f"truncated stream: need {size} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        chunk = bytes(self._data[self._pos : self._pos + size])
+        self._pos += size
+        return chunk
+
+    def read_primitive(self, kind: str) -> Any:
+        leaf = _FIXED_LEAVES.get(kind)
+        if leaf is not None:
+            char, size, align = leaf
+            self._align(align)
+            pos = self._pos
+            if pos + size > len(self._data):
+                raise CdrError(
+                    f"truncated stream: need {size} bytes at offset {pos}, "
+                    f"have {len(self._data) - pos}"
+                )
+            (raw,) = struct.unpack_from(self._prefix + char, self._data, pos)
+            self._pos = pos + size
+            if kind == "boolean":
+                return _bool_dec(raw)
+            return raw
+        if kind == "string":
+            flat: list = []
+            self._pos = _STRING_OP.decode(self._data, self._pos, flat, self._order)
+            return flat[0]
+        if kind == "void":
+            return None
+        raise CdrError(f"unknown primitive kind {kind}")  # pragma: no cover
+
+    def decode(self, tc: TypeCode) -> Any:
+        codec = compile_codec(tc)
+        if codec is None:
+            return super().decode(tc)
+        if _equivalence_check:
+            start = self._pos
+            value, self._pos = codec.decode_value(self._data, start, self._order)
+            oracle = CdrDecoder(bytes(self._data), self.byte_order)
+            oracle._pos = start
+            expected = oracle.decode(tc)
+            if not _values_equal(value, expected) or oracle._pos != self._pos:
+                raise AssertionError(
+                    f"compiled decode diverged from interpreted CDR for {tc!r}: "
+                    f"{value!r}@{self._pos} != {expected!r}@{oracle._pos}"
+                )
+            return value
+        value, self._pos = codec.decode_value(self._data, self._pos, self._order)
+        return value
+
+
+_STRING_OP = _StringOp(0)

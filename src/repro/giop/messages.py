@@ -23,12 +23,38 @@ from enum import IntEnum
 from typing import Any
 
 from repro.giop.cdr import CdrDecoder, CdrEncoder, CdrError
+from repro.giop.codec import FastDecoder, FastEncoder
 from repro.giop.idl import IdlError, InterfaceRepository
 from repro.giop.typecodes import TC_VOID, TypeCodeError
 
 MAGIC = b"GIOP"
 VERSION = (1, 2)
 HEADER_SIZE = 12
+
+# Compiled-codec fast path for all message bodies. The interpreted coders
+# remain byte-identical; this switch exists for benchmarking and for
+# falling back wholesale if a codec bug is ever suspected in the field.
+_FAST_WIRE = True
+
+
+def set_fast_wire(enabled: bool) -> bool:
+    """Toggle the compiled marshal/unmarshal path; returns previous value."""
+    global _FAST_WIRE
+    previous = _FAST_WIRE
+    _FAST_WIRE = enabled
+    return previous
+
+
+def _new_encoder(byte_order: str) -> CdrEncoder:
+    return FastEncoder(byte_order) if _FAST_WIRE else CdrEncoder(byte_order)
+
+
+def _finish(body: CdrEncoder, msg_type: MsgType) -> bytes:
+    """Prepend the GIOP header and recycle a pooled encoder buffer."""
+    wire = _encode_header(body, msg_type, body.getvalue())
+    if isinstance(body, FastEncoder):
+        body.release()
+    return wire
 
 
 class GiopError(Exception):
@@ -185,7 +211,7 @@ def encode_request(
     interface = repository.lookup(interface_name)
     op = interface.operation(operation)
     op.validate_args(args)
-    body = CdrEncoder(byte_order)
+    body = _new_encoder(byte_order)
     body.write_primitive("ulong", request_id)
     body.write_primitive("boolean", response_expected)
     body.write_octets(object_key)
@@ -193,7 +219,7 @@ def encode_request(
     body.write_primitive("string", interface_name)
     for param, arg in zip(op.params, args):
         body.encode(param.tc, arg)
-    return _encode_header(body, MsgType.REQUEST, body.getvalue())
+    return _finish(body, MsgType.REQUEST)
 
 
 def encode_reply(
@@ -208,7 +234,7 @@ def encode_reply(
     """Marshal a complete GIOP Reply message."""
     interface = repository.lookup(interface_name)
     op = interface.operation(operation)
-    body = CdrEncoder(byte_order)
+    body = _new_encoder(byte_order)
     body.write_primitive("ulong", request_id)
     body.write_primitive("ulong", int(reply_status))
     # Replies echo operation/interface so the standalone marshalling engine
@@ -222,50 +248,47 @@ def encode_reply(
         exception_id, description = result
         body.write_primitive("string", exception_id)
         body.write_primitive("string", description)
-    return _encode_header(body, MsgType.REPLY, body.getvalue())
+    return _finish(body, MsgType.REPLY)
 
 
 def encode_locate_request(
     request_id: int, object_key: bytes, byte_order: str = "big"
 ) -> bytes:
-    body = CdrEncoder(byte_order)
+    body = _new_encoder(byte_order)
     body.write_primitive("ulong", request_id)
     body.write_octets(object_key)
-    return _encode_header(body, MsgType.LOCATE_REQUEST, body.getvalue())
+    return _finish(body, MsgType.LOCATE_REQUEST)
 
 
 def encode_locate_reply(
     request_id: int, locate_status: LocateStatus, byte_order: str = "big"
 ) -> bytes:
-    body = CdrEncoder(byte_order)
+    body = _new_encoder(byte_order)
     body.write_primitive("ulong", request_id)
     body.write_primitive("ulong", int(locate_status))
-    return _encode_header(body, MsgType.LOCATE_REPLY, body.getvalue())
+    return _finish(body, MsgType.LOCATE_REPLY)
 
 
 def encode_close_connection(byte_order: str = "big") -> bytes:
-    body = CdrEncoder(byte_order)
-    return _encode_header(body, MsgType.CLOSE_CONNECTION, b"")
+    body = _new_encoder(byte_order)
+    return _finish(body, MsgType.CLOSE_CONNECTION)
 
 
 def encode_message_error(byte_order: str = "big") -> bytes:
-    body = CdrEncoder(byte_order)
-    return _encode_header(body, MsgType.MESSAGE_ERROR, b"")
+    body = _new_encoder(byte_order)
+    return _finish(body, MsgType.MESSAGE_ERROR)
 
 
-def decode_message(
-    repository: InterfaceRepository, data: bytes
-) -> RequestMessage | ReplyMessage:
-    """Parse and unmarshal one GIOP message (the receiver-makes-right side).
+def _split_message(data: bytes) -> tuple[MsgType, str, Any]:
+    """Validate the GIOP header; return (msg_type, byte_order, body).
 
-    This is exactly the "marshalling engine" of §3.6: given only the wire
-    bytes and the interface repository, recover typed values — the Group
-    Manager uses it to re-vote on proof messages outside any ORB.
+    On the fast path the body is a zero-copy :class:`memoryview` slice of
+    the caller's buffer rather than a ``bytes`` copy.
     """
     if len(data) < HEADER_SIZE:
         raise GiopError("message shorter than GIOP header")
     if data[:4] != MAGIC:
-        raise GiopError(f"bad magic {data[:4]!r}")
+        raise GiopError(f"bad magic {bytes(data[:4])!r}")
     major, minor = data[4], data[5]
     if (major, minor) != VERSION:
         raise GiopError(f"unsupported GIOP version {major}.{minor}")
@@ -277,10 +300,60 @@ def decode_message(
         raise GiopError(f"unknown message type {data[7]}") from exc
     prefix = "<" if byte_order == "little" else ">"
     (size,) = struct.unpack(prefix + "I", data[8:12])
-    body = data[HEADER_SIZE:]
+    body = memoryview(data)[HEADER_SIZE:] if _FAST_WIRE else data[HEADER_SIZE:]
     if len(body) != size:
         raise GiopError(f"size mismatch: header says {size}, body is {len(body)}")
-    decoder = CdrDecoder(body, byte_order)
+    return msg_type, byte_order, body
+
+
+@dataclass(frozen=True)
+class RequestHeader:
+    """The fixed preamble of a GIOP Request, without the argument payload."""
+
+    request_id: int
+    response_expected: bool
+    object_key: bytes
+    operation: str
+    interface_name: str
+    byte_order: str
+
+
+def peek_request_header(data: bytes) -> RequestHeader:
+    """Decode only a Request's preamble (id through interface name).
+
+    The SMIOP sender uses this to recover operation/interface from its own
+    just-marshalled bytes without re-unmarshalling the argument payload.
+    """
+    msg_type, byte_order, body = _split_message(data)
+    if msg_type != MsgType.REQUEST:
+        raise GiopError(f"expected REQUEST, got {msg_type.name}")
+    decoder = FastDecoder(body, byte_order)
+    try:
+        return RequestHeader(
+            request_id=decoder.read_primitive("ulong"),
+            response_expected=decoder.read_primitive("boolean"),
+            object_key=decoder.read_octets(),
+            operation=decoder.read_primitive("string"),
+            interface_name=decoder.read_primitive("string"),
+            byte_order=byte_order,
+        )
+    except CdrError as exc:
+        raise GiopError(f"cannot decode REQUEST header: {exc}") from exc
+
+
+def decode_message(
+    repository: InterfaceRepository, data: bytes
+) -> RequestMessage | ReplyMessage:
+    """Parse and unmarshal one GIOP message (the receiver-makes-right side).
+
+    This is exactly the "marshalling engine" of §3.6: given only the wire
+    bytes and the interface repository, recover typed values — the Group
+    Manager uses it to re-vote on proof messages outside any ORB.
+    """
+    msg_type, byte_order, body = _split_message(data)
+    decoder = (
+        FastDecoder(body, byte_order) if _FAST_WIRE else CdrDecoder(body, byte_order)
+    )
     try:
         if msg_type == MsgType.REQUEST:
             return _decode_request(repository, decoder, byte_order)

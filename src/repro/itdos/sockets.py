@@ -26,7 +26,12 @@ from repro.bft.client import BftClientEngine
 from repro.crypto.digests import digest
 from repro.crypto.encoding import canonical_bytes, parse_canonical
 from repro.crypto.symmetric import AuthenticationError, SymmetricKey, decrypt, encrypt
-from repro.giop.messages import ReplyMessage, RequestMessage, decode_message
+from repro.crypto.memo import MemoCache
+from repro.giop.messages import (
+    ReplyMessage,
+    decode_message,
+    peek_request_header,
+)
 from repro.itdos.domain import DomainInfo, SystemDirectory
 from repro.itdos.keys import KeyStore
 from repro.itdos.messages import (
@@ -101,6 +106,12 @@ class OutgoingConnection:
         # Large-object digest path (extension): body fetch in progress.
         self._awaiting_body: tuple[int, bytes, list[str]] | None = None
         self.body_fetches = 0
+        # Decoded-ballot memo: heterogeneous replicas produce different
+        # bytes for equal values, but same-platform elements (and duplicate
+        # copies) produce identical plaintext — unmarshal those once per
+        # voter, not once per element. Pure memoization: voting still
+        # happens on the decoded values via the §3.6 comparators.
+        self._decode_memo: MemoCache = MemoCache(maxsize=64)
 
     @property
     def connected(self) -> bool:
@@ -122,12 +133,12 @@ class OutgoingConnection:
             raise RuntimeError(f"connection {self.conn_id} has no communication key")
         self._next_request_id += 1
         request_id = self._next_request_id
-        # Decode our own marshalling to learn interface/operation, which
-        # select the reply comparator (inexact for float results, §3.6).
-        message = decode_message(self.endpoint.directory.repository, wire)
-        assert isinstance(message, RequestMessage)
+        # Peek our own marshalling's preamble to learn interface/operation,
+        # which select the reply comparator (inexact for float results,
+        # §3.6) — no need to re-unmarshal the argument payload we just built.
+        header = peek_request_header(wire)
         comparator = reply_value_comparator(
-            self.endpoint.directory, message.interface_name, message.operation
+            self.endpoint.directory, header.interface_name, header.operation
         )
         self.voter.begin(request_id, comparator)
         self._on_reply = on_reply
@@ -148,8 +159,8 @@ class OutgoingConnection:
                 pid=self.endpoint.owner.pid,
                 conn=self.conn_id,
                 request=request_id,
-                iface=message.interface_name,
-                op=message.operation,
+                iface=header.interface_name,
+                op=header.operation,
             )
             self._active_span = span
             ctx = span.ctx if span is not None else t.current
@@ -200,15 +211,28 @@ class OutgoingConnection:
                 raw=None,
             )
             return
-        try:
-            message = decode_message(self.endpoint.directory.repository, plaintext)
-        except Exception:  # noqa: BLE001 - garbage from a Byzantine element
-            self.voter.discard("malformed")
-            return
-        if not isinstance(message, ReplyMessage):
-            self.voter.discard("malformed")
-            return
-        value = (int(message.reply_status), message.result)
+        value = self._decode_memo.get(plaintext)
+        memoized = value is not None
+        if value is None:
+            try:
+                message = decode_message(
+                    self.endpoint.directory.repository, plaintext
+                )
+            except Exception:  # noqa: BLE001 - garbage from a Byzantine element
+                self.voter.discard("malformed")
+                return
+            if not isinstance(message, ReplyMessage):
+                self.voter.discard("malformed")
+                return
+            value = (int(message.reply_status), message.result)
+            self._decode_memo.put(plaintext, value)
+        t = self.endpoint.owner.telemetry
+        if t.enabled:
+            t.registry.counter(
+                "smiop_reply_unmarshal_total",
+                "Reply-copy unmarshals on the client voter path",
+                labels=("source",),
+            ).labels(source="memo" if memoized else "decode").inc()
         self.voter.offer(
             reply.sender,
             reply.request_id,

@@ -109,6 +109,24 @@ def test_decoder_rejects_truncated_stream():
         CdrDecoder(b"\x00\x00", "big").decode(TC_LONG)
 
 
+def test_decoder_rejects_stream_truncated_inside_padding():
+    # One octet then a long: the long's 3 padding bytes fall past the end
+    # of this 3-byte buffer. The cursor must not silently advance beyond
+    # the stream; it must fail at the pad itself.
+    from repro.giop.codec import FastDecoder
+
+    blob = b"\x09\x00\x00"
+    for decoder in (CdrDecoder(blob, "big"), FastDecoder(blob, "big")):
+        assert decoder.decode(TC_OCTET) == 9
+        with pytest.raises(CdrError, match="truncated"):
+            decoder.decode(TC_LONG)
+    # The interpreted cursor fails at the pad octets themselves.
+    decoder = CdrDecoder(blob, "big")
+    decoder.decode(TC_OCTET)
+    with pytest.raises(CdrError, match="padding"):
+        decoder.read_primitive("long")
+
+
 def test_decoder_rejects_invalid_boolean():
     with pytest.raises(CdrError):
         CdrDecoder(b"\x02", "big").decode(TC_BOOLEAN)

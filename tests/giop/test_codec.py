@@ -1,0 +1,315 @@
+"""Unit tests for the compiled codec layer (plan shapes, cache, pool)."""
+
+import pytest
+
+from repro.giop.cdr import CdrDecoder, CdrEncoder, CdrError
+from repro.giop.codec import (
+    BUFFER_POOL,
+    CompiledCodec,
+    FastDecoder,
+    FastEncoder,
+    clear_codec_cache,
+    codec_cache_stats,
+    compile_codec,
+    set_equivalence_check,
+    warm_interface,
+)
+from repro.giop.idl import InterfaceDef, InterfaceRepository, Operation, Parameter
+from repro.giop.messages import (
+    GiopError,
+    decode_message,
+    encode_request,
+    peek_request_header,
+    set_fast_wire,
+)
+from repro.giop.typecodes import (
+    TC_BOOLEAN,
+    TC_DOUBLE,
+    TC_FLOAT,
+    TC_LONG,
+    TC_LONGLONG,
+    TC_OCTET,
+    TC_SHORT,
+    TC_STRING,
+    TC_ULONG,
+    TC_VOID,
+    EnumType,
+    SequenceType,
+    StructType,
+    TypeCode,
+)
+
+POINT = StructType("Point", (("x", TC_DOUBLE), ("y", TC_DOUBLE)))
+SAMPLE = StructType(
+    "Sample", (("t", TC_DOUBLE), ("value", TC_DOUBLE), ("seq", TC_ULONG))
+)
+COLOR = EnumType("Color", ("red", "green", "blue"))
+MIXED = StructType(
+    "Mixed",
+    (
+        ("flag", TC_BOOLEAN),
+        ("id", TC_ULONG),
+        ("name", TC_STRING),
+        ("points", SequenceType(POINT)),
+        ("samples", SequenceType(SAMPLE)),
+        ("color", COLOR),
+        ("tags", SequenceType(TC_STRING)),
+        ("raw", SequenceType(TC_OCTET)),
+        ("bits", SequenceType(TC_BOOLEAN)),
+        ("vals", SequenceType(TC_DOUBLE, bound=16)),
+        ("matrix", SequenceType(SequenceType(TC_LONG))),
+        ("inner", StructType(
+            "Inner", (("a", TC_OCTET), ("b", TC_LONGLONG), ("c", TC_SHORT))
+        )),
+    ),
+)
+MIXED_VALUE = {
+    "flag": True,
+    "id": 7,
+    "name": "héllo",
+    "points": [{"x": 1.5, "y": -2.25}, {"x": 0.0, "y": 3.5}, {"x": 9.0, "y": 1.0}],
+    "samples": [{"t": 0.1, "value": 2.0, "seq": 1}, {"t": 0.2, "value": 3.0, "seq": 2}],
+    "color": "green",
+    "tags": ["a", "bb", ""],
+    "raw": [0, 255, 17],
+    "bits": [True, False, True],
+    "vals": [1.0, 2.0],
+    "matrix": [[1, 2, 3], [], [4]],
+    "inner": {"a": 9, "b": -1234567890123, "c": -7},
+}
+
+CORPUS = [
+    (TC_LONG, -5),
+    (TC_DOUBLE, 1.0 / 3.0),
+    (TC_STRING, "héllo wörld"),
+    (TC_BOOLEAN, False),
+    (COLOR, "blue"),
+    (POINT, {"x": 0.5, "y": -1.5}),
+    (SAMPLE, {"t": 0.25, "value": 1.5, "seq": 7}),
+    (SequenceType(TC_DOUBLE), [float(i) * 0.5 for i in range(37)]),
+    (SequenceType(TC_OCTET), list(range(200))),
+    (SequenceType(TC_BOOLEAN), [True, False] * 9),
+    (SequenceType(COLOR), ["red", "blue", "green", "red"]),
+    (SequenceType(SAMPLE), [
+        {"t": i * 0.5, "value": -i * 0.25, "seq": i} for i in range(11)
+    ]),
+    (SequenceType(POINT), [{"x": float(i), "y": -float(i)} for i in range(6)]),
+    (SequenceType(TC_STRING), ["alpha", "", "β"]),
+    (SequenceType(SequenceType(TC_ULONG)), [[1, 2], [], [3, 4, 5]]),
+    (SequenceType(TC_DOUBLE), []),
+    (MIXED, MIXED_VALUE),
+]
+
+
+@pytest.mark.parametrize("byte_order", ["big", "little"])
+def test_corpus_byte_identical_to_interpreted(byte_order):
+    for tc, value in CORPUS:
+        interp = CdrEncoder(byte_order)
+        interp.encode(tc, value)
+        fast = FastEncoder(byte_order)
+        fast.encode(tc, value)
+        assert fast.getvalue() == interp.getvalue(), tc
+
+
+@pytest.mark.parametrize("byte_order", ["big", "little"])
+def test_corpus_decode_value_identical(byte_order):
+    for tc, value in CORPUS:
+        encoder = CdrEncoder(byte_order)
+        encoder.encode(tc, value)
+        wire = encoder.getvalue()
+        decoder = FastDecoder(wire, byte_order)
+        assert decoder.decode(tc) == value, tc
+        assert decoder.at_end()
+        assert decoder.remaining() == 0
+
+
+def test_decode_accepts_memoryview_without_copy():
+    encoder = CdrEncoder("big")
+    encoder.encode(SAMPLE, {"t": 1.0, "value": 2.0, "seq": 3})
+    view = memoryview(encoder.getvalue())
+    decoder = FastDecoder(view, "big")
+    assert decoder.decode(SAMPLE) == {"t": 1.0, "value": 2.0, "seq": 3}
+    assert decoder._data.obj is view.obj
+
+
+def test_truncation_rejected_at_every_offset():
+    encoder = CdrEncoder("big")
+    encoder.encode(MIXED, MIXED_VALUE)
+    wire = encoder.getvalue()
+    for cut in range(len(wire)):
+        with pytest.raises(CdrError):
+            FastDecoder(wire[:cut], "big").decode(MIXED)
+
+
+def test_garbage_length_rejected_before_allocation():
+    # A bulk sequence whose length word claims 2**31 elements must fail
+    # the bounds check up front, not attempt a gigabyte unpack.
+    wire = (2**31).to_bytes(4, "big") + b"\x00" * 64
+    with pytest.raises(CdrError, match="truncated"):
+        FastDecoder(wire, "big").decode(SequenceType(TC_DOUBLE))
+    with pytest.raises(CdrError, match="truncated"):
+        FastDecoder(wire, "big").decode(SequenceType(SAMPLE))
+
+
+def test_bounded_sequence_rejected_on_decode():
+    encoder = CdrEncoder("big")
+    encoder.encode(SequenceType(TC_DOUBLE), [1.0, 2.0, 3.0])
+    with pytest.raises(CdrError, match="bound"):
+        FastDecoder(encoder.getvalue(), "big").decode(
+            SequenceType(TC_DOUBLE, bound=2)
+        )
+
+
+def test_bad_enum_ordinal_and_boolean_rejected():
+    with pytest.raises(CdrError, match="ordinal"):
+        FastDecoder((7).to_bytes(4, "big"), "big").decode(COLOR)
+    with pytest.raises(CdrError, match="boolean"):
+        FastDecoder(b"\x05", "big").decode(TC_BOOLEAN)
+    with pytest.raises(CdrError, match="boolean"):
+        FastDecoder((2).to_bytes(4, "big") + b"\x01\x07", "big").decode(
+            SequenceType(TC_BOOLEAN)
+        )
+
+
+def test_codec_cache_hits_and_clear():
+    clear_codec_cache()
+    codec = compile_codec(MIXED)
+    assert isinstance(codec, CompiledCodec)
+    again = compile_codec(MIXED)
+    assert again is codec
+    stats = codec_cache_stats()
+    assert stats["hits"] >= 1
+    assert stats["compiled"] >= 1
+    assert stats["hit_rate"] > 0
+    clear_codec_cache()
+    assert codec_cache_stats()["size"] == 0
+
+
+def test_uncompilable_typecode_falls_back_to_interpreted():
+    class LongAlias(TypeCode):
+        kind = "long"
+
+        def validate(self, value):
+            TC_LONG.validate(value)
+
+    alias = LongAlias()
+    assert compile_codec(alias) is None
+    fast = FastEncoder("big")
+    fast.encode(alias, 42)
+    interp = CdrEncoder("big")
+    interp.encode(TC_LONG, 42)
+    assert fast.getvalue() == interp.getvalue()
+    assert FastDecoder(fast.getvalue(), "big").decode(alias) == 42
+    # A compilable child inside an uncompilable parent still decodes.
+    seq = SequenceType(alias)
+    assert compile_codec(seq) is None
+    enc = CdrEncoder("big")
+    enc.encode(SequenceType(TC_LONG), [1, 2, 3])
+    assert FastDecoder(enc.getvalue(), "big").decode(seq) == [1, 2, 3]
+
+
+def test_buffer_pool_reuses_released_buffers():
+    reused_before = BUFFER_POOL.reused
+    encoder = FastEncoder("big")
+    encoder.encode(TC_LONG, 1)
+    encoder.release()
+    encoder2 = FastEncoder("big")
+    assert BUFFER_POOL.reused > reused_before
+    assert len(encoder2) == 0  # released buffers come back empty
+    encoder2.release()
+
+
+def test_equivalence_switch_restores_previous_value():
+    previous = set_equivalence_check(True)
+    try:
+        fast = FastEncoder("little")
+        fast.encode(MIXED, MIXED_VALUE)
+        assert FastDecoder(fast.getvalue(), "little").decode(MIXED) == MIXED_VALUE
+    finally:
+        set_equivalence_check(previous)
+
+
+def test_validation_parity_with_interpreted_encode():
+    cases = [
+        (TC_BOOLEAN, 1), (TC_LONG, True), (TC_LONG, 2**31), (TC_DOUBLE, True),
+        (TC_OCTET, 256), (TC_STRING, b"x"), (TC_VOID, 0), (TC_FLOAT, 1e300),
+        (SequenceType(TC_DOUBLE), "abc"),
+        (SequenceType(TC_DOUBLE), [1.0, True]),
+        (SequenceType(TC_DOUBLE, bound=2), [1.0, 2.0, 3.0]),
+        (SequenceType(TC_BOOLEAN), [True, 1]),
+        (SequenceType(TC_OCTET), [True]),
+        (SequenceType(TC_LONG), [1, True]),
+        (SequenceType(TC_STRING), "abc"),
+        (POINT, {"x": 1.0}),
+        (POINT, {"x": 1.0, "y": 2.0, "z": 3.0}),
+        (POINT, {"x": 1.0, "z": 2.0}),
+        (POINT, 7),
+        (COLOR, "magenta"),
+        (COLOR, True),
+        (SequenceType(COLOR), ["red", "nope"]),
+        (SequenceType(POINT), [{"x": 1.0, "y": True}]),
+    ]
+    for tc, value in cases:
+        with pytest.raises(CdrError):
+            interp = CdrEncoder("big")
+            interp.encode(tc, value)
+        with pytest.raises(CdrError):
+            fast = FastEncoder("big")
+            fast.encode(tc, value)
+
+
+def test_warm_interface_compiles_operation_codecs():
+    clear_codec_cache()
+    interface = InterfaceDef(
+        "Sensor",
+        (
+            Operation("read", (Parameter("id", TC_ULONG),), SequenceType(SAMPLE)),
+            Operation("reset", (), TC_VOID),
+        ),
+    )
+    warmed = warm_interface(interface)
+    assert warmed == 3  # id, sequence<Sample> result, void result
+    assert codec_cache_stats()["compiled"] >= 3
+
+
+def test_peek_request_header_matches_full_decode():
+    repo = InterfaceRepository()
+    repo.register(InterfaceDef(
+        "Calc", (Operation("mean", (Parameter("xs", SequenceType(TC_DOUBLE)),),
+                           TC_DOUBLE),),
+    ))
+    for order in ("big", "little"):
+        wire = encode_request(
+            repo, "Calc", "mean", ([1.0, 2.0],), request_id=9,
+            object_key=b"calc", byte_order=order,
+        )
+        header = peek_request_header(wire)
+        full = decode_message(repo, wire)
+        assert header.request_id == full.request_id
+        assert header.response_expected == full.response_expected
+        assert header.object_key == full.object_key
+        assert header.operation == full.operation
+        assert header.interface_name == full.interface_name
+        assert header.byte_order == full.byte_order
+    with pytest.raises(GiopError):
+        peek_request_header(b"JUNK" + wire[4:])
+    with pytest.raises(GiopError):
+        peek_request_header(wire[:20])
+
+
+def test_set_fast_wire_produces_identical_bytes():
+    repo = InterfaceRepository()
+    repo.register(InterfaceDef(
+        "Calc", (Operation("mean", (Parameter("xs", SequenceType(TC_DOUBLE)),),
+                           TC_DOUBLE),),
+    ))
+    args = ([0.5 * i for i in range(50)],)
+    fast = encode_request(repo, "Calc", "mean", args, request_id=3)
+    previous = set_fast_wire(False)
+    try:
+        slow = encode_request(repo, "Calc", "mean", args, request_id=3)
+        assert decode_message(repo, fast).args == args
+    finally:
+        set_fast_wire(previous)
+    assert fast == slow
+    assert decode_message(repo, fast).args == args

@@ -197,3 +197,63 @@ def test_oneway_operation_through_itdos():
     for element in system.domain_elements("notes"):
         servant = element.orb.adapter.servant_for(b"n")
         assert servant.notes == ["hello", "world"]
+
+
+def test_reply_decode_memoized_on_identical_copies():
+    """Homogeneous replicas send byte-identical reply copies: one decode,
+    the rest served from the memo. §3.6 voting still sees all 3f+1 votes."""
+    system = make_system(seed=202, heterogeneous=False)
+    system.add_server_domain(
+        "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+    )
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+    assert stub.add(2.0, 3.0) == 5.0
+    connection = next(iter(client.endpoint.connections.values()))
+    # 3f+1 = 4 identical copies; the voter decides once a quorum matches,
+    # so at least one later copy is served from the memo instead of a
+    # second full unmarshal.
+    assert connection._decode_memo.hits >= 1
+    hits_before = connection._decode_memo.hits
+    assert stub.add(4.0, 5.0) == 9.0  # fresh bytes, fresh decode, fresh memo hits
+    assert connection._decode_memo.hits > hits_before
+
+
+def test_reply_decode_memo_keeps_heterogeneous_voting_exact():
+    """Heterogeneous replies differ (byte order, FP jitter) so the memo
+    rarely hits — and must never change what the voter decides."""
+    system = make_system(seed=203, heterogeneous=True)
+    system.add_server_domain(
+        "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+    )
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+    result = stub.add(0.1, 0.2)
+    assert result == pytest.approx(0.3, rel=1e-9)
+    connection = next(iter(client.endpoint.connections.values()))
+    # Memoization is pure caching: every copy still reaches the voter.
+    assert connection.voter.discarded == 0
+
+
+def test_reply_unmarshal_telemetry_sources():
+    from repro.itdos.bootstrap import ItdosSystem
+    from tests.itdos.conftest import make_repository
+
+    system = ItdosSystem(
+        seed=204, repository=make_repository(), heterogeneous=False, telemetry=True
+    )
+    system.add_server_domain(
+        "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+    )
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+    assert stub.add(1.0, 2.0) == 3.0
+    family = system.telemetry.registry.get("smiop_reply_unmarshal_total")
+    decoded = family.labels(source="decode").value
+    memoized = family.labels(source="memo").value
+    assert decoded >= 1
+    assert memoized >= 1
+    # every copy that reached the unmarshal stage was accounted for
+    connection = next(iter(client.endpoint.connections.values()))
+    memo = connection._decode_memo
+    assert decoded + memoized == memo.hits + memo.misses

@@ -1,6 +1,7 @@
 """Smoke tests: every example script and CLI demo runs to completion."""
 
 import io
+import json
 import runpy
 import sys
 from contextlib import redirect_stdout
@@ -62,3 +63,31 @@ def test_example_outputs_are_deterministic():
         return buffer.getvalue()
 
     assert run() == run()
+
+
+def test_cli_bench_marshal(tmp_path):
+    from repro.__main__ import main
+
+    out = tmp_path / "bench.jsonl"
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["bench", "marshal", "--json", str(out)])
+    assert code == 0
+    output = buffer.getvalue()
+    assert "compiled-codec speedup" in output
+    assert "codec cache" in output
+    assert "encoder pool" in output
+    assert out.exists()
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    assert any(r.get("record") == "codec_cache" for r in records)
+    assert any(r.get("metric") == "codec_marshal_seconds" for r in records)
+
+
+def test_cli_bench_usage_errors():
+    from repro.__main__ import main
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        assert main(["bench"]) == 2
+        assert main(["bench", "nonsense"]) == 2
+    assert "usage: bench marshal" in buffer.getvalue()
