@@ -455,6 +455,18 @@ class _LoopSeqOp:
                     flatten = element.flatten
                     for item in value[i:]:
                         flatten(item, flat_tail)
+                    # seg.checks guard what struct.pack coerces silently
+                    # (bool-vs-number); the per-element encode runs them in
+                    # _Segment.encode, so the bulk path must too or reject
+                    # parity with the interpreted encoder breaks.
+                    for j, must_be_bool in seg.checks:
+                        for k in range(j, len(flat_tail), seg.count):
+                            v = flat_tail[k]
+                            if (type(v) is bool) is not must_be_bool:
+                                raise CdrError(
+                                    f"{'boolean' if must_be_bool else 'number'} "
+                                    f"expected, got {v!r}"
+                                )
                     try:
                         buf += struct.pack(
                             (">" if order == 0 else "<") + seg.units[phase] * (n - i),

@@ -327,7 +327,9 @@ def peek_request_header(data: bytes) -> RequestHeader:
     msg_type, byte_order, body = _split_message(data)
     if msg_type != MsgType.REQUEST:
         raise GiopError(f"expected REQUEST, got {msg_type.name}")
-    decoder = FastDecoder(body, byte_order)
+    decoder = (
+        FastDecoder(body, byte_order) if _FAST_WIRE else CdrDecoder(body, byte_order)
+    )
     try:
         return RequestHeader(
             request_id=decoder.read_primitive("ulong"),

@@ -49,6 +49,21 @@ from repro.itdos.voter import ReplyVoter, VoteOutcome
 from repro.sim.process import Process
 
 
+def _copy_value(value: Any) -> Any:
+    """Structural copy of a decoded CDR value (dicts/lists/primitives).
+
+    The decode memo must never alias its cached results: decoded dicts and
+    lists are handed to the voter and onward to the application, and a
+    consumer mutating a delivered value would otherwise poison every future
+    memo hit for the same plaintext.
+    """
+    if isinstance(value, dict):
+        return {k: _copy_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_copy_value(v) for v in value]
+    return value
+
+
 def traffic_nonce(conn_id: int, request_id: int, sender: str, direction: str) -> bytes:
     """Deterministic unique nonce for one encrypted SMIOP message."""
     return digest(
@@ -211,9 +226,9 @@ class OutgoingConnection:
                 raw=None,
             )
             return
-        value = self._decode_memo.get(plaintext)
-        memoized = value is not None
-        if value is None:
+        cached = self._decode_memo.get(plaintext)
+        memoized = cached is not None
+        if cached is None:
             try:
                 message = decode_message(
                     self.endpoint.directory.repository, plaintext
@@ -225,7 +240,11 @@ class OutgoingConnection:
                 self.voter.discard("malformed")
                 return
             value = (int(message.reply_status), message.result)
-            self._decode_memo.put(plaintext, value)
+            # The memo keeps a private copy so no consumer of the decoded
+            # value can mutate the cached entry (see _copy_value).
+            self._decode_memo.put(plaintext, (value[0], _copy_value(value[1])))
+        else:
+            value = (cached[0], _copy_value(cached[1]))
         t = self.endpoint.owner.telemetry
         if t.enabled:
             t.registry.counter(

@@ -43,6 +43,7 @@ POINT = StructType("Point", (("x", TC_DOUBLE), ("y", TC_DOUBLE)))
 SAMPLE = StructType(
     "Sample", (("t", TC_DOUBLE), ("value", TC_DOUBLE), ("seq", TC_ULONG))
 )
+FLAGGED = StructType("Flagged", (("flag", TC_BOOLEAN), ("n", TC_ULONG)))
 COLOR = EnumType("Color", ("red", "green", "blue"))
 MIXED = StructType(
     "Mixed",
@@ -94,6 +95,7 @@ CORPUS = [
         {"t": i * 0.5, "value": -i * 0.25, "seq": i} for i in range(11)
     ]),
     (SequenceType(POINT), [{"x": float(i), "y": -float(i)} for i in range(6)]),
+    (SequenceType(FLAGGED), [{"flag": bool(i % 2), "n": i} for i in range(9)]),
     (SequenceType(TC_STRING), ["alpha", "", "β"]),
     (SequenceType(SequenceType(TC_ULONG)), [[1, 2], [], [3, 4, 5]]),
     (SequenceType(TC_DOUBLE), []),
@@ -248,6 +250,15 @@ def test_validation_parity_with_interpreted_encode():
         (COLOR, True),
         (SequenceType(COLOR), ["red", "nope"]),
         (SequenceType(POINT), [{"x": 1.0, "y": True}]),
+        # Multi-element phase-stable runs take the bulk fast path, which
+        # must run the same bool-vs-number checks as per-element encode.
+        (SequenceType(POINT), [{"x": 1.0, "y": 2.0}, {"x": 1.0, "y": True}]),
+        (SequenceType(FLAGGED), [{"flag": True, "n": 1}, {"flag": 5, "n": 2}]),
+        (SequenceType(FLAGGED), [{"flag": 1, "n": 1}, {"flag": 0, "n": 2}]),
+        (SequenceType(FLAGGED), [{"flag": True, "n": True}, {"flag": False, "n": 2}]),
+        (SequenceType(SAMPLE), [
+            {"t": 0.1, "value": True, "seq": 1}, {"t": 0.2, "value": 3.0, "seq": 2},
+        ]),
     ]
     for tc, value in cases:
         with pytest.raises(CdrError):
@@ -256,6 +267,31 @@ def test_validation_parity_with_interpreted_encode():
         with pytest.raises(CdrError):
             fast = FastEncoder("big")
             fast.encode(tc, value)
+
+
+def test_bulk_struct_sequence_checks_every_element():
+    """The bulk encode of a phase-stable struct sequence must reject a
+    bool-vs-number mismatch in ANY element — not silently let struct.pack
+    coerce it into wire bytes every decoder then rejects as malformed."""
+    tc = SequenceType(FLAGGED)
+    good = [{"flag": bool(i % 2), "n": i} for i in range(8)]
+    for order in ("big", "little"):
+        interp = CdrEncoder(order)
+        interp.encode(tc, good)
+        fast = FastEncoder(order)
+        fast.encode(tc, good)
+        assert fast.getvalue() == interp.getvalue()
+        assert FastDecoder(fast.getvalue(), order).decode(tc) == good
+        fast.release()
+    for k in range(len(good)):
+        int_for_bool = [dict(v) for v in good]
+        int_for_bool[k]["flag"] = 5
+        with pytest.raises(CdrError):
+            FastEncoder("big").encode(tc, int_for_bool)
+        bool_for_number = [dict(v) for v in good]
+        bool_for_number[k]["n"] = True
+        with pytest.raises(CdrError):
+            FastEncoder("big").encode(tc, bool_for_number)
 
 
 def test_warm_interface_compiles_operation_codecs():
@@ -295,6 +331,33 @@ def test_peek_request_header_matches_full_decode():
         peek_request_header(b"JUNK" + wire[4:])
     with pytest.raises(GiopError):
         peek_request_header(wire[:20])
+
+
+def test_set_fast_wire_covers_peek_request_header(monkeypatch):
+    """set_fast_wire(False) is the wholesale field fallback: the SMIOP
+    sender's preamble peek must honour it too, not keep using FastDecoder."""
+    import repro.giop.messages as messages_mod
+
+    repo = InterfaceRepository()
+    repo.register(InterfaceDef(
+        "Calc", (Operation("mean", (Parameter("xs", SequenceType(TC_DOUBLE)),),
+                           TC_DOUBLE),),
+    ))
+    wire = encode_request(
+        repo, "Calc", "mean", ([1.0, 2.0],), request_id=11, object_key=b"calc"
+    )
+    previous = set_fast_wire(False)
+    try:
+        def _trap(*args, **kwargs):
+            raise AssertionError("compiled decoder used with fast wire disabled")
+
+        monkeypatch.setattr(messages_mod, "FastDecoder", _trap)
+        header = peek_request_header(wire)
+    finally:
+        set_fast_wire(previous)
+    assert header.operation == "mean"
+    assert header.interface_name == "Calc"
+    assert header.request_id == 11
 
 
 def test_set_fast_wire_produces_identical_bytes():

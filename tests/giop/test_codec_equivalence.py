@@ -133,6 +133,68 @@ def test_property_corrupted_stream_agrees_with_oracle(pair, byte_order, data):
         assert _values_equal(got, expected)
 
 
+def _scalar_paths(value, path=()):
+    """Paths to every bool/number leaf of a conforming value."""
+    if isinstance(value, dict):
+        for key, item in value.items():
+            yield from _scalar_paths(item, path + (key,))
+    elif isinstance(value, list):
+        for i, item in enumerate(value):
+            yield from _scalar_paths(item, path + (i,))
+    elif isinstance(value, (bool, int, float)):
+        yield path, value
+
+
+def _replace_at(value, path, new):
+    if not path:
+        return new
+    if isinstance(value, dict):
+        out = dict(value)
+    else:
+        out = list(value)
+    out[path[0]] = _replace_at(value[path[0]], path[1:], new)
+    return out
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    pair=typed_values(),
+    byte_order=st.sampled_from(["big", "little"]),
+    data=st.data(),
+)
+def test_property_encode_reject_parity(pair, byte_order, data):
+    # Swap one scalar leaf bool<->number anywhere in the value (including
+    # deep inside bulk-encoded sequence runs): compiled and interpreted
+    # encoders must agree on accept-vs-reject, and on the bytes when both
+    # accept. Guards the §3.6 invariant that a correct sender never
+    # marshals wire bytes the voters would discard.
+    tc, value = pair
+    paths = list(_scalar_paths(value))
+    if not paths:
+        return
+    path, leaf = data.draw(st.sampled_from(paths))
+    poison = data.draw(st.integers(min_value=0, max_value=9)) if isinstance(
+        leaf, bool
+    ) else True
+    mutated = _replace_at(value, path, poison)
+    try:
+        interp = CdrEncoder(byte_order)
+        interp.encode(tc, mutated)
+        interp_rejects = False
+    except _REJECTS:
+        interp_rejects = True
+    fast = FastEncoder(byte_order)
+    try:
+        fast.encode(tc, mutated)
+        fast_rejects = False
+    except _REJECTS:
+        fast_rejects = True
+    assert fast_rejects == interp_rejects
+    if not interp_rejects:
+        assert fast.getvalue() == interp.getvalue()
+        fast.release()
+
+
 @settings(max_examples=40, deadline=None)
 @given(
     pair=typed_values(),

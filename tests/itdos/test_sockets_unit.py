@@ -219,6 +219,47 @@ def test_reply_decode_memoized_on_identical_copies():
     assert connection._decode_memo.hits > hits_before
 
 
+def test_reply_decode_memo_isolated_from_result_mutation():
+    """A consumer mutating a delivered result must not poison the memo:
+    later copies of the same plaintext must reach the voter pristine, or
+    correct replicas would be flagged as dissenting (REVIEW: the memo used
+    to alias one mutable dict/list across voter, callback, and cache)."""
+    system = make_system(seed=205, heterogeneous=False)
+    system.add_server_domain(
+        "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+    )
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("calc", b"calc"))
+    stub.store(1.5)
+    connection = next(iter(client.endpoint.connections.values()))
+    offered = []
+    pristine_offer = connection.voter.offer
+
+    def recording_offer(sender, request_id, value, raw=None):
+        if isinstance(value[1], list):
+            offered.append(value)
+        pristine_offer(sender, request_id, value, raw=raw)
+
+    connection.voter.offer = recording_offer
+    assert stub.history() == [1.5]
+    system.settle(1.0)  # let the post-decision straggler copies arrive
+    # Homogeneous replicas send identical plaintext: the memo did hit.
+    assert connection._decode_memo.hits >= 1
+    assert len(offered) == 4  # 3f+1 copies all reached the voter
+    assert all(value == (0, [1.5]) for value in offered)
+    # Each copy is a fresh object — memo hits must not share one list.
+    assert len({id(value[1]) for value in offered}) == len(offered)
+    # And none aliases the cache entry: mutating every delivered result
+    # leaves the memo pristine for future hits on the same plaintext.
+    for value in offered:
+        value[1].append("poison")
+    cached = [
+        entry for entry in connection._decode_memo._data.values()
+        if isinstance(entry[1], list)
+    ]
+    assert cached and all(entry == (0, [1.5]) for entry in cached)
+
+
 def test_reply_decode_memo_keeps_heterogeneous_voting_exact():
     """Heterogeneous replies differ (byte order, FP jitter) so the memo
     rarely hits — and must never change what the voter decides."""
