@@ -253,6 +253,78 @@ def cmd_recover(args: list[str]) -> int:
     return 0
 
 
+def cmd_chaos(args: list[str]) -> int:
+    """Sweep the Byzantine schedule fuzzer and fail on any violation.
+
+    ``python -m repro chaos [--smoke|--full] [--seed N] [--seeds K]
+    [--intensity X] [--shrink] [--json PATH]``
+    """
+    import json as _json
+
+    from repro.chaos import ScheduleRunner, scenario_matrix
+
+    try:
+        json_path, args = _json_path(args)
+    except ValueError as exc:
+        print(f"chaos: {exc}")
+        return 2
+    full = False
+    seeds: tuple[int, ...] | None = None
+    seed_count: int | None = None
+    intensity = 1.0
+    shrink = False
+    it = iter(args)
+    try:
+        for arg in it:
+            if arg == "--smoke":
+                full = False
+            elif arg == "--full":
+                full = True
+            elif arg == "--seed":
+                seeds = (int(next(it)),)
+            elif arg == "--seeds":
+                seed_count = int(next(it))
+            elif arg == "--intensity":
+                intensity = float(next(it))
+            elif arg == "--shrink":
+                shrink = True
+            else:
+                print(f"chaos: unknown argument {arg!r}")
+                return 2
+    except (StopIteration, ValueError):
+        print("chaos: --seed/--seeds/--intensity need a numeric value")
+        return 2
+    if seeds is None:
+        seeds = tuple(range(seed_count if seed_count is not None else 2))
+    runner = ScheduleRunner(
+        scenarios=scenario_matrix(full=full),
+        seeds=seeds,
+        intensity=intensity,
+        shrink=shrink,
+        log=print,
+    )
+    sweep = runner.run()
+    faults = sum(sum(r.faults_applied.values()) for r in sweep.results)
+    print(
+        f"chaos: {len(sweep.results)} cells, {faults} faults injected, "
+        f"{len(sweep.failures)} violation(s)"
+    )
+    if sweep.shrunk is not None:
+        print(f"chaos: shrunk first failure to {len(sweep.shrunk)} fault(s):")
+        for event in sweep.shrunk:
+            print(f"  #{event.index} t={event.time:.4f} {event.kind} "
+                  f"{event.src}->{event.dst} {event.detail}")
+    if json_path is not None:
+        try:
+            with open(json_path, "w", encoding="utf-8") as handle:
+                _json.dump(sweep.to_dict(), handle, indent=2)
+        except OSError as exc:
+            print(f"chaos: cannot write {json_path}: {exc}")
+            return 1
+        print(f"chaos: wrote sweep report to {json_path}")
+    return 0 if sweep.ok else 1
+
+
 def _marshal_corpus():
     """(name, TypeCode, value) cells exercising each codec plan shape."""
     from repro.giop.typecodes import (
@@ -429,6 +501,7 @@ COMMANDS = {
     "metrics": cmd_metrics,
     "recover": cmd_recover,
     "bench": cmd_bench,
+    "chaos": cmd_chaos,
 }
 
 

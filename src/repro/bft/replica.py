@@ -160,6 +160,7 @@ class BftReplica(Process):
         # Observability.
         self.messages_sent: dict[str, int] = {}
         self.executions: list[tuple[int, str, int]] = []  # (seq, client, timestamp)
+        self.order_journal: list[tuple[int, bytes]] = []  # (seq, batch digest)
 
     # ---------------------------------------------------------------- utils
 
@@ -546,6 +547,16 @@ class BftReplica(Process):
         if msg.request_digest != msg.batch.content_digest():
             return
         entry = self._entry(msg.seq)
+        if entry.executed:
+            # Executed history is immutable. A new-view primary that lost the
+            # prepared certificate for this sequence (restarted peers, n-f
+            # amnesia) may re-issue a *different* pre-prepare for it at a
+            # higher view; accepting it would rewrite the stored
+            # pre-prepare/commit certificate — the very thing the status/fill
+            # protocol serves to lagging replicas — while our execution (and
+            # journal) keeps the original batch. Ignore it: lagging peers
+            # catch up from the retained certificate via FillMsg instead.
+            return
         if entry.pre_prepare is not None:
             if entry.pre_prepare.view >= msg.view:
                 # Already accepted: a duplicate means the primary suspects
@@ -689,6 +700,13 @@ class BftReplica(Process):
             assert entry.pre_prepare is not None
             self.last_executed += 1
             entry.executed = True
+            # Committed-order journal: (seq, batch content digest). External
+            # checkers (repro.chaos) assert that every replica's journal
+            # agrees on the digest at each sequence number it executed —
+            # the committed-sequence prefix-agreement safety property.
+            self.order_journal.append(
+                (self.last_executed, entry.pre_prepare.request_digest)
+            )
             # Real progress: relax the escalated view-change patience.
             self._consecutive_view_changes = 0
             # Every replica unpacks the batch in its recorded order, so

@@ -1,0 +1,260 @@
+"""Global safety invariants, asserted after every delivered message.
+
+The checker is an omniscient observer: it reads every process's internal
+state directly (journals, dispatch logs, key stores, checkpoints) and
+raises :class:`InvariantViolation` the moment any cross-process safety
+predicate breaks — so a recorded violation trace ends at the exact
+delivery that broke the system, not at whatever later symptom a test
+would have noticed.
+
+Predicates (the paper's safety story, made executable):
+
+* **prefix agreement** — every replica's committed-order journal agrees on
+  the batch digest at each sequence number it executed (PBFT safety).
+* **no duplicate execution** — per (connection, request id), a servant
+  dispatches at most once, ids strictly increasing (§3.6).
+* **vote consistency** — a decided reply vote has ≥ f+1 distinct
+  supporters, at least one of them outside the corrupt set.
+* **key-epoch fence monotonicity** — per connection, the membership epoch
+  and fence floor never regress, and no held key generation predates the
+  floor (§3.5 + recovery fencing).
+* **checkpoint/watermark consistency** — stable_seq ≤ last_executed ≤
+  high watermark per replica; stable snapshots agree across a domain at
+  equal sequence numbers.
+
+Liveness (eventual reply under bounded loss) is asserted by the runner
+once the schedule's horizon passes, via :meth:`InvariantChecker.final`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.digests import digest
+
+
+class InvariantViolation(AssertionError):
+    """A global safety predicate failed; carries the structured violation."""
+
+    def __init__(self, violation: "Violation") -> None:
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+@dataclass(frozen=True)
+class Violation:
+    name: str
+    process: str
+    detail: str
+    time: float
+
+    def __str__(self) -> str:
+        return f"[{self.name}] at {self.process} (t={self.time:.4f}): {self.detail}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "process": self.process,
+            "detail": self.detail,
+            "time": self.time,
+        }
+
+
+class InvariantChecker:
+    """Asserts the global predicates over one :class:`ItdosSystem`."""
+
+    def __init__(
+        self,
+        system: Any,
+        corrupt: frozenset[str] | set[str] = frozenset(),
+        deep_check_interval: int = 4,
+    ) -> None:
+        self.system = system
+        self.corrupt = set(corrupt)
+        self.violations: list[Violation] = []
+        self.checks_run = 0
+        # Full-state scans (key stores, watermarks, checkpoints, votes) run
+        # every ``deep_check_interval`` deliveries; the incremental journal
+        # and dispatch scans run on every delivery.
+        self.deep_check_interval = max(1, deep_check_interval)
+        self._events = 0
+        # Reference committed-order digests, first writer wins.
+        self._order_ref: dict[tuple[str, int], bytes] = {}
+        self._journal_pos: dict[str, int] = {}
+        self._dispatch_pos: dict[str, int] = {}
+        self._last_dispatch: dict[tuple[str, int], int] = {}
+        self._epoch_floor: dict[tuple[str, int], tuple[int, int]] = {}
+        self._checkpoint_ref: dict[tuple[str, int], bytes] = {}
+
+    # -- wiring -------------------------------------------------------------
+
+    def _replicas(self) -> list[tuple[str, Any]]:
+        """(domain_id, replica) for every ordering participant."""
+        out = [("gm", gm) for gm in self.system.gm_elements]
+        out.extend(
+            (element.domain_id, element)
+            for element in self.system.elements.values()
+        )
+        return out
+
+    def _key_stores(self) -> list[Any]:
+        procs = list(self.system.elements.values())
+        procs.extend(self.system.clients.values())
+        return [p for p in procs if getattr(p, "key_store", None) is not None]
+
+    def _fail(self, name: str, process: str, detail: str) -> None:
+        violation = Violation(
+            name=name, process=process, detail=detail, time=self.system.network.now
+        )
+        self.violations.append(violation)
+        raise InvariantViolation(violation)
+
+    # -- the Network.on_deliver hook ----------------------------------------
+
+    def on_deliver(self, src: str, dst: str, payload: Any) -> None:
+        self._events += 1
+        self.checks_run += 1
+        self.check_order_journals()
+        self.check_dispatch_logs()
+        if self._events % self.deep_check_interval == 0:
+            self.deep_check()
+
+    def deep_check(self) -> None:
+        self.check_key_fences()
+        self.check_watermarks()
+        self.check_checkpoints()
+        self.check_vote_consistency()
+
+    # -- individual predicates ----------------------------------------------
+
+    def check_order_journals(self) -> None:
+        """Committed-sequence prefix agreement across each domain."""
+        for domain_id, replica in self._replicas():
+            journal = replica.order_journal
+            pos = self._journal_pos.get(replica.pid, 0)
+            if len(journal) <= pos:
+                continue
+            for seq, batch_digest in journal[pos:]:
+                ref = self._order_ref.setdefault((domain_id, seq), batch_digest)
+                if ref != batch_digest:
+                    self._fail(
+                        "order-divergence",
+                        replica.pid,
+                        f"seq {seq}: {batch_digest.hex()[:16]} != {ref.hex()[:16]}",
+                    )
+            self._journal_pos[replica.pid] = len(journal)
+
+    def check_dispatch_logs(self) -> None:
+        """No duplicate servant execution per (connection, request id)."""
+        for element in self.system.elements.values():
+            log = element.dispatch_log
+            pos = self._dispatch_pos.get(element.pid, 0)
+            if len(log) <= pos:
+                continue
+            for conn_id, request_id in log[pos:]:
+                key = (element.pid, conn_id)
+                last = self._last_dispatch.get(key, 0)
+                if request_id <= last:
+                    self._fail(
+                        "duplicate-dispatch",
+                        element.pid,
+                        f"conn {conn_id}: request {request_id} after {last}",
+                    )
+                self._last_dispatch[key] = request_id
+            self._dispatch_pos[element.pid] = len(log)
+
+    def check_key_fences(self) -> None:
+        """Per-connection epoch/fence monotonicity; no fenced keys held."""
+        for proc in self._key_stores():
+            for conn_id, keys in proc.key_store.connections.items():
+                state_key = (proc.pid, conn_id)
+                prev_epoch, prev_floor = self._epoch_floor.get(state_key, (0, 0))
+                if keys.current_epoch < prev_epoch or keys.fence_floor < prev_floor:
+                    self._fail(
+                        "fence-regression",
+                        proc.pid,
+                        f"conn {conn_id}: epoch {keys.current_epoch} floor "
+                        f"{keys.fence_floor} after epoch {prev_epoch} floor {prev_floor}",
+                    )
+                self._epoch_floor[state_key] = (keys.current_epoch, keys.fence_floor)
+                for key_id, epoch in keys.epoch_of.items():
+                    if epoch < keys.fence_floor:
+                        self._fail(
+                            "fenced-key-held",
+                            proc.pid,
+                            f"conn {conn_id}: generation {key_id} from epoch "
+                            f"{epoch} < floor {keys.fence_floor}",
+                        )
+
+    def check_watermarks(self) -> None:
+        """stable_seq ≤ last_executed ≤ high watermark at every replica."""
+        for _, replica in self._replicas():
+            if replica.stable_seq > replica.last_executed:
+                self._fail(
+                    "watermark-inversion",
+                    replica.pid,
+                    f"stable {replica.stable_seq} > executed {replica.last_executed}",
+                )
+            if replica.last_executed > replica.high_watermark:
+                self._fail(
+                    "watermark-overrun",
+                    replica.pid,
+                    f"executed {replica.last_executed} > high {replica.high_watermark}",
+                )
+
+    def check_checkpoints(self) -> None:
+        """Stable snapshots agree across a domain at equal sequence numbers."""
+        for domain_id, replica in self._replicas():
+            if replica.stable_seq <= 0:
+                continue
+            snapshot_digest = digest(replica._stable_snapshot)
+            key = (domain_id, replica.stable_seq)
+            ref = self._checkpoint_ref.setdefault(key, snapshot_digest)
+            if ref != snapshot_digest:
+                self._fail(
+                    "checkpoint-divergence",
+                    replica.pid,
+                    f"stable seq {replica.stable_seq}: "
+                    f"{snapshot_digest.hex()[:16]} != {ref.hex()[:16]}",
+                )
+
+    def check_vote_consistency(self) -> None:
+        """Every decided reply vote has ≥ f+1 distinct supporters, not all
+        of them from the corrupt set."""
+        for client in self.system.clients.values():
+            for conn_id, connection in client.endpoint.connections.items():
+                decision = connection.voter._decided
+                if decision is None or not decision.decided:
+                    continue
+                supporters = set(decision.supporters)
+                needed = connection.target.f + 1
+                if len(supporters) < needed:
+                    self._fail(
+                        "vote-thin-quorum",
+                        client.pid,
+                        f"conn {conn_id}: {len(supporters)} supporters < {needed}",
+                    )
+                if supporters and supporters <= self.corrupt:
+                    self._fail(
+                        "vote-all-corrupt",
+                        client.pid,
+                        f"conn {conn_id}: supporters {sorted(supporters)} all corrupt",
+                    )
+
+    # -- end-of-run checks ---------------------------------------------------
+
+    def final(self, pending: dict[Any, Any] | None = None) -> None:
+        """Run every predicate once more; ``pending`` maps still-unanswered
+        invocation labels to their submission context (eventual-reply
+        liveness under a bounded-loss schedule)."""
+        self.check_order_journals()
+        self.check_dispatch_logs()
+        self.deep_check()
+        if pending:
+            labels = ", ".join(str(k) for k in list(pending)[:8])
+            self._fail(
+                "liveness",
+                "client",
+                f"{len(pending)} invocation(s) never decided: {labels}",
+            )

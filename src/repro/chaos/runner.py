@@ -1,0 +1,375 @@
+"""The schedule sweep: build a system, storm it, check it, shrink failures.
+
+One :meth:`ScheduleRunner.run_one` call is fully deterministic in its
+(scenario, seed, disabled) arguments: the simulated world, the workload
+submission times, the fault schedule, and therefore every recorded event
+are pure functions of those inputs. A violation report is thus a complete
+reproduction recipe — re-running the same cell replays the same failure,
+and the greedy shrinker exploits the determinism to search for the minimal
+set of faults that still breaks the invariant.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.chaos.adversary import ChaosController, FaultEvent
+from repro.chaos.invariants import InvariantChecker, InvariantViolation, Violation
+from repro.chaos.schedule import Scenario, build_plan, scenario_matrix
+from repro.giop import set_fast_wire
+from repro.itdos.bootstrap import ItdosSystem
+from repro.workloads.scenarios import CalculatorServant, standard_repository
+
+#: Simulated seconds of adversarial schedule after the warm-up invocation.
+CHAOS_WINDOW = 2.5
+#: Simulated seconds of clean network granted for liveness to re-establish.
+#: Generous on purpose: after a heavy storm the client retry schedule backs
+#: off exponentially (BFT engine) on top of the SMIOP re-submission cap, and
+#: queued invocations drain one at a time — but the run stops early the
+#: moment every reply decides, so healthy cells never pay for the slack.
+SETTLE_WINDOW = 30.0
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (scenario, seed) cell."""
+
+    scenario: Scenario
+    seed: int
+    ok: bool = True
+    violations: list[dict[str, Any]] = field(default_factory=list)
+    fault_events: list[FaultEvent] = field(default_factory=list)
+    fault_candidates: int = 0
+    faults_applied: dict[str, int] = field(default_factory=dict)
+    replies: int = 0
+    requests: int = 0
+    sim_time: float = 0.0
+    deliveries: int = 0
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario.label,
+            "seed": self.seed,
+            "ok": self.ok,
+            "violations": self.violations,
+            "fault_events": [event.to_dict() for event in self.fault_events],
+            "fault_candidates": self.fault_candidates,
+            "faults_applied": self.faults_applied,
+            "replies": self.replies,
+            "requests": self.requests,
+            "sim_time": self.sim_time,
+            "deliveries": self.deliveries,
+            "error": self.error,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Every cell of one sweep, plus the shrunk repro of the first failure."""
+
+    results: list[RunResult] = field(default_factory=list)
+    shrunk: list[FaultEvent] | None = None
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def failures(self) -> list[RunResult]:
+        return [result for result in self.results if not result.ok]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "runs": len(self.results),
+            "failures": [result.to_dict() for result in self.failures],
+            "faults_applied": sum(
+                sum(result.faults_applied.values()) for result in self.results
+            ),
+            "shrunk": (
+                [event.to_dict() for event in self.shrunk]
+                if self.shrunk is not None
+                else None
+            ),
+        }
+
+
+class ScheduleRunner:
+    """Sweeps the scenario matrix over seeds, recording and shrinking."""
+
+    def __init__(
+        self,
+        scenarios: tuple[Scenario, ...] | None = None,
+        seeds: tuple[int, ...] = (0, 1),
+        requests: int = 6,
+        intensity: float = 1.0,
+        shrink: bool = False,
+        telemetry: bool = False,
+        log: Any = None,
+    ) -> None:
+        self.scenarios = scenarios if scenarios is not None else scenario_matrix()
+        self.seeds = tuple(seeds)
+        self.requests = requests
+        self.intensity = intensity
+        self.shrink_failures = shrink
+        self.telemetry = telemetry
+        self.log = log or (lambda message: None)
+
+    # -- sweep --------------------------------------------------------------
+
+    def run(self) -> SweepResult:
+        sweep = SweepResult()
+        for scenario in self.scenarios:
+            for seed in self.seeds:
+                result = self.run_one(scenario, seed)
+                sweep.results.append(result)
+                status = "ok" if result.ok else "VIOLATION"
+                self.log(
+                    f"chaos {scenario.label} seed={seed}: {status} "
+                    f"({sum(result.faults_applied.values())} faults, "
+                    f"{result.replies}/{result.requests} replies)"
+                )
+                if not result.ok and sweep.shrunk is None and self.shrink_failures:
+                    sweep.shrunk = self.shrink(scenario, seed)
+        return sweep
+
+    def shrink(
+        self, scenario: Scenario, seed: int, max_probes: int = 64
+    ) -> list[FaultEvent]:
+        """Greedily minimise the fault schedule of a failing cell."""
+        return _Shrinker(self, scenario, seed).shrink(max_probes)
+
+    # -- one cell ------------------------------------------------------------
+
+    def run_one(
+        self,
+        scenario: Scenario,
+        seed: int,
+        disabled: frozenset[int] | set[int] = frozenset(),
+    ) -> RunResult:
+        result = RunResult(scenario=scenario, seed=seed, requests=self.requests)
+        previous_fast_wire = set_fast_wire(scenario.fast_wire)
+        system = ItdosSystem(
+            seed=seed,
+            repository=standard_repository(),
+            checkpoint_interval=8,
+            telemetry=self.telemetry,
+            bft_batch_size=scenario.batch_size,
+            bft_batch_delay=0.005 if scenario.batch_size > 1 else 0.0,
+            bft_pipeline_window=scenario.pipeline_window,
+        )
+        t = system.telemetry
+        span = (
+            t.begin("chaos.run", scenario=scenario.label, seed=seed)
+            if t.enabled
+            else None
+        )
+        try:
+            self._run_cell(system, scenario, seed, disabled, result)
+        except InvariantViolation as exc:
+            result.ok = False
+            result.violations.append(exc.violation.to_dict())
+        except Exception as exc:  # noqa: BLE001 - an escape is itself a finding
+            result.ok = False
+            result.error = f"{type(exc).__name__}: {exc}"
+            result.violations.append(
+                {
+                    "name": "unhandled-exception",
+                    "process": "harness",
+                    "detail": result.error,
+                    "time": system.network.now,
+                }
+            )
+        finally:
+            set_fast_wire(previous_fast_wire)
+            controller = system.network.adversary
+            if controller is not None:
+                result.fault_events = list(controller.events)
+                result.fault_candidates = controller.fault_candidates
+                result.faults_applied = dict(controller.applied)
+            system.network.adversary = None
+            system.network.on_deliver = None
+            result.sim_time = system.network.now
+            result.deliveries = system.network.stats.messages_delivered
+            if span is not None:
+                span.attrs["ok"] = result.ok
+                span.attrs["faults"] = sum(result.faults_applied.values())
+                t.end(span)
+            if t.enabled:
+                t.registry.counter(
+                    "chaos_runs_total", "Chaos cells executed", labels=("outcome",)
+                ).labels(outcome="ok" if result.ok else "violation").inc()
+                for kind, count in result.faults_applied.items():
+                    t.registry.counter(
+                        "chaos_faults_total", "Faults injected", labels=("kind",)
+                    ).labels(kind=kind).inc(count)
+        return result
+
+    def _run_cell(
+        self,
+        system: ItdosSystem,
+        scenario: Scenario,
+        seed: int,
+        disabled: frozenset[int] | set[int],
+        result: RunResult,
+    ) -> None:
+        elements = system.add_server_domain(
+            "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+        )
+        client = system.add_client("alice")
+        system.settle(0.5)  # GM coin-toss bootstrap
+        ref = system.ref("calc", b"calc")
+        stub = client.stub(ref)
+        # Warm-up: Figure 3 handshake + first voted reply on a clean wire.
+        if stub.add(1.0, 2.0) != 3.0:
+            raise AssertionError("warm-up invocation returned a wrong result")
+
+        # -- arm the adversary and the checker ------------------------------
+        domain_info = system.directory.domain("calc")
+        plan_rng = random.Random((seed << 8) ^ 0xC4A05)
+        equivocators = frozenset(
+            plan_rng.sample(list(domain_info.element_ids), k=domain_info.f)
+        )
+        plan = build_plan(
+            plan_rng,
+            horizon=system.network.now + CHAOS_WINDOW,
+            processes=sorted(system.network.processes),
+            equivocators=equivocators,
+            intensity=self.intensity,
+        )
+        controller = ChaosController(
+            system.network, plan, seed=seed ^ 0x5EED, disabled=disabled
+        )
+        checker = InvariantChecker(system, corrupt=equivocators)
+        system.network.adversary = controller
+        system.network.on_deliver = checker.on_deliver
+
+        # -- workload: staggered async invocations through the storm --------
+        replies: dict[int, float] = {}
+        expected = {i: float(i) + 1.0 for i in range(self.requests)}
+
+        def submit(i: int) -> None:
+            client.async_invoke(
+                ref, "add", (float(i), 1.0),
+                lambda value, i=i: replies.__setitem__(i, value),
+            )
+
+        step = CHAOS_WINDOW / (2 * max(1, self.requests))
+        for i in range(self.requests):
+            system.network.scheduler.schedule(0.01 + i * step, lambda i=i: submit(i))
+
+        # -- scripted disturbances on top of the random schedule ------------
+        recovering: list[Any] = []
+        if scenario.forced_view_change:
+            primary = elements[0]
+            system.network.scheduler.schedule(CHAOS_WINDOW * 0.35, primary.crash)
+            system.network.scheduler.schedule(CHAOS_WINDOW * 0.55, primary.recover)
+        if scenario.mid_run_recovery:
+            victim = elements[2]
+
+            def restart_and_recover() -> None:
+                victim.restart()
+                victim.recover_membership(
+                    fresh_keys=True, on_complete=recovering.append
+                )
+
+            system.network.scheduler.schedule(
+                CHAOS_WINDOW * 0.5, restart_and_recover
+            )
+
+        # -- storm, then clean settle, then liveness ------------------------
+        system.network.run(until=plan.horizon)
+        system.network.run(
+            until=plan.horizon + SETTLE_WINDOW,
+            stop_when=lambda: len(replies) == self.requests
+            and (not scenario.mid_run_recovery or bool(recovering)),
+        )
+        if scenario.mid_run_recovery and not any(recovering):
+            # Heavy schedules can exhaust the in-storm transfer attempts;
+            # bounded loss means a retry on the clean network must succeed.
+            done: list[bool] = []
+            victim.recover_membership(fresh_keys=True, on_complete=done.append)
+            system.run_until(lambda: bool(done))
+            if not done or not done[0]:
+                raise InvariantViolation(
+                    Violation(
+                        name="liveness",
+                        process=victim.pid,
+                        detail="mid-run recovery never completed on a clean network",
+                        time=system.network.now,
+                    )
+                )
+        pending = {
+            i: expected[i] for i in expected if i not in replies
+        }
+        result.replies = len(replies)
+        checker.final(pending)
+        for i, value in replies.items():
+            if abs(value - expected[i]) > 1e-6:
+                # The strongest vote-consistency oracle: the runner knows the
+                # semantics of the workload, so a decided-but-wrong value is
+                # caught even if the quorum arithmetic looked plausible.
+                raise InvariantViolation(
+                    Violation(
+                        name="vote-wrong-value",
+                        process=client.pid,
+                        detail=f"request {i}: voted {value!r}, "
+                        f"expected {expected[i]!r}",
+                        time=system.network.now,
+                    )
+                )
+
+
+# -- shrinking ---------------------------------------------------------------
+
+
+def _chunks(items: list[int], size: int) -> list[list[int]]:
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+class _Shrinker:
+    """Greedy delta debugging over fault indices.
+
+    Re-runs the same (scenario, seed) with growing ``disabled`` sets; a
+    probe "succeeds" when the violation persists without the disabled
+    faults. Fault indices are allocated in message order, so the index
+    space of probe runs stays aligned with the original for the unchanged
+    prefix — enough for a greedy search (each accepted probe is re-verified
+    by construction, since acceptance *is* the probe run failing).
+    """
+
+    def __init__(self, runner: ScheduleRunner, scenario: Scenario, seed: int) -> None:
+        self.runner = runner
+        self.scenario = scenario
+        self.seed = seed
+        self.probes = 0
+
+    def shrink(self, max_probes: int = 64) -> list[FaultEvent]:
+        base = self.runner.run_one(self.scenario, self.seed)
+        if base.ok:
+            return []
+        active = sorted(event.index for event in base.fault_events)
+        disabled: set[int] = set()
+        last = base
+        chunk = max(1, len(active) // 2)
+        while self.probes < max_probes:
+            progress = False
+            for block in _chunks(active, chunk):
+                if self.probes >= max_probes:
+                    break
+                trial = disabled | set(block)
+                probe = self.runner.run_one(self.scenario, self.seed, disabled=trial)
+                self.probes += 1
+                if not probe.ok:
+                    disabled = trial
+                    active = [index for index in active if index not in trial]
+                    last = probe
+                    progress = True
+            if chunk == 1 and not progress:
+                break  # 1-minimal: no single remaining fault is removable
+            chunk = max(1, chunk // 2)
+        remaining = set(active)
+        return [event for event in last.fault_events if event.index in remaining]

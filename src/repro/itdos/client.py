@@ -99,6 +99,46 @@ class ItdosClient(Process):
             return None
         return Orb.result_from_reply(self.orb.unmarshal_reply(wire))
 
+    # -- asynchronous API (caller drives the simulation) ------------------------
+
+    def async_invoke(
+        self,
+        ref: ObjectRef,
+        operation: str,
+        args: tuple[Any, ...],
+        on_result: Any,
+    ) -> None:
+        """Submit one invocation without running the scheduler.
+
+        ``on_result`` receives the unmarshalled result once the reply vote
+        decides. The SMIOP send queue serialises overlapping submissions
+        (one outstanding request per connection, §3.6), so callers may
+        submit while an earlier call is still in flight. Used by drivers
+        that own the event loop themselves — e.g. the chaos ScheduleRunner.
+        """
+
+        def on_connection(connection: Connection) -> None:
+            op = self.directory.repository.lookup(ref.interface_name).operation(
+                operation
+            )
+            wire = self.orb.marshal_request(
+                ref, operation, args,
+                request_id=self._peek_request_id(connection),
+                response_expected=not op.oneway,
+            )
+            if op.oneway:
+                connection.send_request(wire, None)
+                on_result(None)
+                return
+            connection.send_request(
+                wire,
+                lambda reply: on_result(
+                    Orb.result_from_reply(self.orb.unmarshal_reply(reply))
+                ),
+            )
+
+        self.orb.transport_for(ref).connect(ref, on_connection)
+
     @staticmethod
     def _peek_request_id(connection: Connection) -> int:
         """The id the socket will assign next (ids live in the socket layer,

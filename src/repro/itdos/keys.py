@@ -104,7 +104,31 @@ class ConnectionKeys:
     fence_floor: int = 0
     epoch_of: dict[int, int] = field(default_factory=dict)
 
-    def install(self, key: SymmetricKey, epoch: int = 0, fence_floor: int = 0) -> None:
+    def install(self, key: SymmetricKey, epoch: int = 0, fence_floor: int = 0) -> bool:
+        """Install one generation; returns False when the key is rejected.
+
+        The epoch and fence-floor announcements are adopted monotonically
+        *before* deciding installability: a delayed or reordered generation
+        still carries authenticated (f_gm+1-share) membership information,
+        but its key material must not resurface once either the generation
+        retention window or the epoch fence has moved past it.
+        """
+        if epoch > self.current_epoch:
+            self.current_epoch = epoch
+        if fence_floor > self.fence_floor:
+            self.fence_floor = fence_floor
+            # Purge immediately: the fence announcement is authenticated on
+            # its own, so held generations from fenced-off epochs must go
+            # even when the carrying key is itself rejected below.
+            self._purge_fenced()
+        if epoch < self.fence_floor:
+            # Issued under a fenced-off membership epoch (a reordered
+            # announcement from before a readmission): refuse outright.
+            return False
+        if key.key_id < self.current_key_id - self.RETAINED_GENERATIONS:
+            # Aged past the retention window — a rekeyed-out element must
+            # not be able to catch up via a late delivery (§3.5).
+            return False
         self.keys[key.key_id] = key
         self.epoch_of[key.key_id] = epoch
         if key.key_id > self.current_key_id:
@@ -114,16 +138,16 @@ class ConnectionKeys:
             ]:
                 del self.keys[old]
                 self.epoch_of.pop(old, None)
-        if epoch > self.current_epoch:
-            self.current_epoch = epoch
-        if fence_floor > self.fence_floor:
-            self.fence_floor = fence_floor
         if self.fence_floor > 0:
-            for old in [
-                k for k, e in self.epoch_of.items() if e < self.fence_floor
-            ]:
-                self.keys.pop(old, None)
-                del self.epoch_of[old]
+            self._purge_fenced()
+        return key.key_id in self.keys
+
+    def _purge_fenced(self) -> None:
+        for old in [
+            k for k, e in self.epoch_of.items() if e < self.fence_floor
+        ]:
+            self.keys.pop(old, None)
+            del self.epoch_of[old]
 
     def current(self) -> SymmetricKey | None:
         return self.keys.get(self.current_key_id)
@@ -178,14 +202,19 @@ class KeyStore:
         adopted_epoch = pending.adopted_epoch()
         adopted_floor = pending.adopted_floor()
         del self._pending[(conn_id, key_id)]
-        self.install(key, conn_id, epoch=adopted_epoch, fence_floor=adopted_floor)
+        if not self.install(key, conn_id, epoch=adopted_epoch, fence_floor=adopted_floor):
+            return None
         return key
 
     def install(
         self, key: SymmetricKey, conn_id: int, epoch: int = 0, fence_floor: int = 0
-    ) -> None:
+    ) -> bool:
         keys = self.connections.setdefault(conn_id, ConnectionKeys(conn_id=conn_id))
-        keys.install(key, epoch=epoch, fence_floor=fence_floor)
+        if not keys.install(key, epoch=epoch, fence_floor=fence_floor):
+            # Fenced or aged out: parked callbacks must not receive a key
+            # the store itself refuses to hold.
+            self._waiters.pop((conn_id, key.key_id), None)
+            return False
         for callback in self._waiters.pop((conn_id, key.key_id), []):
             callback(key)
         # Waiters for generations we just aged out will never fire; drop
@@ -195,6 +224,7 @@ class KeyStore:
             (c, k) for (c, k) in self._waiters if c == conn_id and k < horizon
         ]:
             del self._waiters[stale]
+        return True
 
     def when_key(
         self, conn_id: int, key_id: int, callback: Callable[[SymmetricKey], None]

@@ -405,30 +405,38 @@ def register_payload_kind(kind: str, parser: Callable[[dict[str, Any]], Any]) ->
 
 
 def parse_payload(raw: bytes) -> Any:
-    """Decode a BFT payload into its typed ITDOS message."""
+    """Decode a BFT payload into its typed ITDOS message.
+
+    Raises :class:`PayloadError` for *any* malformed input — a truncated or
+    bit-flipped wire image must never leak a raw ``KeyError``/``TypeError``
+    into a replica's dispatch loop (corrupted retransmissions reach this
+    parser before any envelope decryption can reject them).
+    """
     fields = decode_payload(raw)
     kind = fields["kind"]
+    parser = None
     if kind == SmiopRequest.KIND:
-        return SmiopRequest.from_fields(fields)
-    if kind == SmiopReply.KIND:
-        return SmiopReply.from_fields(fields)
-    if kind == OpenRequest.KIND:
-        return OpenRequest.from_fields(fields)
-    if kind == ChangeRequest.KIND:
-        return ChangeRequest.from_fields(fields)
-    if kind == ReadmitRequest.KIND:
-        return ReadmitRequest.from_fields(fields)
-    if kind == RekeyTick.KIND:
-        return RekeyTick.from_fields(fields)
-    if kind in (CoinMessage.KIND_COMMIT, CoinMessage.KIND_REVEAL):
-        return CoinMessage.from_fields(kind, fields)
-    extension = _EXTENSION_KINDS.get(kind)
-    if extension is not None:
-        try:
-            return extension(fields)
-        except (KeyError, TypeError, ValueError) as exc:
-            raise PayloadError(f"malformed {kind!r} payload: {exc}") from exc
-    raise PayloadError(f"unknown payload kind {kind!r}")
+        parser = SmiopRequest.from_fields
+    elif kind == SmiopReply.KIND:
+        parser = SmiopReply.from_fields
+    elif kind == OpenRequest.KIND:
+        parser = OpenRequest.from_fields
+    elif kind == ChangeRequest.KIND:
+        parser = ChangeRequest.from_fields
+    elif kind == ReadmitRequest.KIND:
+        parser = ReadmitRequest.from_fields
+    elif kind == RekeyTick.KIND:
+        parser = RekeyTick.from_fields
+    elif kind in (CoinMessage.KIND_COMMIT, CoinMessage.KIND_REVEAL):
+        parser = lambda f: CoinMessage.from_fields(kind, f)  # noqa: E731
+    else:
+        parser = _EXTENSION_KINDS.get(kind)
+    if parser is None:
+        raise PayloadError(f"unknown payload kind {kind!r}")
+    try:
+        return parser(fields)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PayloadError(f"malformed {kind!r} payload: {exc}") from exc
 
 
 # -- key share delivery ----------------------------------------------------------------

@@ -45,7 +45,7 @@ from repro.crypto.symmetric import (
 from repro.giop.ior import ObjectRef
 from repro.giop.messages import ReplyMessage, RequestMessage, decode_message
 from repro.itdos.domain import SystemDirectory
-from repro.itdos.keys import KeyStore
+from repro.itdos.keys import ConnectionKeys, KeyStore
 from repro.itdos.messages import (
     BodyReply,
     BodyRequest,
@@ -81,6 +81,10 @@ class IncomingConnection:
     # Key generation of the most recent request: replies go out under the
     # generation the client used, so a rekey mid-flight cannot orphan them.
     reply_key_id: int = 0
+    # Highest request id dispatched on this connection (singleton clients).
+    # §3.6: ids are strictly increasing with one outstanding request, so an
+    # ordered duplicate must re-send the cached reply, never re-execute.
+    last_request_id: int = 0
 
 
 @dataclass
@@ -133,6 +137,12 @@ class ItdosServerElement(BftReplica):
         self.incoming: dict[int, IncomingConnection] = {}
         self._parked: _Parked | None = None
         self._pumping = False
+        # Head-of-line stall guard: a queue head blocked on a key that never
+        # assembles (a garbled conn/key id that still parses) must not jam
+        # the whole ordered queue forever — after a bounded wait, discard it.
+        self._head_stall_timer: Any = None
+        self._stalled_head: Any = None
+        self.stalled_heads_discarded = 0
         self.diverged = False  # queue-mode element that lost sync (§3.1)
         # Recovery (repro.recovery): while diverged, every payload our own
         # ordering executes is buffered so a state transfer can replay the
@@ -154,7 +164,11 @@ class ItdosServerElement(BftReplica):
         self._reply_cache: dict[int, SmiopReply] = {}
         # Observability.
         self.dispatched: list[tuple[int, str, str]] = []  # (conn, iface, op)
+        # Parallel (conn, request_id) log — the chaos InvariantChecker reads
+        # this to assert no duplicate execution per connection (§3.6).
+        self.dispatch_log: list[tuple[int, int]] = []
         self.undecryptable_skipped = 0
+        self.stale_requests_discarded = 0
 
     # -- servant-side stub factory (nested invocations) ---------------------------
 
@@ -324,7 +338,11 @@ class ItdosServerElement(BftReplica):
                     continue
                 if isinstance(message, SmiopRequest):
                     if not self._process_request(message):
-                        return  # blocked on a key; retry on install
+                        # Blocked on a key; retry on install, but bound the
+                        # wait — an unsatisfiable key reference would
+                        # otherwise jam the queue head forever.
+                        self._arm_head_stall()
+                        return
                 elif isinstance(message, SmiopReply):
                     self.queue.pop_head()
                     self._process_ordered_reply(message)
@@ -332,6 +350,36 @@ class ItdosServerElement(BftReplica):
                     self.queue.pop_head()  # not addressed to the ORB loop
         finally:
             self._pumping = False
+
+    #: Simulated seconds a blocked queue head may wait for its key before it
+    #: is declared unsatisfiable and discarded. Generous against any honest
+    #: share-delivery latency, small against the life of the element.
+    HEAD_STALL_TIMEOUT = 5.0
+
+    def _arm_head_stall(self) -> None:
+        head = self.queue.head()
+        if head is None:
+            return
+        if self._head_stall_timer is not None:
+            if self._stalled_head is head:
+                return  # already counting down for this exact item
+            self.cancel_timer(self._head_stall_timer)
+        self._stalled_head = head
+        self._head_stall_timer = self.set_timer(
+            self.HEAD_STALL_TIMEOUT, self._on_head_stall
+        )
+
+    def _on_head_stall(self) -> None:
+        self._head_stall_timer = None
+        head, self._stalled_head = self._stalled_head, None
+        if head is None or self.queue.head() is not head:
+            return  # the pump advanced past it; the stall resolved itself
+        self.queue.pop_head()
+        self.undecryptable_skipped += 1
+        self.stalled_heads_discarded += 1
+        if self.state_mode == "queue":
+            self._mark_diverged()
+        self._pump()
 
     def _feed_parked(self) -> bool:
         """While parked, only the awaited nested reply may leave the queue.
@@ -383,6 +431,19 @@ class ItdosServerElement(BftReplica):
                 if self.state_mode == "queue":
                     self._mark_diverged()
                 return True
+            if (
+                current is not None
+                and envelope.key_id
+                > current.key_id + ConnectionKeys.RETAINED_GENERATIONS
+            ):
+                # A generation unreachably far ahead of any rekey in flight:
+                # a garbled envelope, not a key race. Waiting would block the
+                # ordered queue behind a key that can never assemble.
+                self.queue.pop_head()
+                self.undecryptable_skipped += 1
+                if self.state_mode == "queue":
+                    self._mark_diverged()
+                return True
             # Key shares (Figure 3 step 2) have not landed yet; the request
             # stays at the head so ordering is preserved.
             return False
@@ -412,6 +473,22 @@ class ItdosServerElement(BftReplica):
                 raw=message,
             )
             return True
+        if envelope.request_id <= record.last_request_id:
+            # §3.6: a connection carries strictly increasing request ids with
+            # one request outstanding. A duplicated ordered delivery (replay
+            # through a second BFT timestamp, or a reordered straggler) must
+            # never reach the servant twice — re-send the cached reply for an
+            # exact duplicate, discard anything older outright.
+            self.stale_requests_discarded += 1
+            cached = self._reply_cache.get(record.conn_id)
+            if (
+                envelope.request_id == record.last_request_id
+                and cached is not None
+                and cached.request_id == envelope.request_id
+            ):
+                self.send(record.client, cached)
+            return True
+        record.last_request_id = envelope.request_id
         self._dispatch(message, record, envelope.request_id)
         return True
 
@@ -483,6 +560,7 @@ class ItdosServerElement(BftReplica):
         self, message: RequestMessage, record: IncomingConnection, request_id: int
     ) -> None:
         self.dispatched.append((record.conn_id, message.interface_name, message.operation))
+        self.dispatch_log.append((record.conn_id, request_id))
         t = self.telemetry
         if t.enabled:
             t.point(
@@ -818,6 +896,8 @@ class ItdosServerElement(BftReplica):
         super().on_restart()
         self._parked = None
         self._pumping = False
+        self._head_stall_timer = None  # timer handles died with the reboot
+        self._stalled_head = None
         self._body_cache.clear()
         self._reply_cache.clear()
         if self.state_mode == "queue":

@@ -78,9 +78,19 @@ class SmiopTransport(PluggableProtocol):
 
     def __init__(self, endpoint: SmiopEndpoint) -> None:
         self.endpoint = endpoint
+        self._adapters: dict[int, SmiopConnectionAdapter] = {}
 
     def connect(self, ref: ObjectRef, on_ready: Callable[[Connection], None]) -> None:
-        self.endpoint.connect(
-            ref.domain_id,
-            lambda connection: on_ready(SmiopConnectionAdapter(connection)),
-        )
+        # One adapter per virtual connection: the adapter owns the §3.6 send
+        # queue, so every invocation must share it. A fresh adapter per
+        # connect() call would give each caller a private queue that nothing
+        # pumps once the shared socket is busy — the queued request would
+        # hang forever.
+        def wrap(connection: "OutgoingConnection") -> None:
+            adapter = self._adapters.get(connection.conn_id)
+            if adapter is None or adapter.connection is not connection:
+                adapter = SmiopConnectionAdapter(connection)
+                self._adapters[connection.conn_id] = adapter
+            on_ready(adapter)
+
+        self.endpoint.connect(ref.domain_id, wrap)

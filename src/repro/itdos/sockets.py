@@ -100,6 +100,10 @@ def reply_value_comparator(
 class OutgoingConnection:
     """Client side of one virtual connection to a replicated server."""
 
+    #: Outstanding-envelope retransmission backoff (base doubles per attempt).
+    RETRY_BASE = 0.5
+    RETRY_CAP = 4.0
+
     def __init__(
         self, endpoint: "SmiopEndpoint", conn_id: int, target: DomainInfo
     ) -> None:
@@ -116,6 +120,16 @@ class OutgoingConnection:
             telemetry=endpoint.owner.telemetry,
         )
         self.requests_sent = 0
+        # Outstanding-request retransmission: the BFT client engine only
+        # guarantees the *ordering* of our envelope (its f+1 ACKs can land
+        # while every point-to-point SmiopReply copy is lost), so the socket
+        # itself must re-submit until the reply vote decides. Re-submission
+        # is safe because servers enforce §3.6 strictly-increasing request
+        # ids per connection: a re-ordered duplicate re-sends the cached
+        # reply instead of re-executing.
+        self._retry_timer: Any = None
+        self._retry_attempt = 0
+        self.retransmissions = 0
         # Span covering the outstanding request, ended when voting decides.
         self._active_span = None
         # Large-object digest path (extension): body fetch in progress.
@@ -192,6 +206,35 @@ class OutgoingConnection:
             self.endpoint.engine_for(self.target.domain_id).invoke(envelope.to_payload())
         if on_reply is None:
             self._on_reply = None  # oneway: nothing outstanding
+        else:
+            self._retry_attempt = 0
+            self._schedule_retry(envelope)
+
+    # -- retransmission ------------------------------------------------------
+
+    def _schedule_retry(self, envelope: SmiopRequest) -> None:
+        delay = min(self.RETRY_BASE * (2 ** self._retry_attempt), self.RETRY_CAP)
+        self._retry_timer = self.endpoint.owner.set_timer(
+            delay, lambda: self._retry(envelope)
+        )
+
+    def _retry(self, envelope: SmiopRequest) -> None:
+        self._retry_timer = None
+        if (
+            self._on_reply is None
+            or self.voter.current_request_id != envelope.request_id
+            or self.voter._decided is not None
+        ):
+            return  # decided (or superseded): nothing outstanding to push
+        self._retry_attempt += 1
+        self.retransmissions += 1
+        self.endpoint.engine_for(self.target.domain_id).invoke(envelope.to_payload())
+        self._schedule_retry(envelope)
+
+    def _cancel_retry(self) -> None:
+        if self._retry_timer is not None:
+            self.endpoint.owner.cancel_timer(self._retry_timer)
+            self._retry_timer = None
 
     # -- reply path ----------------------------------------------------------
 
@@ -274,6 +317,7 @@ class OutgoingConnection:
             ).labels(domain=self.target.domain_id).observe(span.end - span.start)
 
     def _decided(self, outcome: VoteOutcome) -> None:
+        self._cancel_retry()
         t = self.endpoint.owner.telemetry
         if t.enabled:
             t.point(
@@ -363,6 +407,7 @@ class OutgoingConnection:
         self.endpoint.report_fault(self, sender, request_id, evidence)
 
     def close(self) -> None:
+        self._cancel_retry()
         self.endpoint.drop_connection(self)
 
 

@@ -31,6 +31,14 @@ from repro.obs.telemetry import NOOP_TELEMETRY, Telemetry
 # exceed the domain size, so anything beyond that is an attack or a bug.
 MAX_BALLOTS_FACTOR = 2
 
+# Hard cap on *distinct* pending request ids a RequestVoter tracks. The
+# client side of a connection is one-outstanding (§3.6), so honest ordered
+# copies only ever reference the next one or two ids; a Byzantine client
+# element spraying far-future ids must not be able to allocate per-id state
+# without bound. Delivery happens in id order, so the window keeps the
+# lowest pending ids — the ones that can actually still be delivered.
+MAX_PENDING_REQUESTS = 8
+
 
 @dataclass(frozen=True)
 class VoteOutcome:
@@ -248,8 +256,20 @@ class RequestVoter:
         raw: Any = None,
     ) -> None:
         if request_id <= self._delivered_up_to:
+            # Already garbage-collected: the copy is counted and dropped, it
+            # must never resurrect per-request state (E9).
             self.discard("stale")
             return
+        if request_id not in self._raw and len(self._raw) >= MAX_PENDING_REQUESTS:
+            highest = max(self._raw)
+            if request_id > highest:
+                self.discard("overflow")
+                return
+            # The new id precedes a tracked one, so the tracked maximum is
+            # the furthest from delivery — evict it to stay bounded.
+            self.discard("overflow", len(self._ballots.pop(highest, [])))
+            self._keys.pop(highest, None)
+            self._raw.pop(highest, None)
         raw_by_sender = self._raw.setdefault(request_id, {})
         if sender in raw_by_sender:
             self.discard("duplicate")

@@ -14,6 +14,7 @@ are equal *to that candidate* (never chaining equalities).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -55,8 +56,22 @@ class CmpFloat:
             return False
         if isinstance(a, bool) or isinstance(b, bool):
             return False
-        diff = abs(float(a) - float(b))
-        bound = self.abs_tol + self.rel_tol * max(abs(float(a)), abs(float(b)))
+        try:
+            fa = float(a)
+            fb = float(b)
+        except OverflowError:
+            # Ints beyond float range: no meaningful tolerance band exists,
+            # so only exact integer equality counts as a match.
+            return a == b
+        if not (math.isfinite(fa) and math.isfinite(fb)):
+            # Tolerance arithmetic on NaN/±inf is meaningless: any rel_tol
+            # makes the bound infinite and ``inf <= inf`` declares inf equal
+            # to everything. A NaN ballot matches nothing (a vote fed only
+            # such ballots stays undecided); an infinity matches only the
+            # same-signed infinity.
+            return fa == fb
+        diff = abs(fa - fb)
+        bound = self.abs_tol + self.rel_tol * max(abs(fa), abs(fb))
         return diff <= bound
 
 

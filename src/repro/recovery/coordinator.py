@@ -309,6 +309,10 @@ class RecoveryCoordinator:
     def _finish(self, success: bool) -> None:
         self.active = False
         self.succeeded = success
+        # Snapshots are the largest payloads in the system; keeping the
+        # final round's responses parked would hold every peer's queue
+        # image until the next recovery.
+        self._responses = {}
         if self._timer is not None:
             self.element.cancel_timer(self._timer)
             self._timer = None

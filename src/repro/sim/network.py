@@ -100,6 +100,16 @@ class Network:
         # Transmission filters (firewall proxies): every filter must return
         # True for a message to pass; a False verdict drops it at the wire.
         self._filters: list = []
+        # Wire-level adversary (repro.chaos): ``intercept(src, dst, payload,
+        # size)`` may return None (pass through untouched) or a list of
+        # ``(extra_delay, payload)`` deliveries — empty meaning the message
+        # is swallowed. Orthogonal to filters/partitions, which model
+        # *infrastructure*; the adversary models the §2.2 threat itself.
+        self.adversary: Any = None
+        # Post-delivery observer: called as ``on_deliver(src, dst, payload)``
+        # after a receiver processed a message — the chaos InvariantChecker
+        # hangs global safety assertions off this.
+        self.on_deliver: Any = None
 
     # -- topology ----------------------------------------------------------
 
@@ -211,8 +221,27 @@ class Network:
             if not admit(src, dst, payload):
                 self._drop(src, dst, payload, "filter")
                 return
+        if self.adversary is not None:
+            verdict = self.adversary.intercept(src, dst, payload, size)
+            if verdict is not None:
+                if not verdict:
+                    self._drop(src, dst, payload, "chaos")
+                    return
+                for extra_delay, adjusted in verdict:
+                    self._deliver_later(src, dst, adjusted, size, extra_delay)
+                return
+        self._deliver_later(src, dst, payload, size, 0.0)
+
+    def _deliver_later(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        payload: Any,
+        size: int,
+        extra_delay: float,
+    ) -> None:
         delay = self.config.latency.sample(self.rng)
-        delay += size * self.config.per_byte_delay
+        delay += size * self.config.per_byte_delay + extra_delay
         receiver = self.processes[dst]
 
         def do_deliver() -> None:
@@ -227,6 +256,8 @@ class Network:
             if self._m_delivered is not None:
                 self._m_delivered.inc()
             receiver.deliver(src, payload)
+            if self.on_deliver is not None:
+                self.on_deliver(src, dst, payload)
 
         self.scheduler.schedule(delay, do_deliver)
 

@@ -1,0 +1,133 @@
+"""The wire adversary: corruption stays in bounds, fault indices are stable."""
+
+import random
+from dataclasses import dataclass
+
+from repro.chaos.adversary import (
+    HONEST_CORRUPTIBLE_FIELDS,
+    ChaosController,
+    corrupt_payload,
+)
+from repro.chaos.schedule import ChaosPlan, PartitionWindow
+
+
+@dataclass(frozen=True)
+class FakeMsg:
+    ciphertext: bytes = b"secret-bytes"
+    auth: bytes = b"mac-stamp"
+    header: str = "not-bytes"
+
+
+class FakeNetwork:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def make_controller(plan: ChaosPlan, seed: int = 0, disabled=frozenset()):
+    return ChaosController(FakeNetwork(), plan, seed=seed, disabled=disabled)
+
+
+def test_corrupt_bytes_always_differs():
+    rng = random.Random(1)
+    for _ in range(20):
+        out = corrupt_payload(b"hello world", rng)
+        assert out is not None and out != b"hello world"
+
+
+def test_corrupt_dataclass_returns_modified_copy():
+    rng = random.Random(2)
+    msg = FakeMsg()
+    out = corrupt_payload(msg, rng, fields=None)
+    assert out is not msg
+    assert out.ciphertext != msg.ciphertext
+    assert msg.ciphertext == b"secret-bytes"  # original untouched
+
+
+def test_honest_corruption_respects_the_whitelist():
+    assert "auth" not in HONEST_CORRUPTIBLE_FIELDS
+    rng = random.Random(3)
+    for _ in range(30):
+        out = corrupt_payload(FakeMsg(), rng, fields=HONEST_CORRUPTIBLE_FIELDS)
+        assert out.auth == b"mac-stamp"  # only ciphertext may change
+
+
+def test_equivocator_never_touches_auth_stamps():
+    rng = random.Random(4)
+    for _ in range(30):
+        out = corrupt_payload(FakeMsg(), rng, fields=None)
+        assert out.auth == b"mac-stamp"
+
+
+def test_nothing_corruptible_returns_none():
+    rng = random.Random(5)
+    assert corrupt_payload(FakeMsg(ciphertext=b""), rng,
+                           fields=("ciphertext",)) is None
+    assert corrupt_payload(12345, rng) is None
+
+
+def test_intercept_is_deterministic_per_seed():
+    plan = ChaosPlan(horizon=10.0, p_drop=0.3, p_duplicate=0.3, p_delay=0.3,
+                     p_reorder=0.3, p_corrupt=0.3)
+    runs = []
+    for _ in range(2):
+        controller = make_controller(plan, seed=42)
+        verdicts = []
+        for i in range(50):
+            controller.network.now = i * 0.01
+            verdicts.append(controller.intercept("a", "b", b"payload", 10))
+        runs.append((verdicts, [e.to_dict() for e in controller.events]))
+    assert runs[0] == runs[1]
+
+
+def test_fault_indices_allocated_before_disabled_decision():
+    """Disabling a fault must not shift the indices of later faults —
+    the alignment the shrinker's delta debugging relies on."""
+    plan = ChaosPlan(horizon=10.0, p_drop=1.0)
+    base = make_controller(plan, seed=1)
+    for i in range(5):
+        base.intercept("a", "b", b"x", 1)
+    probe = make_controller(plan, seed=1, disabled={0, 2})
+    for i in range(5):
+        probe.intercept("a", "b", b"x", 1)
+    assert base.fault_candidates == probe.fault_candidates == 5
+    assert [e.index for e in base.events] == [0, 1, 2, 3, 4]
+    assert [e.index for e in probe.events] == [1, 3, 4]
+
+
+def test_drop_swallows_and_duplicate_doubles():
+    controller = make_controller(ChaosPlan(horizon=10.0, p_drop=1.0))
+    assert controller.intercept("a", "b", b"x", 1) == []
+    controller = make_controller(ChaosPlan(horizon=10.0, p_duplicate=1.0))
+    verdict = controller.intercept("a", "b", b"x", 1)
+    assert len(verdict) == 2
+    assert verdict[1][0] > verdict[0][0]  # duplicate lands later
+
+
+def test_partition_window_swallows_cross_traffic_only():
+    plan = ChaosPlan(
+        horizon=10.0,
+        partitions=(PartitionWindow(0.0, 5.0, frozenset({"a"})),),
+    )
+    controller = make_controller(plan)
+    assert controller.intercept("a", "b", b"x", 1) == []
+    assert controller.intercept("b", "c", b"x", 1) is None
+    controller.network.now = 6.0  # healed
+    assert controller.intercept("a", "b", b"x", 1) is None
+
+
+def test_quiet_after_horizon():
+    controller = make_controller(ChaosPlan(horizon=1.0, p_drop=1.0))
+    controller.network.now = 2.0
+    assert controller.intercept("a", "b", b"x", 1) is None
+    assert controller.fault_candidates == 0
+
+
+def test_equivocation_only_from_listed_sources():
+    plan = ChaosPlan(horizon=10.0, p_equivocate=1.0,
+                     equivocators=frozenset({"byz"}))
+    controller = make_controller(plan, seed=9)
+    honest = controller.intercept("ok", "b", FakeMsg(), 1)
+    assert honest is None  # no fault families fired for an honest source
+    byz = controller.intercept("byz", "b", FakeMsg(), 1)
+    assert byz is not None
+    assert byz[0][1].ciphertext != b"secret-bytes"

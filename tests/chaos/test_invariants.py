@@ -1,0 +1,159 @@
+"""The omniscient checker actually catches each class of seeded violation."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.chaos.invariants import InvariantChecker, InvariantViolation
+
+
+def make_replica(pid, journal=(), stable=0, executed=0, high=100, snapshot=b""):
+    return SimpleNamespace(
+        pid=pid,
+        domain_id="calc",
+        order_journal=list(journal),
+        dispatch_log=[],
+        stable_seq=stable,
+        last_executed=executed,
+        high_watermark=high,
+        _stable_snapshot=snapshot,
+        key_store=None,
+    )
+
+
+def make_system(elements=(), gms=(), clients=()):
+    return SimpleNamespace(
+        network=SimpleNamespace(now=1.0),
+        gm_elements=list(gms),
+        elements={r.pid: r for r in elements},
+        clients={c.pid: c for c in clients},
+    )
+
+
+def expect(checker, name, fn):
+    with pytest.raises(InvariantViolation) as excinfo:
+        fn()
+    assert excinfo.value.violation.name == name
+    assert checker.violations[-1].name == name
+
+
+def test_clean_system_passes_every_predicate():
+    replicas = [make_replica(f"e{i}", journal=[(1, b"d1"), (2, b"d2")], executed=2)
+                for i in range(4)]
+    for r in replicas:
+        r.dispatch_log = [(7, 1), (7, 2)]
+    checker = InvariantChecker(make_system(replicas))
+    checker.on_deliver("a", "b", b"x")
+    checker.final(pending=None)
+    assert checker.violations == []
+
+
+def test_order_divergence_detected():
+    good = make_replica("e0", journal=[(1, b"digest-a")], executed=1)
+    evil = make_replica("e1", journal=[(1, b"digest-b")], executed=1)
+    checker = InvariantChecker(make_system([good, evil]))
+    expect(checker, "order-divergence", checker.check_order_journals)
+
+
+def test_duplicate_dispatch_detected():
+    replica = make_replica("e0")
+    replica.dispatch_log = [(7, 1), (7, 2), (7, 2)]
+    checker = InvariantChecker(make_system([replica]))
+    expect(checker, "duplicate-dispatch", checker.check_dispatch_logs)
+
+
+def test_dispatch_regression_detected():
+    replica = make_replica("e0")
+    replica.dispatch_log = [(7, 3), (7, 1)]
+    checker = InvariantChecker(make_system([replica]))
+    expect(checker, "duplicate-dispatch", checker.check_dispatch_logs)
+
+
+def _with_keys(pid, epoch, floor, epoch_of):
+    keys = SimpleNamespace(current_epoch=epoch, fence_floor=floor,
+                           epoch_of=dict(epoch_of))
+    replica = make_replica(pid)
+    replica.key_store = SimpleNamespace(connections={7: keys})
+    return replica, keys
+
+
+def test_fence_regression_detected():
+    replica, keys = _with_keys("e0", epoch=3, floor=2, epoch_of={5: 3})
+    checker = InvariantChecker(make_system([replica]))
+    checker.check_key_fences()  # records (3, 2)
+    keys.current_epoch = 1  # regress
+    expect(checker, "fence-regression", checker.check_key_fences)
+
+
+def test_fenced_key_held_detected():
+    replica, _ = _with_keys("e0", epoch=3, floor=3, epoch_of={4: 1})
+    checker = InvariantChecker(make_system([replica]))
+    expect(checker, "fenced-key-held", checker.check_key_fences)
+
+
+def test_watermark_inversion_detected():
+    replica = make_replica("e0", stable=5, executed=3)
+    checker = InvariantChecker(make_system([replica]))
+    expect(checker, "watermark-inversion", checker.check_watermarks)
+
+
+def test_watermark_overrun_detected():
+    replica = make_replica("e0", executed=200, high=100)
+    checker = InvariantChecker(make_system([replica]))
+    expect(checker, "watermark-overrun", checker.check_watermarks)
+
+
+def test_checkpoint_divergence_detected():
+    a = make_replica("e0", stable=8, executed=8, snapshot=b"state-a")
+    b = make_replica("e1", stable=8, executed=8, snapshot=b"state-b")
+    checker = InvariantChecker(make_system([a, b]))
+    expect(checker, "checkpoint-divergence", checker.check_checkpoints)
+
+
+def _client_with_vote(supporters, f=1, decided=True):
+    decision = SimpleNamespace(decided=decided, supporters=list(supporters))
+    connection = SimpleNamespace(
+        voter=SimpleNamespace(_decided=decision),
+        target=SimpleNamespace(f=f),
+    )
+    return SimpleNamespace(
+        pid="alice",
+        endpoint=SimpleNamespace(connections={7: connection}),
+        key_store=None,
+    )
+
+
+def test_thin_vote_quorum_detected():
+    client = _client_with_vote(["e0"], f=1)
+    checker = InvariantChecker(make_system(clients=[client]))
+    expect(checker, "vote-thin-quorum", checker.check_vote_consistency)
+
+
+def test_all_corrupt_vote_detected():
+    client = _client_with_vote(["e0", "e1"], f=1)
+    checker = InvariantChecker(make_system(clients=[client]),
+                               corrupt={"e0", "e1"})
+    expect(checker, "vote-all-corrupt", checker.check_vote_consistency)
+
+
+def test_honest_supporter_passes():
+    client = _client_with_vote(["e0", "e3"], f=1)
+    checker = InvariantChecker(make_system(clients=[client]), corrupt={"e0"})
+    checker.check_vote_consistency()
+
+
+def test_liveness_failure_reported_in_final():
+    checker = InvariantChecker(make_system())
+    expect(checker, "liveness", lambda: checker.final(pending={"req-5": 0.1}))
+
+
+def test_deep_check_runs_on_interval_only():
+    replica, keys = _with_keys("e0", epoch=3, floor=2, epoch_of={})
+    checker = InvariantChecker(make_system([replica]), deep_check_interval=4)
+    checker.deep_check()  # record the (3, 2) baseline
+    keys.current_epoch = 1  # regression staged, not yet scanned
+    checker.on_deliver("a", "b", b"x")
+    checker.on_deliver("a", "b", b"x")
+    checker.on_deliver("a", "b", b"x")
+    with pytest.raises(InvariantViolation):
+        checker.on_deliver("a", "b", b"x")  # 4th delivery -> deep check

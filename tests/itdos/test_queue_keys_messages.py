@@ -261,3 +261,77 @@ def test_property_smiop_request_roundtrip(conn, req, blob):
         conn_id=conn, request_id=req, key_id=0, ciphertext=blob, sender="s"
     )
     assert parse_payload(message.to_payload()) == message
+
+
+# -- key-epoch fence monotonicity under reordered announcements ---------------
+
+
+def _gen(key_id):
+    return SymmetricKey(material=bytes([key_id % 251]) * KEY_SIZE, key_id=key_id)
+
+
+def test_fence_floor_monotonic_under_reordered_announcements():
+    """A delayed pre-readmission generation must adopt the newer epoch
+    fence it carries monotonically — never wind the fence (or epoch) back."""
+    from repro.itdos.keys import ConnectionKeys
+
+    keys = ConnectionKeys(conn_id=1)
+    assert keys.install(_gen(0), epoch=1, fence_floor=0)
+    assert keys.install(_gen(2), epoch=3, fence_floor=2)  # readmission
+    assert keys.current_epoch == 3 and keys.fence_floor == 2
+    # A reordered generation from the fenced-off epoch 1 arrives late:
+    # its key material must be refused, and the fence must not regress.
+    assert not keys.install(_gen(1), epoch=1, fence_floor=0)
+    assert keys.current_epoch == 3 and keys.fence_floor == 2
+    assert keys.get(1) is None
+
+
+def test_fence_raise_purges_previously_installed_epochs():
+    from repro.itdos.keys import ConnectionKeys
+
+    keys = ConnectionKeys(conn_id=1)
+    assert keys.install(_gen(0), epoch=1)
+    assert keys.install(_gen(1), epoch=2)
+    # Readmission at epoch 3 fences everything before epoch 2.
+    assert keys.install(_gen(2), epoch=3, fence_floor=2)
+    assert keys.get(0) is None  # epoch-1 generation purged
+    assert keys.get(1) is not None  # epoch-2 generation survives
+    assert keys.fence_floor == 2
+
+
+def test_fence_announcement_adopted_even_when_key_rejected():
+    """The fence rides authenticated share traffic: even a generation too
+    old to install still moves the fence forward before being refused."""
+    from repro.itdos.keys import ConnectionKeys
+
+    keys = ConnectionKeys(conn_id=1)
+    far = ConnectionKeys.RETAINED_GENERATIONS + 5
+    assert keys.install(_gen(far), epoch=1)
+    # This generation is below the retention window -> rejected, but its
+    # (higher) epoch/fence announcement must still be adopted.
+    assert not keys.install(_gen(0), epoch=4, fence_floor=3)
+    assert keys.current_epoch == 4
+    assert keys.fence_floor == 3
+    assert keys.get(far) is None  # pre-floor epoch-1 key now fenced out
+
+
+def test_parse_payload_wraps_missing_and_mistyped_fields():
+    """A known-kind payload with fields missing or of the wrong type (a
+    corrupted wire image) must raise PayloadError, never a raw KeyError /
+    TypeError — every dispatch site catches only PayloadError."""
+    from repro.crypto.encoding import canonical_bytes, parse_canonical
+
+    message = SmiopRequest(
+        conn_id=1, request_id=2, key_id=0, ciphertext=b"c", sender="alice"
+    )
+    fields = parse_canonical(message.to_payload())
+    for missing in [k for k in fields if k != "kind"]:
+        broken = {k: v for k, v in fields.items() if k != missing}
+        with pytest.raises(PayloadError):
+            parse_payload(canonical_bytes(broken))
+    mistyped = dict(fields)
+    mistyped["request_id"] = "not-an-int"
+    try:
+        parse_payload(canonical_bytes(mistyped))
+    except PayloadError:
+        pass  # either outcome is fine, as long as nothing else escapes

@@ -298,3 +298,38 @@ def test_reply_unmarshal_telemetry_sources():
     connection = next(iter(client.endpoint.connections.values()))
     memo = connection._decode_memo
     assert decoded + memoized == memo.hits + memo.misses
+
+
+def test_clean_invoke_never_retransmits():
+    system, client, stub, connection = connected_system()
+    assert stub.add(2.0, 3.0) == 5.0
+    assert connection.retransmissions == 0
+    assert connection._retry_timer is None  # cancelled on decision
+
+
+def test_lost_request_is_retransmitted_with_backoff():
+    """If every reply copy is lost, the socket re-submits the outstanding
+    request (fresh SMIOP image, same request id) until the vote decides —
+    the client-side half of at-most-once: server dedup absorbs the extras."""
+    system, client, stub, connection = connected_system()
+    engine = connection.endpoint.engine_for(connection.target.domain_id)
+    swallowed = []
+    original_invoke = engine.invoke
+    engine.invoke = swallowed.append  # black-hole the ordering layer
+    wire = client.orb.marshal_request(
+        system.ref("calc", b"calc"), "add", (4.0, 5.0), request_id=2
+    )
+    replies = []
+    connection.send_request(wire, replies.append)
+    system.network.run(until=system.network.now + 10.0)
+    assert not replies
+    assert connection.retransmissions >= 2
+    assert len(swallowed) == 1 + connection.retransmissions
+    # Heal the path: the next scheduled retransmission alone must complete
+    # the invocation with no help from the original submission.
+    engine.invoke = original_invoke
+    before = connection.retransmissions
+    system.network.run(until=system.network.now + 10.0)
+    assert replies, "retransmission did not recover the lost request"
+    assert connection.retransmissions > before
+    assert connection._retry_timer is None  # stopped once decided

@@ -173,3 +173,48 @@ def test_duplicate_sender_copy_discarded():
     voter.offer("c0", 1, "v", cmp)
     assert voter.discarded == 1
     assert not delivered
+
+
+def test_pending_request_map_bounded():
+    """A flood of distinct future request ids must not grow per-id state
+    without bound (voter GC, E9): at most MAX_PENDING_REQUESTS tracked."""
+    from repro.itdos.voter import MAX_PENDING_REQUESTS
+
+    voter, delivered = make_request_voter()
+    cmp = Comparator.exact()
+    for rid in range(1, 100):
+        voter.offer("c0", rid, f"v{rid}", cmp)
+    assert len(voter._raw) <= MAX_PENDING_REQUESTS
+    assert voter.ballots_held() <= MAX_PENDING_REQUESTS * voter.client_n
+    assert not delivered
+
+
+def test_far_future_id_discarded_when_full():
+    from repro.itdos.voter import MAX_PENDING_REQUESTS
+
+    voter, _ = make_request_voter()
+    cmp = Comparator.exact()
+    for rid in range(1, MAX_PENDING_REQUESTS + 1):
+        voter.offer("c0", rid, "v", cmp)
+    before = dict(voter._raw)
+    voter.offer("c0", 1000, "v", cmp)  # beyond the tracked maximum
+    assert 1000 not in voter._raw
+    assert voter._raw.keys() == before.keys()  # nothing evicted for it
+
+
+def test_low_id_evicts_tracked_maximum_and_still_delivers():
+    """Ids nearest delivery win the bounded slots: a late copy of a low
+    request id evicts the furthest-out id rather than being dropped."""
+    from repro.itdos.voter import MAX_PENDING_REQUESTS
+
+    voter, delivered = make_request_voter()
+    cmp = Comparator.exact()
+    # Fill the table with ids 2..MAX+1 (single copies, undecided).
+    for rid in range(2, MAX_PENDING_REQUESTS + 2):
+        voter.offer("c0", rid, "v", cmp)
+    highest = max(voter._raw)
+    voter.offer("c1", 1, "low", cmp)  # full table, new lower id
+    assert highest not in voter._raw
+    assert 1 in voter._raw
+    voter.offer("c2", 1, "low", cmp)  # second copy -> f+1 quorum
+    assert [d.request_id for d in delivered] == [1]

@@ -197,3 +197,55 @@ def test_property_decided_value_has_threshold_support(values):
     if decision.decided:
         assert len(decision.supporters) >= threshold
         assert values.count(decision.value) >= threshold
+
+
+def test_cmpfloat_nan_matches_nothing():
+    cmp = compile_comparator(TC_DOUBLE, abs_tol=1e-6, rel_tol=1e-6)
+    nan = float("nan")
+    assert not cmp.equal(nan, nan)
+    assert not cmp.equal(nan, 0.0)
+    assert not cmp.equal(0.0, nan)
+
+
+def test_cmpfloat_infinity_matches_only_same_sign():
+    cmp = compile_comparator(TC_DOUBLE, abs_tol=1e-6, rel_tol=1e-6)
+    inf = float("inf")
+    assert cmp.equal(inf, inf)
+    assert cmp.equal(-inf, -inf)
+    assert not cmp.equal(inf, -inf)
+    assert not cmp.equal(inf, 1e308)
+
+
+def test_cmpfloat_huge_int_exact_only():
+    """Ints beyond float range must not crash (OverflowError) and compare
+    exactly, since no tolerance band exists at that magnitude."""
+    cmp = compile_comparator(TC_DOUBLE, abs_tol=1e-6, rel_tol=1e-6)
+    huge = 10**400
+    assert cmp.equal(huge, huge)
+    assert not cmp.equal(huge, huge + 1)
+    assert not cmp.equal(huge, 1.0)
+
+
+@settings(max_examples=60)
+@given(
+    value=st.one_of(
+        st.floats(allow_nan=True, allow_infinity=True),
+        st.integers(min_value=-(10**420), max_value=10**420),
+    ),
+    other=st.one_of(
+        st.floats(allow_nan=True, allow_infinity=True),
+        st.integers(min_value=-(10**420), max_value=10**420),
+    ),
+)
+def test_property_cmpfloat_total_and_symmetric(value, other):
+    """The comparator never raises on any numeric input, is symmetric, and
+    a NaN ballot never decides a vote."""
+    cmp = compile_comparator(TC_DOUBLE, abs_tol=1e-9, rel_tol=1e-9)
+    forward = cmp.equal(value, other)
+    assert forward == cmp.equal(other, value)
+    if value != value:  # NaN
+        assert not cmp.equal(value, value)
+    ballots = [("a", value), ("b", other), ("c", value)]
+    decision = majority_vote(ballots, 2, cmp)  # must not raise
+    if value != value:
+        assert decision.value is not value or not decision.decided
