@@ -325,6 +325,173 @@ def cmd_chaos(args: list[str]) -> int:
     return 0 if sweep.ok else 1
 
 
+def cmd_detect(args: list[str]) -> int:
+    """Run one chaos cell with the detector on; print truth vs verdict.
+
+    ``python -m repro detect [--seed N] [--intensity X] [--requests K]
+    [--benign] [--json PATH]``
+
+    Fully deterministic in (seed, intensity, requests): same arguments,
+    same fault schedule, same evidence, same verdict. ``--benign`` strips
+    every Byzantine fault (honest-under-stress control cell); the command
+    fails if any honest element is accused.
+    """
+    import json as _json
+
+    from repro.chaos import ScheduleRunner
+    from repro.chaos.schedule import Scenario
+
+    try:
+        json_path, args = _json_path(args)
+    except ValueError as exc:
+        print(f"detect: {exc}")
+        return 2
+    seed = 0
+    intensity = 1.0
+    requests = 6
+    benign = False
+    it = iter(args)
+    try:
+        for arg in it:
+            if arg == "--seed":
+                seed = int(next(it))
+            elif arg == "--intensity":
+                intensity = float(next(it))
+            elif arg == "--requests":
+                requests = int(next(it))
+            elif arg == "--benign":
+                benign = True
+            else:
+                print(f"detect: unknown argument {arg!r}")
+                return 2
+    except (StopIteration, ValueError):
+        print("detect: --seed/--intensity/--requests need a numeric value")
+        return 2
+    runner = ScheduleRunner(
+        scenarios=(Scenario(),),
+        seeds=(seed,),
+        requests=requests,
+        intensity=intensity,
+        telemetry=True,
+        fault_kinds="benign" if benign else "all",
+    )
+    result = runner.run_one(Scenario(), seed)
+    verdict = result.detection or {}
+    t = runner.last_telemetry
+    print(f"chaos cell {result.scenario.label} seed={seed} "
+          f"intensity={intensity} ({'benign faults only' if benign else 'full fault mix'})")
+    print(f"  faults applied : {result.faults_applied}")
+    print(f"  true faulty    : {result.true_faulty or '(none)'}")
+    print(f"  active faulty  : {verdict.get('active_faulty') or '(none)'}")
+    print(f"  accused        : {verdict.get('accused') or '(none)'}")
+    print(f"  suspected      : {verdict.get('suspected') or '(none)'}")
+    false_accusations = verdict.get("false_accusations", [])
+    for pid, first in sorted(verdict.get("time_to_detect", {}).items()):
+        print(f"  detected {pid} at t={first * 1000:.3f}ms")
+    if t is not None:
+        print()
+        print(t.health.render())
+        print()
+        print(t.audit.render())
+    if json_path is not None:
+        try:
+            with open(json_path, "w", encoding="utf-8") as handle:
+                _json.dump(result.to_dict(), handle, indent=2)
+        except OSError as exc:
+            print(f"detect: cannot write {json_path}: {exc}")
+            return 1
+        print(f"\ndetect: wrote cell report to {json_path}")
+    if false_accusations:
+        print(f"\ndetect: FALSE ACCUSATION of honest element(s): "
+              f"{false_accusations}")
+        return 1
+    if not verdict.get("audit_chain_ok", True):
+        print(f"\ndetect: audit chain broken: {verdict.get('audit_chain_error')}")
+        return 1
+    return 0
+
+
+def cmd_audit(args: list[str]) -> int:
+    """Verify an audit log's hash chain and evidence signatures.
+
+    ``python -m repro audit verify [--jsonl PATH] [--json PATH]``
+
+    With ``--jsonl PATH`` the chain is re-verified offline from exported
+    telemetry records (no key material needed). Without it, the intrusion
+    drill runs live and the resulting log is checked end to end — chain
+    digests plus every signed ballot against the system keyring.
+    """
+    import json as _json
+
+    from repro.obs import telemetry_records, verify_chain, write_jsonl
+
+    try:
+        json_path, args = _json_path(args)
+    except ValueError as exc:
+        print(f"audit: {exc}")
+        return 2
+    jsonl_path: str | None = None
+    if "--jsonl" in args:
+        at = args.index("--jsonl")
+        if at + 1 >= len(args):
+            print("audit: --jsonl requires a file path")
+            return 2
+        jsonl_path = args[at + 1]
+        args = args[:at] + args[at + 2 :]
+    if args != ["verify"]:
+        print("audit: usage: audit verify [--jsonl PATH] [--json PATH]")
+        return 2
+
+    if jsonl_path is not None:
+        try:
+            with open(jsonl_path, encoding="utf-8") as handle:
+                records = [
+                    _json.loads(line) for line in handle if line.strip()
+                ]
+        except (OSError, ValueError) as exc:
+            print(f"audit: cannot read {jsonl_path}: {exc}")
+            return 1
+        entries = [r for r in records if r.get("record") == "audit_entry"]
+        ok, error = verify_chain(entries)
+        print(f"audit: {len(entries)} chained entr"
+              f"{'y' if len(entries) == 1 else 'ies'} in {jsonl_path}")
+        if ok:
+            print("audit: hash chain VERIFIED")
+            return 0
+        print(f"audit: hash chain BROKEN — {error}")
+        return 1
+
+    system, result = _traced_intrusion_drill()
+    t = system.telemetry
+    print(f"voted add(2, 3) = {result}  (calc-e2 lies in every reply)")
+    print()
+    print(t.audit.render())
+    print()
+    ok, error = t.audit.verify()
+    if not ok:
+        print(f"audit: hash chain BROKEN — {error}")
+        return 1
+    print(f"audit: hash chain VERIFIED ({len(t.audit)} entries, "
+          f"head {t.audit.head[:16]}…)")
+    bad = t.audit.verify_signatures(system.directory.keyring.verify)
+    if bad:
+        print(f"audit: evidence signatures FAILED at entries {bad}")
+        return 1
+    ballots = sum(
+        len(entry.evidence.get("ballots", [])) for entry in t.audit.entries
+    )
+    print(f"audit: evidence signatures VERIFIED ({ballots} signed ballot(s) "
+          "re-checked against the keyring)")
+    if json_path is not None:
+        try:
+            lines = write_jsonl(json_path, telemetry_records(t))
+        except OSError as exc:
+            print(f"audit: cannot write {json_path}: {exc}")
+            return 1
+        print(f"audit: wrote {lines} telemetry records to {json_path}")
+    return 0
+
+
 def _marshal_corpus():
     """(name, TypeCode, value) cells exercising each codec plan shape."""
     from repro.giop.typecodes import (
@@ -502,6 +669,8 @@ COMMANDS = {
     "recover": cmd_recover,
     "bench": cmd_bench,
     "chaos": cmd_chaos,
+    "detect": cmd_detect,
+    "audit": cmd_audit,
 }
 
 

@@ -50,6 +50,12 @@ def _content_bytes(message: Any) -> bytes:
 class MessageAuth(ABC):
     """Strategy: stamp outgoing messages, accept or reject incoming ones."""
 
+    #: Why the most recent ``accept`` returned False ("" after a success).
+    #: Read by the caller's intrusion-evidence hook; a rejected MAC cannot
+    #: distinguish a lying sender from a corrupted wire, so this only ever
+    #: feeds *soft* suspicion.
+    last_reject_reason: str = ""
+
     @abstractmethod
     def stamp(self, message: Any, receivers: list[str]) -> Any:
         """Return a copy of ``message`` carrying authentication material."""
@@ -105,11 +111,17 @@ class HmacAuth(MessageAuth):
     def accept(self, src: str, message: Any) -> bool:
         auth = getattr(message, "auth", None)
         if not isinstance(auth, dict):
+            self.last_reject_reason = "missing-authenticator"
             return False
         mac = auth.get(self.authenticator.own_id)
         if mac is None:
+            self.last_reject_reason = "missing-mac"
             return False
-        return self.authenticator.check(src, _content_bytes(message), mac)
+        if not self.authenticator.check(src, _content_bytes(message), mac):
+            self.last_reject_reason = "bad-mac"
+            return False
+        self.last_reject_reason = ""
+        return True
 
 
 class RsaAuth(MessageAuth):
@@ -141,5 +153,10 @@ class RsaAuth(MessageAuth):
     def accept(self, src: str, message: Any) -> bool:
         auth = getattr(message, "auth", None)
         if not isinstance(auth, (bytes, bytearray)):
+            self.last_reject_reason = "missing-signature"
             return False
-        return self.keyring.verify(src, _content_bytes(message), bytes(auth))
+        if not self.keyring.verify(src, _content_bytes(message), bytes(auth)):
+            self.last_reject_reason = "bad-signature"
+            return False
+        self.last_reject_reason = ""
+        return True

@@ -208,6 +208,18 @@ class BftReplica(Process):
             self._schedule_retransmit()
         checker = self.client_auth if isinstance(payload, ClientRequest) else self.auth
         if src != self.pid and not checker.accept(src, payload):
+            t = self.telemetry
+            if t.enabled:
+                # Soft evidence only: a bad MAC/signature is indistinguishable
+                # from wire corruption of an honest sender's message.
+                reason = getattr(checker, "last_reject_reason", "") or "rejected"
+                t.evidence(
+                    "invalid-auth",
+                    accused=src,
+                    reporter=self.pid,
+                    detail=f"{type(payload).__name__}: {reason}",
+                )
+                t.detect.observe_auth_reject(src, reason)
             return
         handler = {
             ClientRequest: self._on_client_request,
@@ -545,6 +557,18 @@ class BftReplica(Process):
         if not self.stable_seq < msg.seq <= self.high_watermark:
             return
         if msg.request_digest != msg.batch.content_digest():
+            # The header digest disagrees with the batch it carries. Soft
+            # evidence: with authenticated channels only the primary can
+            # produce this, but we cannot rule out wire corruption here.
+            t = self.telemetry
+            if t.enabled:
+                t.evidence(
+                    "inconsistent-preprepare",
+                    accused=src,
+                    reporter=self.pid,
+                    detail=f"view={msg.view} seq={msg.seq}",
+                    evidence={"claimed_digest": msg.request_digest},
+                )
             return
         entry = self._entry(msg.seq)
         if entry.executed:
@@ -586,6 +610,28 @@ class BftReplica(Process):
                                 sender=self.pid,
                             )
                         )
+                elif entry.pre_prepare.view == msg.view:
+                    # Two internally-consistent pre-prepares for the same
+                    # (view, seq) with different digests: hard evidence of an
+                    # equivocating primary. Both messages passed the
+                    # digest-vs-batch check, so no wire fault explains this —
+                    # and both full encodings are retained so the conflict
+                    # re-verifies offline.
+                    t = self.telemetry
+                    if t.enabled:
+                        t.evidence(
+                            "equivocation",
+                            accused=src,
+                            reporter=self.pid,
+                            hard=True,
+                            detail=f"view={msg.view} seq={msg.seq}",
+                            evidence={
+                                "accepted": entry.pre_prepare.canonical_encoding(),
+                                "conflicting": msg.canonical_encoding(),
+                                "accepted_digest": entry.pre_prepare.request_digest,
+                                "conflicting_digest": msg.request_digest,
+                            },
+                        )
                 return  # already accepted one for this (or a later) view
         entry.pre_prepare = msg
         entry.t_pre_prepare = self.now
@@ -617,7 +663,9 @@ class BftReplica(Process):
             return
         if not self.stable_seq < msg.seq <= self.high_watermark:
             return
-        self._entry(msg.seq).prepares[src] = msg
+        entry = self._entry(msg.seq)
+        entry.prepares[src] = msg
+        self._flag_digest_dissent(entry, src, msg, "conflicting-prepare")
         self._check_prepared(msg.seq)
 
     def _check_prepared(self, seq: int) -> None:
@@ -632,6 +680,9 @@ class BftReplica(Process):
             entry.t_prepared = self.now
             t = self.telemetry
             if t.enabled:
+                t.detect.observe_phase(
+                    self.pid, "prepare", self.now - (entry.t_pre_prepare or self.now)
+                )
                 for request in pre_prepare.batch.requests:
                     ctx = t.lookup(request.content_digest())
                     if ctx is not None:
@@ -663,8 +714,37 @@ class BftReplica(Process):
             return
         if not self.stable_seq < msg.seq <= self.high_watermark:
             return
-        self._entry(msg.seq).commits[src] = msg
+        entry = self._entry(msg.seq)
+        entry.commits[src] = msg
+        self._flag_digest_dissent(entry, src, msg, "conflicting-commit")
         self._check_committed(msg.seq)
+
+    def _flag_digest_dissent(
+        self, entry: _LogEntry, src: str, msg: Any, kind: str
+    ) -> None:
+        """A prepare/commit naming a different digest than the accepted
+        pre-prepare for its slot. Soft evidence against the sender: it is
+        equally consistent with an equivocating primary having fed *them*
+        the other variant, so it never convicts on its own."""
+        t = self.telemetry
+        if not t.enabled:
+            return
+        pre_prepare = entry.pre_prepare
+        if (
+            pre_prepare is not None
+            and pre_prepare.view == msg.view
+            and pre_prepare.request_digest != msg.request_digest
+        ):
+            t.evidence(
+                kind,
+                accused=src,
+                reporter=self.pid,
+                detail=f"view={msg.view} seq={msg.seq}",
+                evidence={
+                    "accepted_digest": pre_prepare.request_digest,
+                    "claimed_digest": msg.request_digest,
+                },
+            )
 
     def _check_committed(self, seq: int) -> None:
         entry = self.log.get(seq)
@@ -679,6 +759,9 @@ class BftReplica(Process):
             entry.committed = True
             t = self.telemetry
             if t.enabled:
+                t.detect.observe_phase(
+                    self.pid, "commit", self.now - (entry.t_prepared or self.now)
+                )
                 for request in pre_prepare.batch.requests:
                     ctx = t.lookup(request.content_digest())
                     if ctx is not None:

@@ -11,6 +11,7 @@ set of faults that still breaks the invariant.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import Any
@@ -48,6 +49,11 @@ class RunResult:
     sim_time: float = 0.0
     deliveries: int = 0
     error: str | None = None
+    # Ground truth for detector validation: the elements the plan allowed to
+    # misbehave this run (the sampled equivocator set).
+    true_faulty: list[str] = field(default_factory=list)
+    # Detector verdict vs that ground truth (telemetry runs only).
+    detection: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -63,6 +69,8 @@ class RunResult:
             "sim_time": self.sim_time,
             "deliveries": self.deliveries,
             "error": self.error,
+            "true_faulty": self.true_faulty,
+            "detection": self.detection,
         }
 
 
@@ -108,15 +116,27 @@ class ScheduleRunner:
         intensity: float = 1.0,
         shrink: bool = False,
         telemetry: bool = False,
+        fault_kinds: str = "all",
         log: Any = None,
     ) -> None:
+        if fault_kinds not in ("all", "benign"):
+            raise ValueError(f"fault_kinds must be 'all' or 'benign', not {fault_kinds!r}")
         self.scenarios = scenarios if scenarios is not None else scenario_matrix()
         self.seeds = tuple(seeds)
         self.requests = requests
         self.intensity = intensity
         self.shrink_failures = shrink
         self.telemetry = telemetry
+        # "benign" strips every Byzantine fault from the drawn plan (no
+        # corruption, no equivocation, nobody faulty) while leaving the
+        # drop/delay/duplicate/reorder/partition schedule untouched — the
+        # honest-under-stress control cell for false-accusation checks.
+        self.fault_kinds = fault_kinds
         self.log = log or (lambda message: None)
+        # The telemetry facade of the most recent run_one, kept so callers
+        # (the detect CLI, tests) can render the health board and audit log
+        # after the cell's system has been torn down.
+        self.last_telemetry: Any = None
 
     # -- sweep --------------------------------------------------------------
 
@@ -206,7 +226,49 @@ class ScheduleRunner:
                     t.registry.counter(
                         "chaos_faults_total", "Faults injected", labels=("kind",)
                     ).labels(kind=kind).inc(count)
+                result.detection = self._detection_verdict(result, t)
+            self.last_telemetry = t if t.enabled else None
         return result
+
+    @staticmethod
+    def _detection_verdict(result: RunResult, t: Any) -> dict[str, Any]:
+        """Score the run's detector output against the plan's ground truth.
+
+        Recall is measured against the *active* faulty set — elements the
+        plan sampled as faulty AND whose equivocation faults actually fired.
+        A faulty element the adversary never exercised is indistinguishable
+        from an honest one by any protocol-visible observer, so charging its
+        silence as a miss would measure the schedule, not the detector.
+        """
+        truth = set(result.true_faulty)
+        active = sorted(
+            truth
+            & {e.src for e in result.fault_events if e.kind == "equivocate"}
+        )
+        accused = sorted(t.detect.accused())
+        suspected = sorted(t.detect.suspected())
+        false_accusations = sorted(set(accused) - truth)
+        detected = [pid for pid in active if pid in accused]
+        chain_ok, chain_error = t.audit.verify()
+        return {
+            "active_faulty": active,
+            "accused": accused,
+            "suspected": suspected,
+            "false_accusations": false_accusations,
+            "detected": detected,
+            "evidenced": [pid for pid in active if t.audit.against(pid)],
+            "missed": [pid for pid in active if pid not in accused],
+            "time_to_detect": {
+                pid: t.detect.first_accused[pid]
+                for pid in accused
+                if pid in t.detect.first_accused
+            },
+            "scores": t.detect.scores(),
+            "audit_entries": len(t.audit),
+            "audit_hard": sum(1 for e in t.audit.entries if e.hard),
+            "audit_chain_ok": chain_ok,
+            "audit_chain_error": chain_error,
+        }
 
     def _run_cell(
         self,
@@ -240,6 +302,16 @@ class ScheduleRunner:
             equivocators=equivocators,
             intensity=self.intensity,
         )
+        if self.fault_kinds == "benign":
+            # Same seeded schedule, Byzantine channel closed: the plan is
+            # drawn identically (same RNG consumption) and then stripped, so
+            # the control cell sees the very drop/delay storm the full cell
+            # did — minus anything attributable.
+            plan = dataclasses.replace(
+                plan, p_corrupt=0.0, p_equivocate=0.0, equivocators=frozenset()
+            )
+            equivocators = frozenset()
+        result.true_faulty = sorted(equivocators)
         controller = ChaosController(
             system.network, plan, seed=seed ^ 0x5EED, disabled=disabled
         )

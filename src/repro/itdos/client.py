@@ -33,6 +33,9 @@ class ItdosClient(Process):
         self.directory = directory
         self.orb = Orb(directory.repository, platform=directory.platform_of(pid))
         self.key_store = KeyStore(directory.dprf_public)
+        # Telemetry attaches after the process joins a network; bind lazily.
+        self.key_store.telemetry_provider = lambda: self.telemetry
+        self.key_store.owner_pid = pid
         self.endpoint = SmiopEndpoint(
             self, directory, self.key_store, kind="singleton"
         )

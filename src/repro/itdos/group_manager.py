@@ -460,6 +460,24 @@ class GroupManagerElement(BftReplica):
             self._expel(accused, request.accused_domain)
             return b"GRANTED"
         self.denied_change_requests += 1
+        t = self.telemetry
+        if t.enabled:
+            # A singleton whose proof failed re-verification made an
+            # unsupported accusation — itself suspicious behavior (a frame-up
+            # attempt looks exactly like this). Soft: a damaged proof item
+            # also lands here. Dedup mirrors _expel: every GM replica
+            # executes the same ordered request against one shared facade.
+            t.evidence(
+                "accusation-denied",
+                accused=request.requester,
+                reporter=self.pid,
+                detail=(
+                    f"accused={','.join(accused)} domain={request.accused_domain} "
+                    f"request={request.request_id}"
+                ),
+                evidence={"proof_items": len(request.proof)},
+                dedup=("accusation-denied", request.requester, accused, request.request_id),
+            )
         return b"DENIED"
 
     def _proof_convicts(self, request: ChangeRequest, f_target: int) -> bool:
@@ -575,6 +593,17 @@ class GroupManagerElement(BftReplica):
                 t.registry.counter(
                     "gm_expulsions_total", "Elements keyed out of communication groups"
                 ).inc(newly)
+            # The expulsion itself is hard evidence: 2f+1 replicated GMs
+            # re-verified the singleton's signed proof and voted to convict.
+            for pid in accused:
+                t.evidence(
+                    "expulsion",
+                    accused=pid,
+                    reporter=self.pid,
+                    hard=True,
+                    detail=f"domain={accused_domain}",
+                    dedup=("expulsion", pid),
+                )
         self._rekey_domain(accused_domain)
 
     def _rekey_domain(self, domain_id: str, fence: bool = False) -> None:

@@ -16,6 +16,7 @@ from typing import Callable
 
 from repro.crypto.dprf import DprfError, DprfPublic, KeyShare, combine_shares
 from repro.crypto.symmetric import SymmetricKey
+from repro.obs.telemetry import NOOP_TELEMETRY
 
 
 @dataclass
@@ -37,6 +38,11 @@ class PendingKeyAssembly:
     # replication domain elements ... can verify which Group Manager
     # replication domain elements acted correctly" (§3.5).
     invalid_from: list[str] = field(default_factory=list)
+    # Parallel to ``invalid_from``: why each share was rejected. A
+    # "verify" failure is individually attributable (the share fails the
+    # public DPRF parameters on its own); a "nonce" mismatch is only
+    # relative to the first-seen nonce, so it never convicts by itself.
+    invalid_reasons: list[str] = field(default_factory=list)
 
     def adopted_epoch(self) -> int:
         return min(self.epochs.values()) if self.epochs else 0
@@ -58,11 +64,13 @@ class PendingKeyAssembly:
             self.nonce = nonce
         elif nonce != self.nonce:
             self.invalid_from.append(gm_element)
+            self.invalid_reasons.append("nonce")
             return None
         if share.index in self.shares:
             return None
         if not public.verify_share(nonce, share):
             self.invalid_from.append(gm_element)
+            self.invalid_reasons.append("verify")
             return None
         self.shares[share.index] = share
         self.epochs[share.index] = epoch
@@ -103,6 +111,9 @@ class ConnectionKeys:
     current_epoch: int = 0
     fence_floor: int = 0
     epoch_of: dict[int, int] = field(default_factory=dict)
+    # Why the most recent install() returned False ("" after a success);
+    # read by the owning KeyStore's evidence hook.
+    last_reject: str = ""
 
     def install(self, key: SymmetricKey, epoch: int = 0, fence_floor: int = 0) -> bool:
         """Install one generation; returns False when the key is rejected.
@@ -124,11 +135,14 @@ class ConnectionKeys:
         if epoch < self.fence_floor:
             # Issued under a fenced-off membership epoch (a reordered
             # announcement from before a readmission): refuse outright.
+            self.last_reject = "fenced"
             return False
         if key.key_id < self.current_key_id - self.RETAINED_GENERATIONS:
             # Aged past the retention window — a rekeyed-out element must
             # not be able to catch up via a late delivery (§3.5).
+            self.last_reject = "aged"
             return False
+        self.last_reject = ""
         self.keys[key.key_id] = key
         self.epoch_of[key.key_id] = epoch
         if key.key_id > self.current_key_id:
@@ -140,7 +154,10 @@ class ConnectionKeys:
                 self.epoch_of.pop(old, None)
         if self.fence_floor > 0:
             self._purge_fenced()
-        return key.key_id in self.keys
+        if key.key_id not in self.keys:
+            self.last_reject = "fenced"
+            return False
+        return True
 
     def _purge_fenced(self) -> None:
         for old in [
@@ -166,6 +183,24 @@ class KeyStore:
         # (conn_id, key_id) -> callbacks to fire when that key installs.
         self._waiters: dict[tuple[int, int], list[Callable[[SymmetricKey], None]]] = {}
         self.invalid_share_events: list[tuple[str, int, int]] = []  # (gm, conn, key)
+        # Late-bound telemetry: the store is built before its owning process
+        # joins a network, so the owner rebinds these once it has a facade.
+        self.telemetry_provider: Callable[[], object] = lambda: NOOP_TELEMETRY
+        self.owner_pid = ""
+
+    def _evidence(
+        self, kind: str, accused: str, hard: bool, detail: str, evidence: dict
+    ) -> None:
+        t = self.telemetry_provider()
+        if getattr(t, "enabled", False):
+            t.evidence(
+                kind,
+                accused=accused,
+                reporter=self.owner_pid,
+                hard=hard,
+                detail=detail,
+                evidence=evidence,
+            )
 
     def offer_share(
         self,
@@ -186,6 +221,7 @@ class KeyStore:
             # correctly" (§3.5) even for stragglers.
             if not self.public.verify_share(nonce, share):
                 self.invalid_share_events.append((gm_element, conn_id, key_id))
+                self._invalid_share(gm_element, conn_id, key_id, "verify", nonce, share)
             return None
         pending = self._pending.setdefault(
             (conn_id, key_id), PendingKeyAssembly(conn_id=conn_id, key_id=key_id)
@@ -197,6 +233,9 @@ class KeyStore:
         )
         if len(pending.invalid_from) > before_invalid:
             self.invalid_share_events.append((gm_element, conn_id, key_id))
+            self._invalid_share(
+                gm_element, conn_id, key_id, pending.invalid_reasons[-1], nonce, share
+            )
         if key is None:
             return None
         adopted_epoch = pending.adopted_epoch()
@@ -206,6 +245,35 @@ class KeyStore:
             return None
         return key
 
+    def _invalid_share(
+        self,
+        gm_element: str,
+        conn_id: int,
+        key_id: int,
+        reason: str,
+        nonce: bytes,
+        share: KeyShare,
+    ) -> None:
+        """One DPRF share failed its check after authenticated decryption.
+
+        The share reached us through pairwise authenticated encryption, so
+        ``gm_element`` provably produced it — a *verify* failure is hard
+        evidence against that element. A *nonce* mismatch only proves
+        disagreement with the first-seen nonce, so it stays soft.
+        """
+        self._evidence(
+            "invalid-share",
+            accused=gm_element,
+            hard=reason == "verify",
+            detail=f"conn={conn_id} key={key_id} reason={reason}",
+            evidence={
+                "conn_id": conn_id,
+                "key_id": key_id,
+                "nonce": nonce,
+                "share_index": share.index,
+            },
+        )
+
     def install(
         self, key: SymmetricKey, conn_id: int, epoch: int = 0, fence_floor: int = 0
     ) -> bool:
@@ -214,6 +282,22 @@ class KeyStore:
             # Fenced or aged out: parked callbacks must not receive a key
             # the store itself refuses to hold.
             self._waiters.pop((conn_id, key.key_id), None)
+            # Not attributable to any one element (the generation was
+            # assembled from f_gm+1 shares), but the violation itself is
+            # audit-worthy: a fenced key resurfacing is exactly what the
+            # recovery subsystem exists to stop.
+            self._evidence(
+                "fence-violation",
+                accused=f"conn:{conn_id}",
+                hard=False,
+                detail=f"key={key.key_id} reason={keys.last_reject}",
+                evidence={
+                    "conn_id": conn_id,
+                    "key_id": key.key_id,
+                    "epoch": epoch,
+                    "fence_floor": keys.fence_floor,
+                },
+            )
             return False
         for callback in self._waiters.pop((conn_id, key.key_id), []):
             callback(key)

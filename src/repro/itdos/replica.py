@@ -131,6 +131,9 @@ class ItdosServerElement(BftReplica):
         self.queue = MessageQueue(max_bytes=queue_max_bytes)
         self._append_chain = b"\x00" * 32  # rolling digest of ordered payloads
         self.key_store = KeyStore(directory.dprf_public)
+        # Telemetry attaches after the process joins a network; bind lazily.
+        self.key_store.telemetry_provider = lambda: self.telemetry
+        self.key_store.owner_pid = pid
         self.endpoint = SmiopEndpoint(
             self, directory, self.key_store, kind="domain", own_domain=domain_id
         )
@@ -236,6 +239,7 @@ class ItdosServerElement(BftReplica):
                         c, outcome
                     ),
                     telemetry=self.telemetry,
+                    owner=self.pid,
                 )
             self.incoming[envelope.conn_id] = record
         key = self.key_store.offer_share(

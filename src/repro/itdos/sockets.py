@@ -118,6 +118,7 @@ class OutgoingConnection:
             on_decide=self._decided,
             on_fault=self._fault_detected,
             telemetry=endpoint.owner.telemetry,
+            owner=endpoint.owner.pid,
         )
         self.requests_sent = 0
         # Outstanding-request retransmission: the BFT client engine only
@@ -228,6 +229,11 @@ class OutgoingConnection:
             return  # decided (or superseded): nothing outstanding to push
         self._retry_attempt += 1
         self.retransmissions += 1
+        t = self.endpoint.owner.telemetry
+        if t.enabled:
+            # Retransmission pressure against this server domain feeds the
+            # timeliness side of fault estimation.
+            t.detect.observe_retransmission(self.target.domain_id)
         self.endpoint.engine_for(self.target.domain_id).invoke(envelope.to_payload())
         self._schedule_retry(envelope)
 
@@ -237,6 +243,17 @@ class OutgoingConnection:
             self._retry_timer = None
 
     # -- reply path ----------------------------------------------------------
+
+    def _garbage(self, sender: str, reason: str) -> None:
+        """Attribute an undecodable reply copy to its claimed sender.
+
+        Soft signal only: the simulated network never spoofs sender ids,
+        but corruption of an honest sender's ciphertext or signature in
+        flight produces exactly the same observation.
+        """
+        t = self.endpoint.owner.telemetry
+        if t.enabled:
+            t.detect.observe_garbage(sender, reason)
 
     def handle_reply(self, reply: SmiopReply) -> None:
         """Feed one element's reply copy through decrypt/verify/vote."""
@@ -251,16 +268,19 @@ class OutgoingConnection:
             plaintext = decrypt(key, reply.ciphertext)
         except AuthenticationError:
             self.voter.discard("decrypt")
+            self._garbage(reply.sender, "decrypt")
             return
         if not self.endpoint.directory.keyring.verify(
             reply.sender, plaintext, reply.signature
         ):
             self.voter.discard("signature")
+            self._garbage(reply.sender, "signature")
             return
         if reply.is_digest:
             # Large-object path: the plaintext IS the 32-byte value digest.
             if len(plaintext) != 32:
                 self.voter.discard("malformed")
+                self._garbage(reply.sender, "malformed")
                 return
             self.voter.offer(
                 reply.sender,
@@ -278,9 +298,11 @@ class OutgoingConnection:
                 )
             except Exception:  # noqa: BLE001 - garbage from a Byzantine element
                 self.voter.discard("malformed")
+                self._garbage(reply.sender, "malformed")
                 return
             if not isinstance(message, ReplyMessage):
                 self.voter.discard("malformed")
+                self._garbage(reply.sender, "malformed")
                 return
             value = (int(message.reply_status), message.result)
             # The memo keeps a private copy so no consumer of the decoded
@@ -629,6 +651,30 @@ class SmiopEndpoint:
             t.registry.counter(
                 "smiop_change_requests_total", "Accusations sent to the GM"
             ).inc()
+            # The accusation itself is auditable: a singleton's ChangeRequest
+            # carries the 2f+1 signed reply copies (transferable proof), so
+            # the entry re-verifies offline; a replicated requester's GM
+            # domain re-votes instead, so its request is soft here.
+            t.evidence(
+                "change-request",
+                accused=sender,
+                reporter=self.owner.pid,
+                hard=bool(proof),
+                detail=(
+                    f"domain={connection.target.domain_id} request={request_id}"
+                ),
+                evidence={
+                    "request_id": request_id,
+                    "ballots": [
+                        {
+                            "sender": item.sender,
+                            "plaintext": item.plaintext,
+                            "signature": item.signature,
+                        }
+                        for item in proof
+                    ],
+                },
+            )
             # Root a span over the accusation so the GM's verdict (and the
             # resulting expulsion event) hangs off a queryable trace.
             span = t.begin(

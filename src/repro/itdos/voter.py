@@ -24,7 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.itdos.vvm import Comparator, VoteDecision, ballot_key, majority_vote
+from repro.itdos.vvm import (
+    Comparator,
+    VoteDecision,
+    ballot_key,
+    dissenting_senders,
+    majority_vote,
+)
 from repro.obs.telemetry import NOOP_TELEMETRY, Telemetry
 
 # Hard cap on ballots retained for one request id: n can never legitimately
@@ -38,6 +44,20 @@ MAX_BALLOTS_FACTOR = 2
 # without bound. Delivery happens in id order, so the window keeps the
 # lowest pending ids — the ones that can actually still be delivered.
 MAX_PENDING_REQUESTS = 8
+
+
+def _is_signed_raw(raw: Any) -> bool:
+    """Does a voter's raw ballot carry a (plaintext, signature) byte pair?
+
+    The SMIOP transport offers replies as ``raw=(plaintext, signature)``
+    only after the keyring verified the signature, so a True here means the
+    sender provably signed the ballot value.
+    """
+    return (
+        isinstance(raw, tuple)
+        and len(raw) == 2
+        and all(isinstance(part, (bytes, bytearray)) for part in raw)
+    )
 
 
 @dataclass(frozen=True)
@@ -61,6 +81,7 @@ class ReplyVoter:
         on_decide: Callable[[VoteOutcome], None],
         on_fault: Callable[[str, int, list[tuple[str, Any, Any]]], None] | None = None,
         telemetry: Telemetry | None = None,
+        owner: str = "",
     ) -> None:
         if n < 3 * f + 1:
             raise ValueError(f"n={n} too small for f={f}")
@@ -69,6 +90,7 @@ class ReplyVoter:
         self.on_decide = on_decide
         self.on_fault = on_fault or (lambda sender, request_id, evidence: None)
         self.telemetry = telemetry or NOOP_TELEMETRY
+        self.owner = owner  # reporting identity for audit-log entries
         self.current_request_id: int | None = None
         self.comparator: Comparator = Comparator.exact()
         self._ballots: list[tuple[str, Any]] = []
@@ -146,11 +168,9 @@ class ReplyVoter:
             # each one *grows the evidence*, so re-report every known
             # dissenter (the owner deduplicates accusations; a proof that
             # was too thin at decision time may be sufficient now).
-            dissenters = [
-                ballot_sender
-                for ballot_sender, ballot_value in self._ballots
-                if not self.comparator.equal(self._decided.value, ballot_value)
-            ]
+            dissenters = list(
+                dissenting_senders(self._decided.value, self._ballots, self.comparator)
+            )
             if dissenters:
                 self._report_faults(dissenters)
 
@@ -188,6 +208,13 @@ class ReplyVoter:
         assert self._decided is not None
         t = self.telemetry
         if t.enabled:
+            # Signed ballots make the accusation transferable: anyone can
+            # re-run the comparator and the signature checks offline.
+            signed_ballots = [
+                {"sender": s, "plaintext": raw[0], "signature": raw[1]}
+                for s, raw in sorted(self._raw.items())
+                if _is_signed_raw(raw)
+            ]
             for sender in senders:
                 if sender not in self._dissent_reported:
                     self._dissent_reported.add(sender)
@@ -196,6 +223,23 @@ class ReplyVoter:
                         "voter_dissent_total", "Dissenting reply copies, by element",
                         labels=("element",),
                     ).labels(element=sender).inc()
+                    # Hard only when the dissenting reply carried a valid
+                    # signature (the transport verified it before offering):
+                    # the element provably vouched for the wrong value. An
+                    # unsigned dissent could still be wire damage.
+                    t.evidence(
+                        "vote-dissent",
+                        accused=sender,
+                        reporter=self.owner,
+                        hard=_is_signed_raw(self._raw.get(sender)),
+                        detail=f"request={self.current_request_id}",
+                        evidence={
+                            "request_id": self.current_request_id,
+                            "dissenter": sender,
+                            "supporters": list(self._decided.supporters),
+                            "ballots": signed_ballots,
+                        },
+                    )
         evidence = [
             (sender, value, self._raw.get(sender))
             for sender, value in self._ballots
@@ -218,11 +262,13 @@ class RequestVoter:
         client_f: int,
         on_deliver: Callable[[VoteOutcome], None],
         telemetry: Telemetry | None = None,
+        owner: str = "",
     ) -> None:
         self.client_n = client_n
         self.client_f = client_f
         self.on_deliver = on_deliver
         self.telemetry = telemetry or NOOP_TELEMETRY
+        self.owner = owner
         self._ballots: dict[int, list[tuple[str, Any]]] = {}
         # Parallel content keys per request id (see ReplyVoter._keys).
         self._keys: dict[int, list[bytes | None]] = {}
@@ -303,6 +349,15 @@ class RequestVoter:
                         "voter_dissent_total", "Dissenting reply copies, by element",
                         labels=("element",),
                     ).labels(element=dissenter).inc()
+                    # Ordered request copies are not individually signed, so
+                    # a divergent copy is soft evidence only.
+                    t.evidence(
+                        "request-dissent",
+                        accused=dissenter,
+                        reporter=self.owner,
+                        detail=f"request={request_id}",
+                        evidence={"request_id": request_id},
+                    )
             # Requests must be delivered in id order per connection: the
             # single-threaded client sends one at a time, so ids arrive in
             # order and delivery here is naturally ordered.

@@ -248,6 +248,26 @@ def adaptive_majority_vote(
     )
 
 
+def dissenting_senders(
+    decided_value: Any,
+    ballots: list[tuple[str, Any]],
+    comparator: Comparator,
+) -> tuple[str, ...]:
+    """Senders whose ballot does not equal the decided value.
+
+    Applies the same non-transitive rule as :func:`majority_vote` — each
+    ballot is compared to the decided value itself, never chained. Voters
+    use it to re-derive the dissent set when stragglers arrive after a
+    decision, and ``repro audit verify`` uses it to re-check a recorded
+    vote-dissent accusation against the evidence ballots offline.
+    """
+    return tuple(
+        sender
+        for sender, value in ballots
+        if not comparator.equal(decided_value, value)
+    )
+
+
 def ballot_key(value: Any) -> bytes | None:
     """Content key for ballot deduplication, or None when uncomputable.
 

@@ -7,10 +7,31 @@ The public surface:
 * :class:`MetricRegistry` — labeled counters/gauges/histograms
 * :class:`Tracer` / :class:`Span` / :class:`TraceContext` — span trees
 * :class:`HealthBoard` — per-element dissent/view-change/expulsion rollup
+  with suspicion scores and evidence counts
+* :class:`AuditLog` — tamper-evident, hash-chained intrusion-evidence log
+  (:func:`verify_chain` re-checks an exported chain offline)
+* :class:`FaultEstimator` — streaming per-element suspicion scores
+  (phi-accrual timeliness, latency anomaly, garbage/dissent rates)
 * :mod:`repro.obs.export` — JSONL + table exporters
 """
 
+from repro.obs.audit import (
+    NULL_AUDIT,
+    AuditEntry,
+    AuditLog,
+    verify_chain,
+)
+from repro.obs.detect import (
+    ACCUSE_THRESHOLD,
+    NULL_DETECT,
+    REPORT_THRESHOLD,
+    Ewma,
+    FaultEstimator,
+    PhiAccrual,
+)
 from repro.obs.export import (
+    audit_records,
+    detect_records,
     metric_records,
     read_jsonl,
     render_metrics_table,
@@ -33,8 +54,13 @@ from repro.obs.telemetry import NOOP_TELEMETRY, Telemetry
 from repro.obs.tracing import NULL_TRACER, Span, TraceContext, Tracer
 
 __all__ = [
+    "ACCUSE_THRESHOLD",
+    "AuditEntry",
+    "AuditLog",
     "Counter",
     "ElementHealth",
+    "Ewma",
+    "FaultEstimator",
     "Gauge",
     "HealthBoard",
     "HealthEvent",
@@ -42,19 +68,26 @@ __all__ = [
     "MetricFamily",
     "MetricRegistry",
     "NOOP_TELEMETRY",
+    "NULL_AUDIT",
+    "NULL_DETECT",
     "NULL_HEALTH",
     "NULL_METRIC",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "PhiAccrual",
+    "REPORT_THRESHOLD",
     "Span",
     "Telemetry",
     "TraceContext",
     "Tracer",
+    "audit_records",
+    "detect_records",
     "metric_records",
     "read_jsonl",
     "render_metrics_table",
     "span_records",
     "telemetry_records",
     "to_jsonl",
+    "verify_chain",
     "write_jsonl",
 ]

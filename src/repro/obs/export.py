@@ -1,9 +1,12 @@
 """Exporters: JSONL dumps and human-readable tables for telemetry data.
 
 Every line of a JSONL export is self-describing via a ``"record"`` field
-(``metric`` / ``span`` / ``health_element`` / ``health_event``), so one file
-can hold a whole run and ``tools/generate_report.py`` can fold it into the
-results report without guessing.
+(``metric`` / ``span`` / ``health_element`` / ``health_event`` /
+``audit_entry`` / ``audit_chain`` / ``suspicion``), so one file can hold a
+whole run and ``tools/generate_report.py`` can fold it into the results
+report without guessing. An exported audit chain remains offline-verifiable:
+``repro.obs.audit.verify_chain`` re-checks the ``audit_entry`` records as
+read back from disk.
 """
 
 from __future__ import annotations
@@ -47,12 +50,24 @@ def health_records(board: Any) -> list[dict[str, Any]]:
     return out
 
 
+def audit_records(audit: Any) -> list[dict[str, Any]]:
+    """``audit_entry`` per chain link plus one ``audit_chain`` stat line."""
+    return list(audit.to_records())
+
+
+def detect_records(detect: Any) -> list[dict[str, Any]]:
+    """One ``suspicion`` record per element the estimator tracks."""
+    return list(detect.to_records())
+
+
 def telemetry_records(telemetry: "Telemetry") -> list[dict[str, Any]]:
     """Everything one run produced, as one flat JSONL-ready list."""
     return (
         metric_records(telemetry.registry)
         + span_records(telemetry.tracer)
         + health_records(telemetry.health)
+        + audit_records(telemetry.audit)
+        + detect_records(telemetry.detect)
     )
 
 

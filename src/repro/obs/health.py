@@ -28,6 +28,12 @@ class ElementHealth:
     checkpoint_lag: int = 0
     expelled: bool = False
     readmitted: bool = False
+    # Fault-estimation rollup (repro.obs.detect): current suspicion score,
+    # audit evidence count, and the most damning evidence kind seen.
+    suspicion: float = 0.0
+    evidence: int = 0
+    hard_evidence: int = 0
+    last_evidence: str = ""
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -39,6 +45,10 @@ class ElementHealth:
             "checkpoint_lag": self.checkpoint_lag,
             "expelled": self.expelled,
             "readmitted": self.readmitted,
+            "suspicion": self.suspicion,
+            "evidence": self.evidence,
+            "hard_evidence": self.hard_evidence,
+            "last_evidence": self.last_evidence,
         }
 
 
@@ -106,6 +116,27 @@ class HealthBoard:
 
     def record_dissent(self, pid: str) -> None:
         self.element(pid).dissents += 1
+
+    def record_suspicion(self, pid: str, score: float) -> None:
+        self.element(pid).suspicion = score
+
+    def record_evidence(
+        self,
+        pid: str,
+        kind: str,
+        hard: bool = False,
+        time: float = 0.0,
+        ctx: TraceContext | None = None,
+    ) -> None:
+        health = self.element(pid)
+        health.evidence += 1
+        if hard:
+            health.hard_evidence += 1
+        # Hard evidence is never displaced by later soft noise.
+        if hard or not health.hard_evidence:
+            health.last_evidence = kind
+        if hard:
+            self._event(time, "evidence", pid, kind, ctx)
 
     def record_view_change(
         self,
@@ -188,6 +219,11 @@ class HealthBoard:
     def expelled(self) -> list[str]:
         return [pid for pid, h in sorted(self.elements.items()) if h.expelled]
 
+    def reset(self) -> None:
+        self.elements.clear()
+        self.events.clear()
+        self.key_epoch = 0
+
     def events_of(self, kind: str) -> list[HealthEvent]:
         return [e for e in self.events if e.kind == kind]
 
@@ -201,11 +237,24 @@ class HealthBoard:
     def render(self) -> str:
         if not self.elements and not self.events:
             return "health board: no data"
-        headers = ("element", "dissents", "view_chg", "stable_seq", "ckpt_lag", "status")
+        headers = (
+            "element",
+            "dissents",
+            "view_chg",
+            "stable_seq",
+            "ckpt_lag",
+            "suspicion",
+            "evidence",
+            "status",
+        )
         rows = []
         for pid in sorted(self.elements):
             h = self.elements[pid]
             status = "expelled" if h.expelled else ("readmitted" if h.readmitted else "ok")
+            evidence = ""
+            if h.evidence:
+                strength = f"{h.hard_evidence} hard" if h.hard_evidence else "soft"
+                evidence = f"{h.evidence} ({strength}: {h.last_evidence})"
             rows.append(
                 (
                     pid,
@@ -213,6 +262,8 @@ class HealthBoard:
                     str(h.view_changes),
                     str(h.stable_seq),
                     str(h.checkpoint_lag),
+                    f"{h.suspicion:.2f}",
+                    evidence,
                     status,
                 )
             )
@@ -261,6 +312,12 @@ class NullHealthBoard:
     def record_dissent(self, pid: str) -> None:
         pass
 
+    def record_suspicion(self, pid: str, score: float) -> None:
+        pass
+
+    def record_evidence(self, pid: str, kind: str, hard: bool = False, **kwargs: Any) -> None:
+        pass
+
     def record_view_change(self, pid: str, new_view: int, **kwargs: Any) -> None:
         pass
 
@@ -287,6 +344,9 @@ class NullHealthBoard:
 
     def render(self) -> str:
         return "health board disabled"
+
+    def reset(self) -> None:
+        pass
 
 
 NULL_HEALTH = NullHealthBoard()

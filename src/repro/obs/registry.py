@@ -14,6 +14,7 @@ what keeps benchmarks honest when telemetry is off.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Iterator
 
 
@@ -30,10 +31,19 @@ def summarize(samples: list[float]) -> dict[str, float]:
 DEFAULT_MAX_CHILDREN = 256
 
 # Histograms keep raw samples up to this cap for percentile summaries;
-# count/sum/min/max stay exact beyond it.
+# count/sum/min/max stay exact beyond it. Past the cap, samples are kept
+# via reservoir sampling so percentiles reflect the whole run, not just
+# startup behavior.
 DEFAULT_SAMPLE_CAP = 10_000
 
 _OVERFLOW_LABEL = "__overflow__"
+
+# Knuth MMIX LCG constants for the histogram's private sampling stream —
+# deterministic per (metric, labels) and independent of the `random`
+# module's ambient state, which simulations own.
+_LCG_MUL = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
 
 
 class Counter:
@@ -83,7 +93,7 @@ class Gauge:
 class Histogram:
     """Observations over simulated time (durations, sizes, counts)."""
 
-    __slots__ = ("labels_kv", "count", "sum", "min", "max", "samples", "sample_cap", "sample_drops")
+    __slots__ = ("labels_kv", "count", "sum", "min", "max", "samples", "sample_cap", "sample_drops", "_rng")
 
     kind = "histogram"
 
@@ -96,6 +106,14 @@ class Histogram:
         self.samples: list[float] = []
         self.sample_cap = sample_cap
         self.sample_drops = 0
+        # Sampling stream seeded from the label identity: same instrument,
+        # same observation sequence -> same reservoir, every run.
+        seed_material = ",".join(f"{k}={v}" for k, v in sorted(labels_kv.items()))
+        self._rng = (zlib.crc32(seed_material.encode("utf-8")) | 1) & _LCG_MASK
+
+    def _next_rand(self) -> int:
+        self._rng = (self._rng * _LCG_MUL + _LCG_INC) & _LCG_MASK
+        return self._rng >> 16
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -107,7 +125,15 @@ class Histogram:
         if len(self.samples) < self.sample_cap:
             self.samples.append(value)
         else:
-            self.sample_drops += 1
+            # Reservoir sampling (Algorithm R): each of the `count`
+            # observations so far stays retained with probability
+            # cap/count, so percentile summaries cover the whole run
+            # instead of freezing on the first `cap` observations.
+            slot = self._next_rand() % self.count
+            if slot < self.sample_cap:
+                self.samples[slot] = value
+            else:
+                self.sample_drops += 1
 
     @property
     def mean(self) -> float:
@@ -249,6 +275,15 @@ class MetricRegistry:
     def families(self) -> list[MetricFamily]:
         return [self._families[name] for name in sorted(self._families)]
 
+    def reset(self) -> None:
+        """Drop every family so back-to-back runs don't bleed together.
+
+        Callers that cached child handles must re-request them after a
+        reset — the registry hands out fresh families, so stale handles
+        would mutate orphaned instruments nobody collects.
+        """
+        self._families.clear()
+
     def collect(self) -> list[dict[str, Any]]:
         """Flat snapshot: one dict per (family, label combination)."""
         out = []
@@ -316,6 +351,9 @@ class NullRegistry:
 
     def collect(self) -> list:
         return []
+
+    def reset(self) -> None:
+        pass
 
 
 NULL_METRIC = NullMetric()

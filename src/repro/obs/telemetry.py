@@ -24,6 +24,8 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Callable, Hashable, Iterator
 
+from repro.obs.audit import NULL_AUDIT, AuditLog
+from repro.obs.detect import NULL_DETECT, FaultEstimator
 from repro.obs.health import NULL_HEALTH, HealthBoard
 from repro.obs.registry import NULL_REGISTRY, MetricRegistry
 from repro.obs.tracing import (
@@ -55,10 +57,16 @@ class Telemetry:
             self.registry = MetricRegistry()
             self.tracer = Tracer(clock=clock, capacity=span_capacity)
             self.health = HealthBoard()
+            self.audit = AuditLog(clock=self.now)
+            self.detect = FaultEstimator(
+                self.registry, self.health, self.audit, clock=self.now
+            )
         else:
             self.registry = NULL_REGISTRY  # type: ignore[assignment]
             self.tracer = NULL_TRACER  # type: ignore[assignment]
             self.health = NULL_HEALTH  # type: ignore[assignment]
+            self.audit = NULL_AUDIT  # type: ignore[assignment]
+            self.detect = NULL_DETECT  # type: ignore[assignment]
         self.current: TraceContext | None = None
         self.correlation_cap = correlation_cap
         self.correlation_dropped = 0
@@ -69,6 +77,52 @@ class Telemetry:
 
     def now(self) -> float:
         return self.tracer.now() if self.enabled else 0.0
+
+    def evidence(
+        self,
+        kind: str,
+        accused: str,
+        reporter: str = "",
+        hard: bool = False,
+        detail: str = "",
+        evidence: dict[str, Any] | None = None,
+        dedup: Any = None,
+    ) -> None:
+        """One intrusion-evidence observation: audit it, score it, roll it
+        into the health board. The single entry point every protocol layer
+        uses, so the three sinks can never drift apart. ``dedup`` suppresses
+        replayed reports of one decision (each replica of a replicated
+        observer executes it against this shared facade)."""
+        if not self.enabled:
+            return
+        entry = self.audit.record(
+            kind, accused, reporter=reporter, hard=hard, detail=detail,
+            evidence=evidence, dedup=dedup,
+        )
+        if dedup is not None and entry is None:
+            return
+        self.health.record_evidence(
+            accused, kind, hard=hard, time=self.now(), ctx=self.current
+        )
+        self.detect.note_evidence(kind, accused, hard)
+
+    def reset(self) -> None:
+        """Clear accumulated state so one facade can serve sequential runs."""
+        if not self.enabled:
+            return
+        self.registry.reset()
+        self.tracer.clear()
+        self.health.reset()
+        self.audit.reset()
+        self.detect.reset()
+        # The estimator cached family handles from the registry; rebuild it
+        # so its gauges land in the freshly reset namespace.
+        self.detect = FaultEstimator(
+            self.registry, self.health, self.audit, clock=self.now
+        )
+        self.current = None
+        self._correlation.clear()
+        self.correlation_dropped = 0
 
     # -- ambient context -----------------------------------------------------
 

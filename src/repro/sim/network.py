@@ -255,6 +255,9 @@ class Network:
             self.trace.record(self.scheduler.now, "deliver", src, dst, payload)
             if self._m_delivered is not None:
                 self._m_delivered.inc()
+                # Feed the phi-accrual timeliness estimator: every delivery
+                # is one inter-arrival observation for its sender.
+                self.telemetry.detect.observe_arrival(src, self.scheduler.now)
             receiver.deliver(src, payload)
             if self.on_deliver is not None:
                 self.on_deliver(src, dst, payload)

@@ -143,3 +143,96 @@ class TestDisabledMode:
         t.end(span)
         assert child.trace_id == span.trace_id
         assert child.parent_id == span.span_id
+
+
+class TestReservoirSampling:
+    """Past the cap, histograms keep a uniform reservoir, not a prefix."""
+
+    def test_late_run_shift_moves_percentiles(self):
+        # First DEFAULT_SAMPLE_CAP observations around 1.0, then twice as
+        # many around 100.0. Prefix-keeping (the old behavior) would report
+        # p99 ~= 1.0 forever; a reservoir must be dominated by the late mode.
+        reg = MetricRegistry()
+        h = reg.histogram("lat", "latency").labels()
+        for _ in range(DEFAULT_SAMPLE_CAP):
+            h.observe(1.0)
+        assert h.summary()["p99"] == pytest.approx(1.0)
+        for _ in range(2 * DEFAULT_SAMPLE_CAP):
+            h.observe(100.0)
+        s = h.summary()
+        assert s["p99"] == pytest.approx(100.0)
+        assert s["p50"] == pytest.approx(100.0)
+        # About 2/3 of retained samples should come from the late mode.
+        late = sum(1 for v in h.samples if v == 100.0)
+        assert 0.5 < late / len(h.samples) < 0.85
+
+    def test_reservoir_is_deterministic_per_label_identity(self):
+        def fill(reg):
+            h = reg.histogram("lat", "latency", labels=("op",)).labels(op="add")
+            for i in range(3 * DEFAULT_SAMPLE_CAP):
+                h.observe(float(i))
+            return h
+        a = fill(MetricRegistry())
+        b = fill(MetricRegistry())
+        assert a.samples == b.samples
+        assert a.sample_drops == b.sample_drops
+
+    def test_different_labels_draw_different_reservoirs(self):
+        reg = MetricRegistry()
+        fam = reg.histogram("lat", "latency", labels=("op",))
+        for i in range(3 * DEFAULT_SAMPLE_CAP):
+            fam.labels(op="add").observe(float(i))
+            fam.labels(op="sub").observe(float(i))
+        assert fam.labels(op="add").samples != fam.labels(op="sub").samples
+
+    def test_count_stays_exact_past_cap(self):
+        reg = MetricRegistry()
+        h = reg.histogram("lat", "latency").labels()
+        for i in range(DEFAULT_SAMPLE_CAP + 500):
+            h.observe(float(i))
+        s = h.summary()
+        assert s["count"] == DEFAULT_SAMPLE_CAP + 500
+        assert len(h.samples) == DEFAULT_SAMPLE_CAP
+
+
+class TestRegistryReset:
+    def test_reset_clears_families(self):
+        reg = MetricRegistry()
+        reg.counter("c", "c").inc(5)
+        reg.histogram("h", "h").observe(1.0)
+        reg.reset()
+        assert list(reg.families()) == []
+        assert reg.collect() == []
+
+    def test_reset_allows_redefinition_with_new_labels(self):
+        reg = MetricRegistry()
+        reg.counter("c", "c", labels=("a",))
+        reg.reset()
+        # A fresh run may declare the same name with a different schema.
+        reg.counter("c", "c", labels=("b",)).labels(b="1").inc()
+        assert reg.collect()[0]["labels"] == {"b": "1"}
+
+    def test_scoped_registries_do_not_share_state(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.counter("c", "c").inc(3)
+        assert b.collect() == []
+        b.counter("c", "c").inc(1)
+        assert a.counter("c", "c").value == 3
+
+    def test_telemetry_reset_clears_all_sinks(self):
+        t = Telemetry()
+        t.registry.counter("c", "c").inc()
+        span = t.begin("work", pid="p1")
+        t.end(span)
+        t.evidence("vote-dissent", accused="e1", hard=True)
+        assert len(t.audit) == 1
+        assert t.detect.scores() == {"e1": 1.0}
+        t.reset()
+        assert t.registry.collect() == []
+        assert len(t.audit) == 0
+        assert t.detect.scores() == {}
+        assert t.health.elements == {} or not t.health.elements
+        # The rebuilt estimator publishes into the reset registry.
+        t.evidence("vote-dissent", accused="e2", hard=True)
+        gauges = [r for r in t.registry.collect() if r["metric"] == "element_suspicion"]
+        assert gauges and gauges[0]["labels"] == {"element": "e2"}

@@ -111,6 +111,30 @@ def render_metrics_jsonl(path: Path) -> str:
             f"  health event: {event['kind']} {event['element']} "
             f"t={event['time']:g} trace={event.get('trace_id')}"
         )
+    for entry in by_kind.get("audit_entry", []):
+        strength = "HARD" if entry.get("hard") else "soft"
+        detail = f" {entry['detail']}" if entry.get("detail") else ""
+        lines.append(
+            f"  audit #{entry['index']}: {strength} {entry['kind']} "
+            f"accused={entry['accused']}{detail}"
+        )
+    for chain in by_kind.get("audit_chain", []):
+        lines.append(
+            f"  audit chain: {chain['entries']} entries "
+            f"({chain['hard']} hard, {chain['dropped']} dropped), "
+            f"head {str(chain.get('head', ''))[:16]}…"
+        )
+    for suspicion in by_kind.get("suspicion", []):
+        kinds = suspicion.get("evidence_kinds") or {}
+        summary = (
+            " [" + ",".join(f"{k}x{v}" for k, v in sorted(kinds.items())) + "]"
+            if kinds
+            else ""
+        )
+        lines.append(
+            f"  suspicion: {suspicion['element']} "
+            f"score={suspicion['score']:.2f}{summary}"
+        )
     return "\n".join(lines)
 
 
