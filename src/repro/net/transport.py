@@ -1,0 +1,89 @@
+"""The transport seam between protocol objects and a delivery mechanism.
+
+:class:`~repro.sim.network.Network` decides *whether* a message survives
+(partitions, loss, filters, the chaos adversary) and *what* it costs
+(latency model); the :class:`Transport` decides *how* a surviving message
+reaches the destination process. Factoring the seam this way keeps every
+fault/latency model in the deterministic oracle while letting a second
+implementation put the same payloads on a real wire:
+
+* :class:`SimTransport` — schedules an in-memory delivery on the
+  simulation's discrete-event scheduler (the historical behaviour of
+  ``Network._deliver_later``, extracted verbatim);
+* :class:`~repro.net.tcp.AsyncioTransport` — frames the payload through
+  :mod:`repro.net.wire` and writes it to a TCP peer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.network import Network
+    from repro.sim.process import ProcessId
+
+
+class Transport(ABC):
+    """Delivery mechanism for payloads that passed the network's fault gates."""
+
+    @abstractmethod
+    def transmit(
+        self,
+        src: "ProcessId",
+        dst: "ProcessId",
+        payload: Any,
+        size: int,
+        extra_delay: float,
+    ) -> None:
+        """Carry one payload toward ``dst``. Loss after this point is the
+        transport's own (modelled or physical) behaviour."""
+
+    def close(self) -> None:
+        """Release transport resources (sockets, queues). Default: nothing."""
+
+
+class SimTransport(Transport):
+    """In-memory delivery on the simulation scheduler."""
+
+    def __init__(self, network: "Network") -> None:
+        self.network = network
+
+    def transmit(
+        self,
+        src: "ProcessId",
+        dst: "ProcessId",
+        payload: Any,
+        size: int,
+        extra_delay: float,
+    ) -> None:
+        network = self.network
+        if network.check_wire:
+            # Oracle duty: a payload that cannot cross a *real* process
+            # boundary must fail here, in the deterministic backend, not
+            # as a marshalling crash on a production wire.
+            from repro.net.wire import assert_wire_encodable
+
+            assert_wire_encodable(payload)
+        delay = network.config.latency.sample(network.rng)
+        delay += size * network.config.per_byte_delay + extra_delay
+
+        def do_deliver() -> None:
+            # Receiver may have been removed or crashed in the interim.
+            if dst not in network.processes:
+                network.stats.messages_dropped += 1
+                if network._m_dropped is not None:
+                    network._m_dropped.labels(reason="late").inc()
+                return
+            network.stats.messages_delivered += 1
+            network.trace.record(network.scheduler.now, "deliver", src, dst, payload)
+            if network._m_delivered is not None:
+                network._m_delivered.inc()
+                # Feed the phi-accrual timeliness estimator: every delivery
+                # is one inter-arrival observation for its sender.
+                network.telemetry.detect.observe_arrival(src, network.scheduler.now)
+            network.processes[dst].deliver(src, payload)
+            if network.on_deliver is not None:
+                network.on_deliver(src, dst, payload)
+
+        network.scheduler.schedule(delay, do_deliver)

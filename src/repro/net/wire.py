@@ -1,0 +1,245 @@
+"""Payload-object ↔ bytes codec shared by both execution backends.
+
+The simulator hands :class:`~repro.sim.process.Process` objects *Python
+objects* (frozen protocol dataclasses); a TCP socket hands the peer bytes.
+This module is the contract between the two: every payload a process may
+legitimately put on the wire encodes to canonical bytes and decodes back
+to an equal object, so
+
+* the asyncio backend can carry the exact same protocol traffic, and
+* the simulator can *assert* that no object-graph leakage crosses a
+  process boundary (``Network.check_wire``) — a payload only a shared
+  address space could deliver is a bug the real wire would surface as a
+  crash, so the oracle surfaces it first.
+
+Encoding is the canonical TLV scheme (:mod:`repro.crypto.encoding`) over a
+shape-driven translation: a registered dataclass becomes
+``{"__wire__": <name>, "f": {<field>: <value>...}}`` with every field
+translated recursively (including ``auth`` material, which the *signed*
+canonical form deliberately excludes — the wire must carry it). Decoding
+rebuilds objects bottom-up and restores tuple-ness from the dataclass's
+type hints, so a round-tripped message is ``==`` to the original and
+re-encodes byte-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from typing import Any
+
+from repro.crypto.encoding import canonical_bytes, parse_canonical
+
+_WIRE_KEY = "__wire__"
+_FIELDS_KEY = "f"
+
+
+class WireCodecError(ValueError):
+    """Payload cannot cross a real process boundary."""
+
+
+_REGISTRY: dict[str, type] = {}
+_BY_CLASS: dict[type, str] = {}
+_HINT_CACHE: dict[type, dict[str, Any]] = {}
+
+
+def register_wire_type(cls: type, name: str | None = None) -> type:
+    """Register a frozen-dataclass payload type for wire transfer.
+
+    Idempotent for the same class; a different class under an existing
+    name is a deployment bug and raises.
+    """
+    wire_name = name or cls.__name__
+    existing = _REGISTRY.get(wire_name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"wire type {wire_name!r} already registered")
+    _REGISTRY[wire_name] = cls
+    _BY_CLASS[cls] = wire_name
+    return cls
+
+
+def registered_wire_types() -> dict[str, type]:
+    return dict(_REGISTRY)
+
+
+def _hints_for(cls: type) -> dict[str, Any]:
+    hints = _HINT_CACHE.get(cls)
+    if hints is None:
+        # PEP 563 modules store hints as strings; resolve them once.
+        hints = typing.get_type_hints(cls)
+        _HINT_CACHE[cls] = hints
+    return hints
+
+
+def _encode_value(value: Any) -> Any:
+    name = _BY_CLASS.get(type(value))
+    if name is not None:
+        return {
+            _WIRE_KEY: name,
+            _FIELDS_KEY: {
+                f.name: _encode_value(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _encode_value(item) for key, item in value.items()}
+    return value
+
+
+def _coerce(value: Any, hint: Any) -> Any:
+    """Restore container types the canonical encoding flattens (tuples)."""
+    if hint is None:
+        return value
+    origin = typing.get_origin(hint)
+    if origin is tuple or hint is tuple:
+        if not isinstance(value, (list, tuple)):
+            raise WireCodecError(f"expected sequence for {hint}, got {type(value).__name__}")
+        args = typing.get_args(hint)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(_coerce(item, args[0]) for item in value)
+        if args:
+            if len(args) != len(value):
+                raise WireCodecError(
+                    f"expected {len(args)}-tuple for {hint}, got {len(value)} items"
+                )
+            return tuple(_coerce(item, arg) for item, arg in zip(value, args))
+        return tuple(value)
+    # Unions (e.g. ``dict[str, bytes] | bytes | None`` auth) and atoms pass
+    # through: the shape-driven decode already rebuilt any nested objects.
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if value.keys() == {_WIRE_KEY, _FIELDS_KEY}:
+            name = value[_WIRE_KEY]
+            cls = _REGISTRY.get(name)
+            if cls is None:
+                raise WireCodecError(f"unknown wire type {name!r}")
+            raw_fields = value[_FIELDS_KEY]
+            if not isinstance(raw_fields, dict):
+                raise WireCodecError(f"wire type {name!r}: fields is not a dict")
+            hints = _hints_for(cls)
+            kwargs: dict[str, Any] = {}
+            for f in dataclasses.fields(cls):
+                if f.name not in raw_fields:
+                    continue  # absent field: the dataclass default applies
+                kwargs[f.name] = _coerce(
+                    _decode_value(raw_fields[f.name]), hints.get(f.name)
+                )
+            try:
+                return cls(**kwargs)
+            except (TypeError, ValueError) as exc:
+                raise WireCodecError(f"cannot rebuild {name}: {exc}") from exc
+        return {key: _decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def encode_wire_payload(payload: Any) -> bytes:
+    """Canonical bytes for one cross-process payload (object or plain value)."""
+    try:
+        return canonical_bytes(_encode_value(payload))
+    except (TypeError, ValueError) as exc:
+        raise WireCodecError(
+            f"payload {type(payload).__name__} is not wire-encodable: {exc}"
+        ) from exc
+
+
+def decode_wire_payload(raw: bytes) -> Any:
+    """Inverse of :func:`encode_wire_payload`."""
+    try:
+        parsed = parse_canonical(raw)
+    except ValueError as exc:
+        raise WireCodecError(f"malformed wire payload: {exc}") from exc
+    return _decode_value(parsed)
+
+
+def assert_wire_encodable(payload: Any) -> bytes:
+    """Round-trip ``payload`` through the codec, raising on any infidelity.
+
+    Checks both value equality (the protocol's view) and re-encode byte
+    identity (covers ``auth`` material that dataclass ``==`` deliberately
+    ignores). Returns the encoding so callers can reuse it.
+    """
+    wire = encode_wire_payload(payload)
+    decoded = decode_wire_payload(wire)
+    if decoded != payload and not (
+        isinstance(payload, tuple) and list(payload) == decoded
+    ):
+        raise WireCodecError(
+            f"payload {type(payload).__name__} does not round-trip: "
+            f"{payload!r} != {decoded!r}"
+        )
+    again = encode_wire_payload(decoded)
+    if again != wire:
+        raise WireCodecError(
+            f"payload {type(payload).__name__} re-encodes differently "
+            "(auth or field-order infidelity)"
+        )
+    return wire
+
+
+def encode_datagram(src: str, dst: str, payload: Any) -> bytes:
+    """One addressed frame body: who sent it, who it is for, the payload."""
+    return canonical_bytes({"src": src, "dst": dst, "p": encode_wire_payload(payload)})
+
+
+def decode_datagram(body: bytes) -> tuple[str, str, Any]:
+    try:
+        fields = parse_canonical(body)
+    except ValueError as exc:
+        raise WireCodecError(f"malformed datagram: {exc}") from exc
+    if (
+        not isinstance(fields, dict)
+        or not isinstance(fields.get("src"), str)
+        or not isinstance(fields.get("dst"), str)
+        or not isinstance(fields.get("p"), bytes)
+    ):
+        raise WireCodecError("datagram missing src/dst/payload")
+    return fields["src"], fields["dst"], decode_wire_payload(fields["p"])
+
+
+def _register_builtin_types() -> None:
+    """Register every payload type the protocol layers put on the wire."""
+    from repro.bft import messages as bft
+    from repro.itdos import messages as itdos
+    from repro.recovery import messages as recovery
+
+    for cls in (
+        bft.ClientRequest,
+        bft.BatchMsg,
+        bft.PrePrepareMsg,
+        bft.PrepareMsg,
+        bft.CommitMsg,
+        bft.BftReply,
+        bft.CheckpointMsg,
+        bft.PreparedCertificate,
+        bft.ViewChangeMsg,
+        bft.NewViewMsg,
+        bft.StatusMsg,
+        bft.FillMsg,
+        bft.StateRequestMsg,
+        bft.StateResponseMsg,
+        itdos.SmiopRequest,
+        itdos.SmiopReply,
+        itdos.BodyRequest,
+        itdos.BodyReply,
+        itdos.GmShareEnvelope,
+        itdos.OpenRequest,
+        itdos.ProofItem,
+        itdos.ChangeRequest,
+        itdos.RekeyTick,
+        itdos.ReadmitRequest,
+        itdos.CoinMessage,
+        recovery.RejoinPetition,
+        recovery.QueueStateRequest,
+        recovery.QueueStateResponse,
+    ):
+        register_wire_type(cls)
+
+
+_register_builtin_types()

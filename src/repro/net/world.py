@@ -1,0 +1,115 @@
+"""A Network-compatible world hosting ONE process over a real transport.
+
+In the simulator, one :class:`~repro.sim.network.Network` owns every
+process. In the wire backend each OS process owns exactly one protocol
+element, and the "network" it is attached to is this facade: the same
+attribute surface a :class:`~repro.sim.process.Process` touches
+(``scheduler``, ``send``, ``multicast``, ``telemetry``, ``trace``,
+``stats``) but with sends routed to a :class:`Transport` and timers on the
+wall clock. Multicast is fan-out unicast over the topology's group map —
+IP multicast loopback semantics included: the sender receives its own
+copy iff it is a member, which the BFT layer relies on.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+from repro.net.clock import RealTimeScheduler
+from repro.net.transport import Transport
+from repro.obs.telemetry import NOOP_TELEMETRY, Telemetry
+from repro.sim.network import TrafficStats, payload_size
+from repro.sim.process import Process, ProcessId
+from repro.sim.trace import TraceRecorder
+
+
+class NetWorld:
+    """One process's view of the cluster, over a real wire."""
+
+    def __init__(
+        self,
+        scheduler: RealTimeScheduler,
+        transport: Transport,
+        groups: dict[str, tuple[str, ...]],
+        telemetry: bool = False,
+    ) -> None:
+        self.scheduler = scheduler
+        self.transport = transport
+        self.groups = dict(groups)
+        self.trace = TraceRecorder()
+        self.trace.enabled = False
+        self.stats = TrafficStats()
+        self.telemetry: Telemetry = NOOP_TELEMETRY
+        if telemetry:
+            self.telemetry = Telemetry(enabled=True, clock=lambda: scheduler.now)
+        self.hosted: Process | None = None
+        self.delivery_errors = 0
+
+    # -- wiring -------------------------------------------------------------
+
+    def host(self, process: Process) -> None:
+        """Attach the one process this OS process runs."""
+        self.hosted = process
+        process.attach(self)  # type: ignore[arg-type] - duck-typed Network
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    # -- transmission -------------------------------------------------------
+
+    def send(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
+        self.stats.messages_sent += 1
+        size = payload_size(payload)
+        self.stats.bytes_sent += size
+        if self.hosted is not None and dst == self.hosted.pid:
+            # Self-send: stay off the wire, but keep the asynchrony — the
+            # simulator never delivers re-entrantly and protocol code
+            # (quorum counting mid-handler) relies on that.
+            self.scheduler.schedule(0.0, lambda: self.deliver(src, payload))
+            return
+        self.transport.transmit(src, dst, payload, size, 0.0)
+
+    def multicast(self, src: ProcessId, group_addr: str, payload: Any) -> None:
+        members = self.groups.get(group_addr)
+        if members is None:
+            raise KeyError(f"unknown multicast address {group_addr!r}")
+        self.stats.multicasts_sent += 1
+        for member in sorted(members):
+            self.send(src, member, payload)
+
+    # -- inbound ------------------------------------------------------------
+
+    def deliver(self, src: ProcessId, payload: Any) -> None:
+        """Hand one decoded payload to the hosted process.
+
+        A malformed or Byzantine payload must never kill the reader task:
+        protocol layers already treat garbage as evidence, so anything
+        that still escapes is counted and dropped.
+        """
+        if self.hosted is None:
+            return
+        self.stats.messages_delivered += 1
+        try:
+            self.hosted.deliver(src, payload)
+        except Exception:  # noqa: BLE001 - wire garbage must not stop the node
+            self.delivery_errors += 1
+            logging.getLogger("repro.net").exception(
+                "delivery from %s raised (payload %s)", src, type(payload).__name__
+            )
+
+    # -- simulator-surface stubs -------------------------------------------
+
+    def run(self, **kwargs: Any) -> None:
+        raise RuntimeError(
+            "NetWorld has no run(): the asyncio loop drives a real node. "
+            "Use ItdosClient.async_invoke / await instead of the sync stub."
+        )
+
+    def enable_telemetry(self) -> Telemetry:
+        if not self.telemetry.enabled:
+            self.telemetry = Telemetry(
+                enabled=True, clock=lambda: self.scheduler.now
+            )
+        return self.telemetry

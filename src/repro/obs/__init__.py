@@ -30,14 +30,20 @@ from repro.obs.detect import (
     PhiAccrual,
 )
 from repro.obs.export import (
+    FoldedMetrics,
     audit_records,
     detect_records,
+    fold_metric_records,
+    fold_node_records,
     metric_records,
+    node_telemetry_files,
     read_jsonl,
+    read_node_records,
     render_metrics_table,
     span_records,
     telemetry_records,
     to_jsonl,
+    tracer_from_records,
     write_jsonl,
 )
 from repro.obs.health import NULL_HEALTH, ElementHealth, HealthBoard, HealthEvent
@@ -61,6 +67,7 @@ __all__ = [
     "ElementHealth",
     "Ewma",
     "FaultEstimator",
+    "FoldedMetrics",
     "Gauge",
     "HealthBoard",
     "HealthEvent",
@@ -82,12 +89,17 @@ __all__ = [
     "Tracer",
     "audit_records",
     "detect_records",
+    "fold_metric_records",
+    "fold_node_records",
     "metric_records",
+    "node_telemetry_files",
     "read_jsonl",
+    "read_node_records",
     "render_metrics_table",
     "span_records",
     "telemetry_records",
     "to_jsonl",
+    "tracer_from_records",
     "verify_chain",
     "write_jsonl",
 ]

@@ -12,10 +12,12 @@ read back from disk.
 from __future__ import annotations
 
 import json
+import os
 from typing import TYPE_CHECKING, Any, Iterable
 
 if TYPE_CHECKING:
     from repro.obs.telemetry import Telemetry
+    from repro.obs.tracing import Tracer
 
 
 def metric_records(registry: Any) -> list[dict[str, Any]]:
@@ -91,6 +93,103 @@ def read_jsonl(path: str) -> list[dict[str, Any]]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+TELEMETRY_SUFFIX = ".telemetry.jsonl"
+
+
+def node_telemetry_files(directory: str) -> dict[str, str]:
+    """Map node id → path for every ``<node>.telemetry.jsonl`` in a dir.
+
+    This is the reader side of the per-process exports left behind by
+    ``python -m repro serve`` (see :mod:`repro.net.node`).
+    """
+    out: dict[str, str] = {}
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(TELEMETRY_SUFFIX):
+            out[name[: -len(TELEMETRY_SUFFIX)]] = os.path.join(directory, name)
+    return out
+
+
+def read_node_records(directory: str) -> dict[str, list[dict[str, Any]]]:
+    """JSONL records per node, for every node that exported telemetry."""
+    return {
+        node: read_jsonl(path)
+        for node, path in node_telemetry_files(directory).items()
+    }
+
+
+def tracer_from_records(records: Iterable[dict[str, Any]]) -> "Tracer":
+    """Rebuild an offline, query/render-capable tracer from span records.
+
+    The returned tracer holds :class:`~repro.obs.tracing.Span` objects
+    reconstructed from ``"record": "span"`` lines; ``tree``/``render``/
+    ``find`` all work as they would on the live tracer.
+    """
+    from repro.obs.tracing import Span, Tracer
+
+    tracer = Tracer()
+    for record in records:
+        if record.get("record") != "span":
+            continue
+        tracer.spans.append(
+            Span(
+                trace_id=record["trace_id"],
+                span_id=record["span_id"],
+                parent_id=record.get("parent_id"),
+                name=record["name"],
+                pid=record.get("pid", ""),
+                start=record["start"],
+                end=record.get("end"),
+                attrs=record.get("attrs") or {},
+            )
+        )
+    return tracer
+
+
+class FoldedMetrics:
+    """Registry-shaped view over metric records folded from many nodes.
+
+    Duck-types ``collect()`` so :func:`render_metrics_table` renders the
+    combined table; every entry carries a ``node`` label identifying which
+    process reported it.
+    """
+
+    def __init__(self, entries: list[dict[str, Any]]) -> None:
+        self._entries = entries
+
+    def collect(self) -> list[dict[str, Any]]:
+        return list(self._entries)
+
+
+def fold_metric_records(
+    by_node: dict[str, list[dict[str, Any]]]
+) -> FoldedMetrics:
+    """Fold per-node ``metric`` records into one :class:`FoldedMetrics`."""
+    entries: list[dict[str, Any]] = []
+    for node in sorted(by_node):
+        for record in by_node[node]:
+            if record.get("record") != "metric":
+                continue
+            entry = {k: v for k, v in record.items() if k != "record"}
+            labels = dict(entry.get("labels") or {})
+            labels["node"] = node
+            entry["labels"] = labels
+            entries.append(entry)
+    return FoldedMetrics(entries)
+
+
+def fold_node_records(
+    by_node: dict[str, list[dict[str, Any]]]
+) -> list[dict[str, Any]]:
+    """Flatten per-node records into one list, tagging each with its node."""
+    out: list[dict[str, Any]] = []
+    for node in sorted(by_node):
+        for record in by_node[node]:
+            tagged = dict(record)
+            tagged["node"] = node
+            out.append(tagged)
+    return out
 
 
 def _format_labels(labels: dict[str, str]) -> str:

@@ -38,6 +38,11 @@ class NetworkConfig:
     # Extra fixed cost per byte of payload, modelling serialisation +
     # transmission time (0 disables size-dependent delay).
     per_byte_delay: float = 0.0
+    # Assert on every send that the payload round-trips through the real
+    # wire codec (repro.net.wire) — catches object-graph leakage that only
+    # a TCP backend would reject. Off by default: it encodes every message
+    # twice, which the large benchmark runs cannot afford.
+    check_wire: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.drop_probability < 1.0:
@@ -86,6 +91,13 @@ class Network:
         self.config = config or NetworkConfig()
         self.scheduler = Scheduler()
         self.rng = random.Random(self.config.seed)
+        self.check_wire = self.config.check_wire
+        # The delivery mechanism behind the fault/latency gates. The
+        # simulator's own transport is the default; repro.net swaps in a
+        # real-wire implementation through this same seam.
+        from repro.net.transport import SimTransport
+
+        self.transport: Any = SimTransport(self)
         self.processes: dict[ProcessId, Process] = {}
         self.groups: dict[str, MulticastGroup] = {}
         self.trace = TraceRecorder()
@@ -240,29 +252,8 @@ class Network:
         size: int,
         extra_delay: float,
     ) -> None:
-        delay = self.config.latency.sample(self.rng)
-        delay += size * self.config.per_byte_delay + extra_delay
-        receiver = self.processes[dst]
-
-        def do_deliver() -> None:
-            # Receiver may have been removed or crashed in the interim.
-            if dst not in self.processes:
-                self.stats.messages_dropped += 1
-                if self._m_dropped is not None:
-                    self._m_dropped.labels(reason="late").inc()
-                return
-            self.stats.messages_delivered += 1
-            self.trace.record(self.scheduler.now, "deliver", src, dst, payload)
-            if self._m_delivered is not None:
-                self._m_delivered.inc()
-                # Feed the phi-accrual timeliness estimator: every delivery
-                # is one inter-arrival observation for its sender.
-                self.telemetry.detect.observe_arrival(src, self.scheduler.now)
-            receiver.deliver(src, payload)
-            if self.on_deliver is not None:
-                self.on_deliver(src, dst, payload)
-
-        self.scheduler.schedule(delay, do_deliver)
+        """Hand a gate-surviving message to the transport seam."""
+        self.transport.transmit(src, dst, payload, size, extra_delay)
 
     # -- running ------------------------------------------------------------
 

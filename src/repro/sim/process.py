@@ -107,6 +107,21 @@ class Process:
         self._timers.discard(handle)
         return self._require_network().scheduler.cancel(handle)
 
+    def cancel_all_timers(self) -> int:
+        """Cancel every timer this process still has armed.
+
+        The graceful-stop path: unlike :meth:`restart` it neither clears
+        the crash flag nor resets subclass state, so a node can quiesce its
+        scheduler before tearing the process down.
+        """
+        scheduler = self._require_network().scheduler
+        cancelled = 0
+        for handle in list(self._timers):
+            if scheduler.cancel(handle):
+                cancelled += 1
+        self._timers.clear()
+        return cancelled
+
     # -- fault control ----------------------------------------------------
 
     def crash(self) -> None:

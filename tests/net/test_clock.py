@@ -1,0 +1,96 @@
+"""RealTimeScheduler: the sim timer surface over real elapsed time."""
+
+import asyncio
+
+import pytest
+
+from repro.net.clock import RealTimeScheduler
+from repro.sim.scheduler import TimerHandle
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_schedule_fires_and_counts():
+    async def scenario():
+        scheduler = RealTimeScheduler(asyncio.get_running_loop())
+        fired = []
+        scheduler.schedule(0.01, lambda: fired.append("a"))
+        scheduler.schedule(0.02, lambda: fired.append("b"))
+        await asyncio.sleep(0.1)
+        return scheduler, fired
+
+    scheduler, fired = run(scenario())
+    assert fired == ["a", "b"]
+    assert scheduler.events_executed == 2
+    assert scheduler.pending() == 0
+
+
+def test_handles_are_sim_timer_handles():
+    async def scenario():
+        scheduler = RealTimeScheduler(asyncio.get_running_loop())
+        handle = scheduler.schedule(1.0, lambda: None)
+        assert isinstance(handle, TimerHandle)
+        # Identity survives the round trip through a process's timer set —
+        # the contract Process.set_timer/cancel_timer relies on.
+        assert scheduler.cancel(handle) is True
+        assert scheduler.cancel(handle) is False
+
+    run(scenario())
+
+
+def test_cancel_prevents_firing():
+    async def scenario():
+        scheduler = RealTimeScheduler(asyncio.get_running_loop())
+        fired = []
+        handle = scheduler.schedule(0.01, lambda: fired.append("no"))
+        assert scheduler.cancel(handle)
+        await asyncio.sleep(0.05)
+        return fired, scheduler
+
+    fired, scheduler = run(scenario())
+    assert fired == []
+    assert scheduler.events_executed == 0
+
+
+def test_cancel_all_disarms_everything():
+    async def scenario():
+        scheduler = RealTimeScheduler(asyncio.get_running_loop())
+        fired = []
+        for _ in range(5):
+            scheduler.schedule(0.01, lambda: fired.append("x"))
+        assert scheduler.pending() == 5
+        assert scheduler.cancel_all() == 5
+        assert scheduler.pending() == 0
+        await asyncio.sleep(0.05)
+        return fired
+
+    assert run(scenario()) == []
+
+
+def test_schedule_at_and_validation():
+    async def scenario():
+        scheduler = RealTimeScheduler(asyncio.get_running_loop())
+        with pytest.raises(ValueError):
+            scheduler.schedule(-0.1, lambda: None)
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(scheduler.now - 1.0, lambda: None)
+        fired = []
+        scheduler.schedule_at(scheduler.now + 0.01, lambda: fired.append("t"))
+        await asyncio.sleep(0.05)
+        return fired
+
+    assert run(scenario()) == ["t"]
+
+
+def test_now_advances_with_real_time():
+    async def scenario():
+        scheduler = RealTimeScheduler(asyncio.get_running_loop())
+        before = scheduler.now
+        await asyncio.sleep(0.02)
+        return before, scheduler.now
+
+    before, after = run(scenario())
+    assert before >= 0.0
+    assert after > before

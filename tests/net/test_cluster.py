@@ -1,0 +1,136 @@
+"""End-to-end acceptance: real OS processes over loopback TCP.
+
+The ISSUE's contract: a 4-replica cluster of real processes commits an
+ordered echo workload end to end with f=1 — one replica SIGKILLed
+mid-lifetime recovers via the readmission path — and the per-process
+telemetry folds back into the offline trace/metrics tooling.
+
+These are the slowest tests in the tree (they boot 8-9 Python processes
+and, in the readmission case, sit through real GM ordering rounds), so
+the whole module shares one cluster.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.net.bench import pick_base_port
+from repro.net.config import TopologyConfig
+from repro.net.launcher import ClusterLauncher
+
+REQUESTS = 12
+
+
+@pytest.fixture(scope="module")
+def cluster_run(tmp_path_factory):
+    """One full cluster lifecycle: commit → crash → readmit → commit."""
+    work_dir = str(tmp_path_factory.mktemp("net-cluster"))
+    config = TopologyConfig(
+        seed=7, requests=REQUESTS, telemetry=True, base_port=pick_base_port(9)
+    )
+    outcome = {"config": config, "work_dir": work_dir}
+    with ClusterLauncher(config, work_dir) as cluster:
+        cluster.start_servers(ready_timeout=90.0)
+        outcome["healthy_report"] = cluster.run_client(timeout=180.0)
+
+        # The crash fault: SIGKILL one replica, no goodbye. The remaining
+        # three are exactly the f=1 quorum.
+        cluster.kill("calc-e2")
+        outcome["degraded_report"] = cluster.run_client(timeout=180.0)
+
+        # Crash-restart into the readmission path: fresh process, fresh
+        # keys petition, queue-mode state transfer.
+        cluster.restart("calc-e2", rejoin=True, ready_timeout=90.0)
+        deadline = time.monotonic() + 150.0
+        verdict = None
+        while time.monotonic() < deadline:
+            stats = cluster.stats_of("calc-e2")
+            verdict = (stats or {}).get("rejoin_outcome")
+            if verdict is not None:
+                break
+            time.sleep(0.5)
+        outcome["rejoin_stats"] = cluster.stats_of("calc-e2")
+        outcome["rejoin_outcome"] = verdict
+
+        outcome["exit_codes"] = cluster.shutdown()
+        outcome["final_stats"] = {
+            pid: cluster.stats_of(pid)
+            for pid in (*config.gm_ids, *config.element_ids)
+        }
+        outcome["out_dir"] = cluster.out_dir
+    return outcome
+
+
+def test_healthy_cluster_commits_ordered_workload(cluster_run):
+    report = cluster_run["healthy_report"]
+    assert report["okay"] == REQUESTS
+    assert report["errors"] == []
+    assert report["exit_code"] == 0
+
+
+def test_f1_crash_is_masked(cluster_run):
+    """With calc-e2 dead, the remaining 2f+1 still vote every reply."""
+    report = cluster_run["degraded_report"]
+    assert report["okay"] == REQUESTS
+    assert report["errors"] == []
+
+
+def test_killed_replica_recovers_via_readmission(cluster_run):
+    assert cluster_run["rejoin_outcome"] is True, (
+        f"readmission did not complete: {cluster_run['rejoin_stats']}"
+    )
+    replica = cluster_run["rejoin_stats"]["replica"]
+    assert replica["diverged"] is False
+    # Queue-mode state transfer replayed the committed history it missed.
+    assert replica["last_executed"] >= REQUESTS
+
+
+def test_every_server_exits_clean(cluster_run):
+    bad = {
+        pid: code
+        for pid, code in cluster_run["exit_codes"].items()
+        if code != 0 and pid != "calc-e2"  # first calc-e2 process was SIGKILLed
+    }
+    assert bad == {}, f"unclean exits: {bad}"
+
+
+def test_server_stats_account_for_real_traffic(cluster_run):
+    stats = cluster_run["final_stats"]
+    assert all(s is not None for s in stats.values())
+    for pid, s in stats.items():
+        assert s["transport"]["frames_sent"] > 0, f"{pid} sent nothing"
+        assert s["transport"]["frames_received"] > 0, f"{pid} heard nothing"
+        assert s["transport"]["recv_dropped_bad_frame"] == 0
+        assert s["transport"]["recv_dropped_misrouted"] == 0
+        assert s["world"]["delivery_errors"] == 0
+
+
+def test_telemetry_folds_across_processes(cluster_run):
+    """Satellite contract: per-process JSONL telemetry folds into one view."""
+    from repro.obs import (
+        fold_metric_records,
+        read_node_records,
+        render_metrics_table,
+        tracer_from_records,
+    )
+
+    by_node = read_node_records(cluster_run["out_dir"])
+    assert set(cluster_run["config"].element_ids) <= set(by_node)
+    table = render_metrics_table(fold_metric_records(by_node))
+    assert "node=calc-e0" in table
+    assert "orb_dispatches_total" in table
+    # Spans reconstruct offline into renderable trees.
+    tracer = tracer_from_records(by_node["calc-e0"])
+    assert len(tracer) > 0
+    rendered = tracer.render(tracer.trace_ids()[0])
+    assert "calc-e0" in rendered
+
+
+def test_breadcrumb_files_are_valid_json(cluster_run):
+    out_dir = cluster_run["out_dir"]
+    for name in os.listdir(out_dir):
+        if name.endswith(".json"):
+            with open(os.path.join(out_dir, name), encoding="utf-8") as fh:
+                json.load(fh)  # atomic writes: never a partial file

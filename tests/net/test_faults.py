@@ -1,0 +1,78 @@
+"""Net-level fault injection: the chaos knobs at the TCP send gate."""
+
+import pytest
+
+from repro.net.faults import LinkFault, NetFaultInjector
+
+
+def test_no_fault_passes():
+    assert NetFaultInjector().verdict("a", "b") == ("pass", 0.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LinkFault(drop_probability=1.5)
+    with pytest.raises(ValueError):
+        LinkFault(delay=-1.0)
+
+
+def test_certain_drop_and_delay():
+    injector = NetFaultInjector()
+    injector.set_link("a", "b", LinkFault(drop_probability=1.0))
+    injector.set_link("a", "c", LinkFault(delay=0.25))
+    assert injector.verdict("a", "b") == ("drop", 0.0)
+    assert injector.verdict("a", "c") == ("delay", 0.25)
+    assert injector.verdict("c", "a") == ("pass", 0.0)
+    assert injector.dropped == 1 and injector.delayed == 1
+
+
+def test_wildcards_and_precedence():
+    injector = NetFaultInjector()
+    injector.set_link("", "", LinkFault(delay=0.1))
+    injector.set_link("a", "", LinkFault(delay=0.2))
+    injector.set_link("a", "b", LinkFault(delay=0.3))
+    assert injector.verdict("a", "b") == ("delay", 0.3)  # exact wins
+    assert injector.verdict("a", "z") == ("delay", 0.2)  # src wildcard
+    assert injector.verdict("z", "q") == ("delay", 0.1)  # default
+
+
+def test_partition_and_heal():
+    injector = NetFaultInjector()
+    injector.partition({"a", "b"}, {"c"})
+    assert injector.verdict("a", "c")[0] == "drop"
+    assert injector.verdict("c", "b")[0] == "drop"
+    assert injector.verdict("a", "b")[0] == "pass"  # same side
+    injector.heal()
+    assert injector.verdict("a", "c")[0] == "pass"
+
+
+def test_seeded_drops_are_deterministic():
+    verdicts = []
+    for _ in range(2):
+        injector = NetFaultInjector(seed=42)
+        injector.set_link("", "", LinkFault(drop_probability=0.5))
+        verdicts.append([injector.verdict("a", "b")[0] for _ in range(50)])
+    assert verdicts[0] == verdicts[1]
+    assert "drop" in verdicts[0] and "pass" in verdicts[0]
+
+
+def test_from_config():
+    injector = NetFaultInjector.from_config(
+        {
+            "drop": 0.0,
+            "delay": 0.05,
+            "link": [
+                {"src": "calc-e0", "dst": "calc-e1", "drop": 1.0},
+                {"src": "gm-0", "dst": "", "partitioned": True},
+            ],
+        },
+        seed=1,
+    )
+    assert injector.verdict("calc-e0", "calc-e1") == ("drop", 0.0)
+    assert injector.verdict("gm-0", "anyone")[0] == "drop"
+    assert injector.verdict("x", "y") == ("delay", 0.05)
+
+
+def test_from_config_empty_spec_has_no_default_link():
+    injector = NetFaultInjector.from_config({}, seed=0)
+    assert injector.verdict("a", "b") == ("pass", 0.0)

@@ -1,0 +1,69 @@
+"""Graceful element stop: SMIOP queues drained, every timer disarmed.
+
+The wire backend's node harness tears an element down with
+``SmiopTransport.shutdown()`` + ``Process.cancel_all_timers()``. The fix
+under test: without it, voter retransmission timers and SMIOP retry timers
+re-arm forever and a "stopped" element keeps spraying the wire.
+"""
+
+import pytest
+
+from repro.workloads.scenarios import build_calc_system
+
+
+def shut_down(element) -> int:
+    orb = getattr(element, "orb", None)
+    if orb is not None:
+        for protocol in orb._transports.values():
+            shutdown = getattr(protocol, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
+    return element.cancel_all_timers()
+
+
+def test_cancel_all_timers_disarms_everything():
+    system = build_calc_system(f=1, seed=11)
+    client = system.add_client("client-0")
+    stub = client.stub(system.ref("calc", b"calc"))
+    assert stub.add(1.0, 2.0) == 3.0
+    everyone = [client, *system.gm_elements, *system.elements.values()]
+    # A live system holds armed timers (rekey ticks, retransmissions, ...).
+    assert any(element._timers for element in everyone)
+    for element in everyone:
+        shut_down(element)
+        assert not element._timers, f"{element.pid} still holds armed timers"
+
+
+def test_event_queue_drains_after_shutdown():
+    """After a full-cluster stop the scheduler must go idle: no periodic
+    timer may re-arm, no retransmission may keep echoing."""
+    system = build_calc_system(f=1, seed=11)
+    client = system.add_client("client-0")
+    stub = client.stub(system.ref("calc", b"calc"))
+    stub.add(1.0, 2.0)
+    for element in [client, *system.gm_elements, *system.elements.values()]:
+        shut_down(element)
+    system.settle(120.0)  # drain in-flight deliveries
+    assert system.network.scheduler.pending() == 0
+
+
+def test_endpoint_refuses_connections_after_shutdown():
+    system = build_calc_system(f=1, seed=11)
+    client = system.add_client("client-0")
+    stub = client.stub(system.ref("calc", b"calc"))
+    stub.add(1.0, 2.0)
+    shut_down(client)
+    with pytest.raises(RuntimeError):
+        client.endpoint.connect("calc", lambda connection: None)
+
+
+def test_shutdown_clears_send_queues_and_connections():
+    system = build_calc_system(f=1, seed=11)
+    client = system.add_client("client-0")
+    stub = client.stub(system.ref("calc", b"calc"))
+    stub.add(1.0, 2.0)
+    smiop = client.orb._transports["smiop"]
+    assert smiop._adapters  # the invocation opened a virtual connection
+    smiop.shutdown()
+    assert not smiop._adapters
+    assert not client.endpoint._awaiting_open
