@@ -21,6 +21,11 @@ Predicates (the paper's safety story, made executable):
 * **checkpoint/watermark consistency** — stable_seq ≤ last_executed ≤
   high watermark per replica; stable snapshots agree across a domain at
   equal sequence numbers.
+* **read staleness bound** — a tentative read reply from an honest element
+  never claims a watermark beyond the domain's committed prefix (the
+  furthest any honest core element has appended), and every decided
+  fast-path read at a client sits within that bound too: a read can be
+  stale, never futuristic (E19).
 
 Liveness (eventual reply under bounded loss) is asserted by the runner
 once the schedule's horizon passes, via :meth:`InvariantChecker.final`.
@@ -86,6 +91,7 @@ class InvariantChecker:
         self._last_dispatch: dict[tuple[str, int], int] = {}
         self._epoch_floor: dict[tuple[str, int], tuple[int, int]] = {}
         self._checkpoint_ref: dict[tuple[str, int], bytes] = {}
+        self._read_decisions_pos: dict[tuple[str, int], int] = {}
 
     # -- wiring -------------------------------------------------------------
 
@@ -117,6 +123,7 @@ class InvariantChecker:
         self.checks_run += 1
         self.check_order_journals()
         self.check_dispatch_logs()
+        self.check_read_reply(src, payload)
         if self._events % self.deep_check_interval == 0:
             self.deep_check()
 
@@ -125,6 +132,7 @@ class InvariantChecker:
         self.check_watermarks()
         self.check_checkpoints()
         self.check_vote_consistency()
+        self.check_read_decisions()
 
     # -- individual predicates ----------------------------------------------
 
@@ -241,6 +249,67 @@ class InvariantChecker:
                         client.pid,
                         f"conn {conn_id}: supporters {sorted(supporters)} all corrupt",
                     )
+
+    def _committed_prefix(self, domain_id: str) -> int | None:
+        """The furthest any *honest* core element has appended — the upper
+        bound on what any honest tentative read can have seen."""
+        info = self.system.directory.domains.get(domain_id)
+        if info is None:
+            return None
+        positions = [
+            self.system.elements[pid].queue.total_appended
+            for pid in info.element_ids
+            if pid not in self.corrupt and pid in self.system.elements
+        ]
+        return max(positions) if positions else None
+
+    def check_read_reply(self, src: str, payload: Any) -> None:
+        """An honest element's tentative read never outruns the committed
+        prefix (E19: reads may be stale, never futuristic)."""
+        from repro.itdos.messages import ReadReply
+
+        if not isinstance(payload, ReadReply):
+            return
+        if src != payload.sender or src in self.corrupt:
+            return
+        element = self.system.elements.get(src)
+        if element is None:
+            return
+        bound = self._committed_prefix(element.domain_id)
+        if bound is not None and payload.watermark > bound:
+            self._fail(
+                "read-beyond-commit",
+                src,
+                f"read {payload.read_id}: watermark {payload.watermark} "
+                f"> committed prefix {bound}",
+            )
+
+    def check_read_decisions(self) -> None:
+        """Every decided fast-path read sits within the committed prefix.
+
+        Byzantine core elements may serve forged watermarks; the 2f+1
+        matching-(watermark, value) quorum must keep any such forgery from
+        ever *deciding* a read beyond what the honest domain committed.
+        """
+        for client in self.system.clients.values():
+            for conn_id, connection in client.endpoint.connections.items():
+                decisions = getattr(connection, "read_decisions", None)
+                if not decisions:
+                    continue
+                state_key = (client.pid, conn_id)
+                pos = self._read_decisions_pos.get(state_key, 0)
+                if len(decisions) <= pos:
+                    continue
+                bound = self._committed_prefix(connection.target.domain_id)
+                for read_id, watermark in decisions[pos:]:
+                    if bound is not None and watermark > bound:
+                        self._fail(
+                            "read-decided-beyond-commit",
+                            client.pid,
+                            f"conn {conn_id} read {read_id}: decided watermark "
+                            f"{watermark} > committed prefix {bound}",
+                        )
+                self._read_decisions_pos[state_key] = len(decisions)
 
     # -- end-of-run checks ---------------------------------------------------
 

@@ -180,6 +180,7 @@ class ScheduleRunner:
             bft_batch_size=scenario.batch_size,
             bft_batch_delay=0.005 if scenario.batch_size > 1 else 0.0,
             bft_pipeline_window=scenario.pipeline_window,
+            read_fastpath=scenario.read_fastpath,
         )
         t = system.telemetry
         span = (
@@ -278,9 +279,29 @@ class ScheduleRunner:
         disabled: frozenset[int] | set[int],
         result: RunResult,
     ) -> None:
-        elements = system.add_server_domain(
-            "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
-        )
+        read_cell = scenario.read_fastpath
+        if read_cell:
+            from repro.chaos.byzantine import ForgedWatermarkElement, LaggingReader
+
+            # E19 adversaries, deterministic by construction: element 1
+            # forges read watermarks (and is also the wire equivocator, so
+            # the corrupt budget stays at f), and the single read-tier
+            # element lags its commit feed — stale but legal replies. The
+            # benign control cell keeps the topology but every element runs
+            # the honest code, matching the no-Byzantine contract.
+            byzantine = self.fault_kinds != "benign"
+            elements = system.add_server_domain(
+                "calc",
+                f=1,
+                servants=lambda element: {b"calc": CalculatorServant()},
+                byzantine={1: ForgedWatermarkElement} if byzantine else None,
+                readers=1,
+                reader_class=LaggingReader if byzantine else None,
+            )
+        else:
+            elements = system.add_server_domain(
+                "calc", f=1, servants=lambda element: {b"calc": CalculatorServant()}
+            )
         client = system.add_client("alice")
         system.settle(0.5)  # GM coin-toss bootstrap
         ref = system.ref("calc", b"calc")
@@ -292,9 +313,12 @@ class ScheduleRunner:
         # -- arm the adversary and the checker ------------------------------
         domain_info = system.directory.domain("calc")
         plan_rng = random.Random((seed << 8) ^ 0xC4A05)
-        equivocators = frozenset(
-            plan_rng.sample(list(domain_info.element_ids), k=domain_info.f)
-        )
+        if read_cell:
+            equivocators = frozenset({domain_info.element_ids[1]})
+        else:
+            equivocators = frozenset(
+                plan_rng.sample(list(domain_info.element_ids), k=domain_info.f)
+            )
         plan = build_plan(
             plan_rng,
             horizon=system.network.now + CHAOS_WINDOW,
@@ -320,12 +344,25 @@ class ScheduleRunner:
         system.network.on_deliver = checker.on_deliver
 
         # -- workload: staggered async invocations through the storm --------
+        # Read cells interleave fast-path reads (odd indices, ``mean`` is
+        # declared read_only) with ordered writes; reads that hit divergent
+        # tentative replies resubmit through ordering, so the same
+        # eventual-reply liveness bar applies to every index.
         replies: dict[int, float] = {}
-        expected = {i: float(i) + 1.0 for i in range(self.requests)}
+        expected: dict[int, float] = {}
+        for i in range(self.requests):
+            if read_cell and i % 2:
+                expected[i] = (float(i) + 1.0) / 2.0
+            else:
+                expected[i] = float(i) + 1.0
 
         def submit(i: int) -> None:
+            if read_cell and i % 2:
+                operation, args = "mean", ([float(i), 1.0],)
+            else:
+                operation, args = "add", (float(i), 1.0)
             client.async_invoke(
-                ref, "add", (float(i), 1.0),
+                ref, operation, args,
                 lambda value, i=i: replies.__setitem__(i, value),
             )
 
@@ -335,6 +372,12 @@ class ScheduleRunner:
 
         # -- scripted disturbances on top of the random schedule ------------
         recovering: list[Any] = []
+        if read_cell:
+            # Catch-up under fire: the reader reboots mid-storm and must
+            # re-adopt the committed stream from the core tier while the
+            # adversary is still active.
+            reader = system.read_tier("calc")[0]
+            system.network.scheduler.schedule(CHAOS_WINDOW * 0.45, reader.restart)
         if scenario.forced_view_change:
             primary = elements[0]
             system.network.scheduler.schedule(CHAOS_WINDOW * 0.35, primary.crash)

@@ -108,6 +108,10 @@ class Scenario:
     fast_wire: bool = True
     mid_run_recovery: bool = False
     forced_view_change: bool = False
+    # E19: tentative reads at the client, one non-voting read-tier element,
+    # the designated Byzantine element forging read watermarks, and a
+    # scripted reader restart mid-storm (catch-up under fire).
+    read_fastpath: bool = False
 
     @property
     def label(self) -> str:
@@ -117,6 +121,8 @@ class Scenario:
             parts.append("rec")
         if self.forced_view_change:
             parts.append("vc")
+        if self.read_fastpath:
+            parts.append("rd")
         return "-".join(parts)
 
 
@@ -135,6 +141,7 @@ SMOKE_SCENARIOS: tuple[Scenario, ...] = (
         mid_run_recovery=True,
         forced_view_change=True,
     ),
+    Scenario(read_fastpath=True),
 )
 
 
@@ -158,4 +165,14 @@ def scenario_matrix(full: bool = False) -> tuple[Scenario, ...]:
                                 forced_view_change=view_change,
                             )
                         )
+    # The read-fastpath column: every scripted disturbance combined with
+    # tentative reads, a forging element, and a mid-storm reader restart.
+    cells.extend(
+        (
+            Scenario(read_fastpath=True),
+            Scenario(batch_size=4, pipeline_window=4, read_fastpath=True),
+            Scenario(mid_run_recovery=True, read_fastpath=True),
+            Scenario(forced_view_change=True, read_fastpath=True),
+        )
+    )
     return tuple(cells)

@@ -39,6 +39,14 @@ class Operation:
     params: tuple[Parameter, ...] = ()
     result: TypeCode = TC_VOID
     oneway: bool = False
+    # Declares the operation side-effect free: invoking it must not change
+    # servant state. The ITDOS transport may then serve it on the tentative
+    # read fast path (executed against the last-committed state, no
+    # ordering). The IDL author's declaration is a contract — elements
+    # refuse to execute non-read_only operations outside ordering, so a
+    # mislabelled mutator can at worst corrupt its own domain's state, never
+    # bypass the dedup/ordering guarantees of other operations.
+    read_only: bool = False
 
     def __post_init__(self) -> None:
         names = [p.name for p in self.params]
@@ -46,6 +54,8 @@ class Operation:
             raise IdlError(f"duplicate parameter names in operation {self.name}")
         if self.oneway and self.result is not TC_VOID:
             raise IdlError(f"oneway operation {self.name} cannot return a value")
+        if self.read_only and self.oneway:
+            raise IdlError(f"oneway operation {self.name} cannot be read_only")
 
     def validate_args(self, args: tuple[Any, ...]) -> None:
         if len(args) != len(self.params):

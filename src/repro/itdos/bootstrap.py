@@ -66,6 +66,8 @@ class ItdosSystem:
         bft_batch_size: int = 1,
         bft_batch_delay: float = 0.0,
         bft_pipeline_window: int = 0,
+        read_fastpath: bool = False,
+        read_timeout: float = 0.75,
     ) -> None:
         if protocol_auth not in ("none", "hmac"):
             raise ValueError(f"unsupported protocol_auth {protocol_auth!r}")
@@ -91,9 +93,12 @@ class ItdosSystem:
             bft_batch_size=bft_batch_size,
             bft_batch_delay=bft_batch_delay,
             bft_pipeline_window=bft_pipeline_window,
+            read_fastpath=read_fastpath,
+            read_timeout=read_timeout,
         )
         self.clients: dict[str, ItdosClient] = {}
         self.elements: dict[str, ItdosServerElement] = {}
+        self.read_elements: dict[str, ItdosServerElement] = {}
         self.gm_elements: list[GroupManagerElement] = []
         self.proactive_schedulers: list[Any] = []
         # -- Group Manager domain -------------------------------------------
@@ -161,6 +166,8 @@ class ItdosSystem:
         element_class: type[ItdosServerElement] = ItdosServerElement,
         byzantine: dict[int, type[ItdosServerElement]] | None = None,
         queue_max_bytes: int = 1 << 22,
+        readers: int = 0,
+        reader_class: type[ItdosServerElement] | None = None,
     ) -> list[ItdosServerElement]:
         """Create a replicated server: ``n >= 3f+1`` elements (default 3f+1).
 
@@ -168,10 +175,23 @@ class ItdosSystem:
         servant instances — each element hosts the same objects (§3.4), but
         as separate (possibly differently-implemented) instances: that is
         the heterogeneous-implementation story.
+
+        ``readers`` adds that many non-voting read-tier elements
+        (:class:`~repro.itdos.readtier.ReadOnlyElement`): same servants,
+        fed from the committed stream, serving only the tentative read
+        fast path, excluded from all quorum arithmetic. With ``readers=0``
+        (the default) construction is byte-for-byte what it was before the
+        read tier existed — no extra RNG draws, no extra processes.
         """
         count = n if n is not None else 3 * f + 1
         element_ids = tuple(f"{domain_id}-e{i}" for i in range(count))
-        info = DomainInfo(domain_id=domain_id, element_ids=element_ids, f=f)
+        read_only_ids = tuple(f"{domain_id}-r{i}" for i in range(readers))
+        info = DomainInfo(
+            domain_id=domain_id,
+            element_ids=element_ids,
+            f=f,
+            read_only_ids=read_only_ids,
+        )
         self.directory.add_domain(info)
         if platforms is None:
             platforms = (
@@ -210,6 +230,42 @@ class ItdosSystem:
             group_addr.join(pid)
             self.elements[pid] = element
             created.append(element)
+        # Read tier last: the core elements' RNG draws (pairwise keys,
+        # signers) stay identical whether or not readers are configured.
+        if readers:
+            from repro.itdos.readtier import ReadOnlyElement
+
+            cls = reader_class or ReadOnlyElement
+            reader_platforms = (
+                assign_heterogeneous(count + readers)[count:]
+                if self.heterogeneous
+                else assign_homogeneous(readers)
+            )
+            for index, pid in enumerate(read_only_ids):
+                self.directory.platforms[pid] = reader_platforms[index]
+                self._register_pairwise(pid)
+                signer = self._make_signer(pid)
+                orb = Orb(self.directory.repository, platform=reader_platforms[index])
+                orb.telemetry = self.network.telemetry
+                reader = cls(
+                    pid,
+                    self.directory,
+                    domain_id,
+                    orb,
+                    signer,
+                    queue_max_bytes=queue_max_bytes,
+                )
+                if app_state_fn is not None:
+                    reader.app_state_fn = app_state_fn(reader)
+                if app_restore_fn is not None:
+                    reader.app_restore_fn = app_restore_fn(reader)
+                for object_key, servant in servants(reader).items():
+                    orb.adapter.activate(object_key, servant)
+                # Deliberately NOT joined to the domain's multicast group:
+                # a reader takes no part in ordering.
+                self.network.add_process(reader)
+                self.elements[pid] = reader
+                self.read_elements[pid] = reader
         return created
 
     def add_client(self, name: str, platform: PlatformProfile | None = None) -> ItdosClient:
@@ -233,6 +289,11 @@ class ItdosSystem:
     def domain_elements(self, domain_id: str) -> list[ItdosServerElement]:
         info = self.directory.domain(domain_id)
         return [self.elements[pid] for pid in info.element_ids]
+
+    def read_tier(self, domain_id: str) -> list[ItdosServerElement]:
+        """The domain's non-voting read-only elements (may be empty)."""
+        info = self.directory.domain(domain_id)
+        return [self.read_elements[pid] for pid in info.read_only_ids]
 
     def enable_proactive_recovery(
         self, domain_id: str, period: float = 5.0, downtime: float = 0.05

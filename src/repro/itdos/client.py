@@ -80,7 +80,9 @@ class ItdosClient(Process):
                     connection.send_request(wire, None)
                     outcome.append(None)
                 else:
-                    connection.send_request(wire, outcome.append)
+                    connection.send_request(
+                        wire, outcome.append, read_only=op.read_only
+                    )
 
         with t.use(root_ctx):
             self.orb.transport_for(ref).connect(ref, on_connection)
@@ -138,6 +140,7 @@ class ItdosClient(Process):
                 lambda reply: on_result(
                     Orb.result_from_reply(self.orb.unmarshal_reply(reply))
                 ),
+                read_only=op.read_only,
             )
 
         self.orb.transport_for(ref).connect(ref, on_connection)

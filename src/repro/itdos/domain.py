@@ -32,6 +32,12 @@ class DomainInfo:
     element_ids: tuple[str, ...]
     f: int
     kind: str = "server"  # "server" | "gm"
+    # Non-voting read-tier elements (Backup/Replica Directory Node pattern):
+    # registered and fenced by the GM like core elements, fed the committed
+    # payload stream, but excluded from all quorum arithmetic — n and the
+    # BFT group are derived from ``element_ids`` alone, so adding readers
+    # scales read capacity without growing the 3f+1 write quorum.
+    read_only_ids: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.n < 3 * self.f + 1:
@@ -40,10 +46,21 @@ class DomainInfo:
             )
         if self.kind not in ("server", "gm"):
             raise ValueError(f"unknown domain kind {self.kind!r}")
+        if set(self.read_only_ids) & set(self.element_ids):
+            raise ValueError(
+                f"domain {self.domain_id}: read-only ids overlap core elements"
+            )
+        if self.read_only_ids and self.kind != "server":
+            raise ValueError("only server domains can have a read tier")
 
     @property
     def n(self) -> int:
         return len(self.element_ids)
+
+    @property
+    def all_ids(self) -> tuple[str, ...]:
+        """Core elements plus the read tier — everything the GM keys."""
+        return self.element_ids + self.read_only_ids
 
     def bft_config(
         self,
@@ -107,6 +124,14 @@ class SystemDirectory:
     recovery_fetch_window: float = 0.25
     recovery_max_attempts: int = 8
     recovery_full_quorum_attempts: int = 3
+    # Read fast path (Castro–Liskov read-only optimization): read_only
+    # operations execute tentatively at every element against its
+    # last-committed state and the client accepts on 2f+1 matching
+    # (watermark, value) replies, falling back to the ordered path on
+    # timeout or divergence. Off by default — the ordered path is the
+    # baseline and disabling must reproduce pre-fast-path traffic exactly.
+    read_fastpath: bool = False
+    read_timeout: float = 0.75
     # Deployment-wide observability; bootstrap swaps in a live Telemetry.
     telemetry: Telemetry = NOOP_TELEMETRY
 

@@ -351,9 +351,12 @@ class GroupManagerElement(BftReplica):
             ]
         else:
             client_side = [record.client]
+        # Target side includes the domain's read tier: readers need the
+        # connection key to serve tentative reads, and fencing an expelled
+        # reader out of the next generation uses this same membership test.
         target_side = [
             pid
-            for pid in self.directory.domain(record.target_domain).element_ids
+            for pid in self.directory.domain(record.target_domain).all_ids
             if pid not in self.state.expelled
         ]
         return client_side + target_side
@@ -434,7 +437,10 @@ class GroupManagerElement(BftReplica):
         if accused_domain is None:
             return b"BAD"
         accused = tuple(sorted(set(request.accused)))
-        if not accused or any(a not in accused_domain.element_ids for a in accused):
+        # all_ids: the read tier is fenceable through the same machinery —
+        # an expelled reader drops out of every connection's participant
+        # set at the next (re)issue and its keys die with the generation.
+        if not accused or any(a not in accused_domain.all_ids for a in accused):
             return b"BAD"
         if len(accused) > accused_domain.f:
             return b"DENIED"  # cannot expel more than f at once

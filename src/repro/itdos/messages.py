@@ -182,6 +182,156 @@ class BodyReply:
         return f"BodyReply(conn={self.conn_id},req={self.request_id},{len(self.ciphertext)}B)"
 
 
+# -- read fast path (Castro–Liskov read-only optimization) -----------------------
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """One encrypted read-only GIOP request, sent point-to-point.
+
+    Bypasses BFT ordering entirely: the client fans it out to every element
+    (core and read tier) of the target domain, which executes it
+    *tentatively* against its last-committed state. Read ids live in their
+    own per-connection counter space — they never consume ordered request
+    ids, so the §3.6 strictly-increasing discipline of the ordered path is
+    untouched by any number of reads.
+    """
+
+    conn_id: int
+    read_id: int
+    key_id: int
+    ciphertext: bytes
+    sender: str
+
+    def wire_size(self) -> int:
+        return 64 + len(self.ciphertext)
+
+    def trace_label(self) -> str:
+        return f"ReadRequest(conn={self.conn_id},read={self.read_id})"
+
+
+@dataclass(frozen=True)
+class ReadReply:
+    """One element's tentative reply to a :class:`ReadRequest`.
+
+    ``watermark`` is the element's committed-prefix position (count of
+    processed ordered payloads) at execution time; the client only accepts
+    2f+1 replies matching on *(watermark, value)*, so replies computed
+    against divergent prefixes can never be mixed into one decision.
+    ``signature`` covers ``canonical_bytes({"wm": watermark, "body":
+    plaintext})`` — binding the watermark, so a faulty element cannot
+    re-label an old value as current without forging a signature.
+    ``tier`` distinguishes core elements ("core") from non-voting read-tier
+    elements ("read"); read-tier replies are observability-only at the
+    client and never count toward the quorum.
+    """
+
+    conn_id: int
+    read_id: int
+    key_id: int
+    ciphertext: bytes
+    sender: str
+    signature: bytes
+    watermark: int
+    tier: str = "core"  # "core" | "read"
+
+    def wire_size(self) -> int:
+        return 72 + len(self.ciphertext) + len(self.signature)
+
+    def trace_label(self) -> str:
+        return (
+            f"ReadReply(conn={self.conn_id},read={self.read_id},"
+            f"wm={self.watermark},{self.tier[0]}={self.sender})"
+        )
+
+
+@dataclass(frozen=True)
+class CommitFeed:
+    """One committed ordered payload, streamed to the read tier.
+
+    Core elements emit one per payload they append to the replicated
+    message queue, carrying the queue position (``index`` = the appending
+    element's ``total_appended`` after the append). A read-tier element
+    applies an index once it has f+1 byte-identical feeds for it from
+    distinct core elements — at least one honest, so the reader's queue is
+    always a prefix of the committed order.
+    """
+
+    sender: str
+    domain_id: str
+    index: int  # 1-based position in the committed payload stream
+    payload: bytes
+
+    def wire_size(self) -> int:
+        return 48 + len(self.payload)
+
+    def trace_label(self) -> str:
+        return f"CommitFeed({self.domain_id}@{self.index},i={self.sender})"
+
+
+@dataclass(frozen=True)
+class ReadSyncRequest:
+    """A lagging read-tier element asks a core element for queue state.
+
+    The read tier's analogue of the PR-2 recovery fetch: same queue-mode
+    snapshot content, but a separate message pair so the recovery
+    coordinator's fingerprint-matching protocol stays untouched.
+    """
+
+    requester: str
+    domain_id: str
+    attempt: int
+
+    def wire_size(self) -> int:
+        return 48
+
+    def trace_label(self) -> str:
+        return f"ReadSyncRequest({self.requester},a={self.attempt})"
+
+
+@dataclass(frozen=True)
+class ReadSyncResponse:
+    """One core element's queue snapshot answering a :class:`ReadSyncRequest`.
+
+    Carries the application state alongside the queue (``app_state``,
+    canonical-encoded): unlike a rejoining *core* element — which replays
+    from its own divergence point — a lagging reader may have missed an
+    arbitrary stretch of the committed stream, so the servant state must
+    come with the queue position it matches. The reader adopts only on f+1
+    responses with identical fingerprints over all of it, so at least one
+    honest core element vouches for the pair.
+    """
+
+    sender: str
+    domain_id: str
+    attempt: int
+    appended: int
+    chain: bytes
+    snapshot: bytes
+    app_state: bytes = b""
+
+    def fingerprint(self) -> bytes:
+        from repro.crypto.digests import digest
+
+        return digest(
+            canonical_bytes(
+                {
+                    "domain": self.domain_id,
+                    "appended": self.appended,
+                    "chain": self.chain,
+                    "snapshot": self.snapshot,
+                    "app": self.app_state,
+                }
+            )
+        )
+
+    def wire_size(self) -> int:
+        return 96 + len(self.snapshot) + len(self.app_state)
+
+    def trace_label(self) -> str:
+        return f"ReadSyncResponse(app={self.appended},i={self.sender})"
+
+
 # -- Group Manager traffic ----------------------------------------------------------
 
 

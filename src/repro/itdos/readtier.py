@@ -1,0 +1,361 @@
+"""The non-voting read-only replica tier.
+
+The Backup / Replica Directory Node pattern applied to ITDOS: a
+:class:`ReadOnlyElement` hosts the same servants as its domain's core
+elements and serves the tentative read fast path, but it is **outside the
+3f+1 write quorum entirely** — it is not in the domain's BFT replica set,
+never joins the ordering multicast group, never sends ordered replies, and
+its read replies are tagged ``tier="read"`` so client voters keep them out
+of quorum arithmetic. Adding readers therefore scales read capacity without
+re-deriving any quorum, and a Byzantine reader can at worst serve a reply
+nobody counts.
+
+State maintenance:
+
+* **Commit feed** — every core element streams each committed ordered
+  payload to every reader (:class:`~repro.itdos.messages.CommitFeed`,
+  emitted from the BFT execute upcall). A reader applies index ``i`` once
+  it holds ``f+1`` byte-identical copies for ``i`` from distinct core
+  elements — at least one honest, so the reader's queue is always a prefix
+  of the committed order. Applied payloads run through the ordinary ORB
+  pump, so the reader's servant state and commit watermark
+  (``queue.processed_count``) track the core elements exactly.
+* **Catch-up** — a reader that boots late, restarts, or detects a
+  persistent feed gap fetches a full snapshot from the core elements
+  (:class:`~repro.itdos.messages.ReadSyncRequest`; the read tier's
+  analogue of the PR-2 queue-mode state transfer, kept as a separate
+  message pair so the core recovery protocol is untouched). It adopts on
+  ``f+1`` matching fingerprints over (queue position, append chain,
+  queue snapshot, application state).
+
+Keying: the Group Manager registers and fences readers like core elements
+(they appear in every connection's participant set and receive
+GmShareEnvelopes on each (re)issue), so an expelled reader loses its keys
+through the same §3.6 machinery — it just never appears in a quorum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable
+
+from repro.bft.config import BftConfig
+from repro.crypto.digests import digest
+from repro.crypto.encoding import parse_canonical
+from repro.crypto.signing import RsaSigner
+from repro.itdos.domain import SystemDirectory
+from repro.itdos.messages import (
+    CommitFeed,
+    ReadSyncRequest,
+    ReadSyncResponse,
+)
+from repro.itdos.replica import ItdosServerElement
+from repro.orb.core import Orb
+
+
+class ReadOnlyElement(ItdosServerElement):
+    """A non-voting read-tier element of one replication domain."""
+
+    READ_TIER = "read"
+
+    #: Feeds buffered this far beyond the applied prefix trigger a resync —
+    #: a gap this wide means the missing feeds are lost, not late.
+    FEED_GAP_LIMIT = 64
+    #: Simulated seconds a missing next-index feed may stay missing (while
+    #: later feeds accumulate) before the reader falls back to a full sync.
+    FEED_STALL_TIMEOUT = 5.0
+    #: Window to collect ReadSyncResponses before cross-validating.
+    SYNC_FETCH_WINDOW = 0.5
+    MAX_SYNC_ATTEMPTS = 8
+
+    def __init__(
+        self,
+        pid: str,
+        directory: SystemDirectory,
+        domain_id: str,
+        orb: Orb,
+        signer: RsaSigner,
+        app_state_fn: Callable[[], Any] | None = None,
+        app_restore_fn: Callable[[Any], None] | None = None,
+        queue_max_bytes: int = 1 << 22,
+        auth: Any = None,
+    ) -> None:
+        info = directory.domain(domain_id)
+        if pid not in info.read_only_ids:
+            raise ValueError(f"{pid!r} is not in the read tier of {domain_id!r}")
+        super().__init__(
+            pid,
+            directory,
+            domain_id,
+            orb,
+            signer,
+            state_mode="queue",
+            app_state_fn=app_state_fn,
+            app_restore_fn=app_restore_fn,
+            queue_max_bytes=queue_max_bytes,
+            auth=auth,
+        )
+        # f+1 byte-identical feeds per index gate application (see module doc).
+        self._feed_buffer: dict[int, dict[str, bytes]] = {}
+        self._feed_stall_timer: Any = None
+        self._sync_attempt = 0
+        self._sync_responses: dict[str, ReadSyncResponse] = {}
+        self._sync_timer: Any = None
+        self.feeds_applied = 0
+        self.syncs_completed = 0
+        self.syncing = False
+
+    def _bft_config(
+        self, directory: SystemDirectory, domain_id: str, pid: str
+    ) -> BftConfig:
+        # The reader is NOT a BFT replica; it reuses the replica machinery
+        # only as a shell (queue + ORB pump + key store). BftReplica's
+        # constructor insists the pid be in the replica set, so hand it a
+        # private config with this pid appended — the reader never receives
+        # or sends a single BFT protocol message (it is not in the ordering
+        # multicast group), so the synthetic membership is inert, and every
+        # *real* config derivation in the system still uses element_ids.
+        config = directory.bft_config_for(domain_id)
+        return replace(config, replica_ids=config.replica_ids + (pid,))
+
+    # -- quorum isolation: a reader never speaks on the ordered path -----------
+
+    def _send_reply(self, record, request_id, plaintext) -> None:  # noqa: ANN001
+        # Ordered replies come from core elements only; a reader reply
+        # would be an extra ballot in the client's ReplyVoter.
+        return
+
+    def _send_digest_reply(self, record, request_id, plaintext, key) -> None:  # noqa: ANN001
+        return
+
+    def _report_request_fault(self, record, outcome) -> None:  # noqa: ANN001
+        # §3.6 accusations carry quorum weight (f+1 domain change_requests);
+        # a non-voting element contributes observability, not accusations.
+        return
+
+    def _serve_queue_state(self, src, request) -> None:  # noqa: ANN001
+        # Core recovery cross-validates fingerprints from *core* peers; a
+        # reader's derived state must never masquerade as one of them.
+        return
+
+    def _feed_read_tier(self, payload: bytes) -> None:
+        return  # readers consume the feed; only core elements produce it
+
+    def _issue_nested(self, parked, record, request_id, call) -> None:  # noqa: ANN001
+        # A nested invocation needs a client role inside another domain's
+        # ordering, and its reply only travels through *core* ordering —
+        # a reader would park forever. Fail safe: flag the reader out of
+        # service (reads get refused; the core domain is unaffected) rather
+        # than wedge the pump. Read tiers are for flat workloads.
+        self._parked = None
+        parked.generator.close()
+        self._mark_diverged()
+
+    # -- message routing -------------------------------------------------------
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, CommitFeed):
+            self._handle_commit_feed(src, payload)
+            return
+        if isinstance(payload, ReadSyncResponse):
+            self._handle_sync_response(src, payload)
+            return
+        super().on_message(src, payload)
+
+    # -- commit-feed application ----------------------------------------------
+
+    def _handle_commit_feed(self, src: str, feed: CommitFeed) -> None:
+        if feed.domain_id != self.domain_id or src != feed.sender:
+            return
+        if src not in self.domain_info.element_ids:
+            return
+        if feed.index <= self.queue.total_appended:
+            return  # already applied (duplicate or late copy)
+        votes = self._feed_buffer.setdefault(feed.index, {})
+        if src in votes:
+            return
+        votes[src] = feed.payload
+        self._apply_ready_feeds()
+
+    def _apply_ready_feeds(self) -> None:
+        """Apply buffered feeds in index order, each at f+1 agreement."""
+        applied = False
+        while True:
+            next_index = self.queue.total_appended + 1
+            votes = self._feed_buffer.get(next_index)
+            payload = self._feed_quorum(votes) if votes else None
+            if payload is None:
+                break
+            del self._feed_buffer[next_index]
+            self._apply_payload(next_index, payload)
+            applied = True
+        if applied:
+            self._prune_feed_buffer()
+            self._pump()
+        self._check_feed_gap()
+
+    def _feed_quorum(self, votes: dict[str, bytes]) -> bytes | None:
+        counts: dict[bytes, int] = {}
+        for payload in votes.values():
+            counts[payload] = counts.get(payload, 0) + 1
+            if counts[payload] >= self.domain_info.f + 1:
+                return payload
+        return None
+
+    def _apply_payload(self, index: int, payload: bytes) -> None:
+        # Reader queue seqs are local bookkeeping (feed indices; after a
+        # sync restore, whatever core seqs the snapshot carried) — keep them
+        # monotone, nothing else reads them.
+        last_seq = self.queue.items[-1].seq if self.queue.items else 0
+        self.queue.append(max(index, last_seq), payload)
+        self._append_chain = digest(self._append_chain + payload)
+        self.feeds_applied += 1
+        t = self.telemetry
+        if t.enabled:
+            t.registry.counter(
+                "read_tier_feeds_applied_total",
+                "Committed payloads applied from the commit feed",
+                labels=("element",),
+            ).labels(element=self.pid).inc()
+
+    def _prune_feed_buffer(self) -> None:
+        for index in [i for i in self._feed_buffer if i <= self.queue.total_appended]:
+            del self._feed_buffer[index]
+
+    def _check_feed_gap(self) -> None:
+        """A persistent hole in the feed stream forces a full resync."""
+        if self.syncing or not self._feed_buffer:
+            self._cancel_feed_stall()
+            return
+        if max(self._feed_buffer) > self.queue.total_appended + self.FEED_GAP_LIMIT:
+            self._cancel_feed_stall()
+            self.resync()
+            return
+        if self._feed_stall_timer is None:
+            self._feed_stall_timer = self.set_timer(
+                self.FEED_STALL_TIMEOUT, self._on_feed_stall
+            )
+
+    def _cancel_feed_stall(self) -> None:
+        if self._feed_stall_timer is not None:
+            self.cancel_timer(self._feed_stall_timer)
+            self._feed_stall_timer = None
+
+    def _on_feed_stall(self) -> None:
+        self._feed_stall_timer = None
+        if self.syncing:
+            return
+        next_index = self.queue.total_appended + 1
+        if self._feed_buffer and next_index not in self._feed_buffer:
+            self.resync()
+        elif self._feed_buffer:
+            # Copies exist but no f+1 agreement yet; keep waiting bounded.
+            self._check_feed_gap()
+
+    # -- full catch-up (read tier's queue-mode state transfer) ------------------
+
+    def resync(self) -> None:
+        """Fetch and adopt a cross-validated snapshot from the core tier.
+
+        While syncing the reader keeps serving reads from its (stale but
+        consistent) committed prefix — the watermark tag keeps those
+        replies honest, and they carry no quorum weight anyway.
+        """
+        if self.syncing:
+            return
+        self.syncing = True
+        self._sync_attempt = 0
+        self._begin_sync_round()
+
+    def _begin_sync_round(self) -> None:
+        self._sync_attempt += 1
+        if self._sync_attempt > self.MAX_SYNC_ATTEMPTS:
+            self.syncing = False
+            self._mark_diverged()  # cannot catch up: stop serving reads
+            return
+        self._sync_responses = {}
+        t = self.telemetry
+        if t.enabled:
+            t.point("readtier.sync", pid=self.pid, attempt=self._sync_attempt)
+        request = ReadSyncRequest(
+            requester=self.pid,
+            domain_id=self.domain_id,
+            attempt=self._sync_attempt,
+        )
+        for peer in self.domain_info.element_ids:
+            self.send(peer, request)
+        self._sync_timer = self.set_timer(
+            self.SYNC_FETCH_WINDOW, self._conclude_sync_round
+        )
+
+    def _handle_sync_response(self, src: str, response: ReadSyncResponse) -> None:
+        if not self.syncing or response.attempt != self._sync_attempt:
+            return
+        if response.sender != src or src not in self.domain_info.element_ids:
+            return
+        if response.domain_id != self.domain_id:
+            return
+        self._sync_responses[src] = response
+        # All core elements answered: conclude early, keep the timer as the
+        # loss fallback (it no-ops once syncing advances the attempt).
+        if len(self._sync_responses) >= self.domain_info.n:
+            self._conclude_sync_round()
+
+    def _conclude_sync_round(self) -> None:
+        if not self.syncing:
+            return
+        if self._sync_timer is not None:
+            self.cancel_timer(self._sync_timer)
+            self._sync_timer = None
+        threshold = self.domain_info.f + 1
+        groups: dict[bytes, list[ReadSyncResponse]] = {}
+        for response in self._sync_responses.values():
+            groups.setdefault(response.fingerprint(), []).append(response)
+        adopted = None
+        for matching in groups.values():
+            if len(matching) >= threshold:
+                # f+1 identical fingerprints: at least one honest element
+                # vouches for this exact (queue, app state) pair. Prefer the
+                # freshest such group when several exist.
+                if adopted is None or matching[0].appended > adopted.appended:
+                    adopted = matching[0]
+        if adopted is None or adopted.appended < self.queue.total_appended:
+            self._begin_sync_round()
+            return
+        self._adopt_sync(adopted)
+
+    def _adopt_sync(self, response: ReadSyncResponse) -> None:
+        try:
+            self.queue.restore(response.snapshot)
+            app = parse_canonical(response.app_state)
+            if isinstance(app, dict) and "app" in app:
+                self.app_restore_fn(app["app"])
+        except Exception:  # noqa: BLE001 - cross-validated, but stay safe
+            self._begin_sync_round()
+            return
+        self._append_chain = response.chain
+        self.diverged = False
+        self._clear_recovery_buffer()
+        self.syncing = False
+        self.syncs_completed += 1
+        self._prune_feed_buffer()
+        t = self.telemetry
+        if t.enabled:
+            t.registry.counter(
+                "read_tier_syncs_total",
+                "Full catch-up state transfers completed by readers",
+                labels=("element",),
+            ).labels(element=self.pid).inc()
+        self._apply_ready_feeds()
+        self._pump()
+
+    def on_restart(self) -> None:
+        super().on_restart()
+        self._feed_buffer.clear()
+        self._feed_stall_timer = None
+        self._sync_timer = None
+        self._sync_responses = {}
+        self.syncing = False
+        # A restarted reader resyncs instead of staying diverged — its
+        # whole state is derived, so re-derivation is always legal.
+        self.resync()

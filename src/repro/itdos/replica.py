@@ -49,8 +49,13 @@ from repro.itdos.keys import ConnectionKeys, KeyStore
 from repro.itdos.messages import (
     BodyReply,
     BodyRequest,
+    CommitFeed,
     GmShareEnvelope,
     PayloadError,
+    ReadReply,
+    ReadRequest,
+    ReadSyncRequest,
+    ReadSyncResponse,
     SmiopReply,
     SmiopRequest,
     key_share_from_dict,
@@ -85,6 +90,11 @@ class IncomingConnection:
     # §3.6: ids are strictly increasing with one outstanding request, so an
     # ordered duplicate must re-send the cached reply, never re-execute.
     last_request_id: int = 0
+    # Highest tentative read id served on this connection. Read ids are
+    # strictly increasing per client incarnation; refusing duplicates keeps
+    # the (conn, read_id)-derived AEAD reply nonce single-use even when the
+    # network duplicates a ReadRequest after the watermark moved.
+    last_read_id: int = 0
 
 
 @dataclass
@@ -118,7 +128,7 @@ class ItdosServerElement(BftReplica):
             raise ValueError("directory has no DPRF public parameters")
         if state_mode not in ("queue", "object"):
             raise ValueError(f"bad state_mode {state_mode!r}")
-        config = directory.bft_config_for(domain_id)
+        config = self._bft_config(directory, domain_id, pid)
         super().__init__(pid, config, execute_fn=None, auth=auth)
         self.directory = directory
         self.domain_id = domain_id
@@ -172,6 +182,20 @@ class ItdosServerElement(BftReplica):
         self.dispatch_log: list[tuple[int, int]] = []
         self.undecryptable_skipped = 0
         self.stale_requests_discarded = 0
+        # Read fast path (tentative execution) bookkeeping. Served reads
+        # never enter dispatch_log — they do not consume ordered request
+        # ids and must not disturb the at-most-once ordered discipline.
+        self.reads_served = 0
+        self.reads_refused = 0
+
+    def _bft_config(self, directory: SystemDirectory, domain_id: str, pid: str):
+        """The BFT group configuration this element runs under.
+
+        Core elements use the domain's canonical config; the read tier
+        (:mod:`repro.itdos.readtier`) overrides this, since a non-voting
+        element is not in the replica set at all.
+        """
+        return directory.bft_config_for(domain_id)
 
     # -- servant-side stub factory (nested invocations) ---------------------------
 
@@ -197,6 +221,12 @@ class ItdosServerElement(BftReplica):
         if isinstance(payload, BodyRequest):
             self._handle_body_request(src, payload)
             return
+        if isinstance(payload, ReadRequest):
+            self._serve_read(src, payload)
+            return
+        if isinstance(payload, ReadSyncRequest):
+            self._serve_read_sync(src, payload)
+            return
         if isinstance(payload, QueueStateRequest):
             self._serve_queue_state(src, payload)
             return
@@ -211,7 +241,7 @@ class ItdosServerElement(BftReplica):
         """Figure 3 step 2: a key share for a connection we *serve*."""
         if envelope.recipient != self.pid or src != envelope.gm_element:
             return False
-        if self.pid not in self.directory.domain(envelope.target_domain).element_ids:
+        if self.pid not in self.directory.domain(envelope.target_domain).all_ids:
             return False
         if envelope.target_domain != self.domain_id:
             return False
@@ -265,8 +295,29 @@ class ItdosServerElement(BftReplica):
             return STATIC_ACK
         self.queue.append(seq, payload)
         self._append_chain = digest(self._append_chain + payload)
+        self._feed_read_tier(payload)
         self._pump()
         return STATIC_ACK
+
+    def _feed_read_tier(self, payload: bytes) -> None:
+        """Stream one committed payload to the domain's read tier.
+
+        Every core element feeds every reader; the reader applies an index
+        on f+1 byte-identical copies from distinct core senders, so no
+        single faulty core element can feed it a forged history. With no
+        readers configured this is a no-op — zero extra traffic.
+        """
+        readers = self.domain_info.read_only_ids
+        if not readers:
+            return
+        feed = CommitFeed(
+            sender=self.pid,
+            domain_id=self.domain_id,
+            index=self.queue.total_appended,
+            payload=payload,
+        )
+        for reader in readers:
+            self.send(reader, feed)
 
     # -- divergence and the recovery tail buffer ----------------------------------------
 
@@ -801,6 +852,126 @@ class ItdosServerElement(BftReplica):
                 key_id=key.key_id,
                 ciphertext=encrypt(key, cached[1], nonce),
                 sender=self.pid,
+            ),
+        )
+
+    # -- read fast path: tentative execution (Castro–Liskov read-only opt.) --------
+
+    #: Reply tier tag; the read tier overrides this with "read" so clients
+    #: can keep its (non-voting) replies out of quorum arithmetic.
+    READ_TIER = "core"
+
+    def _serve_read(self, src: str, envelope: ReadRequest) -> None:
+        """Execute a read-only request tentatively against committed state.
+
+        No ordering, no queue, no dispatch log: the operation must be
+        declared ``read_only`` in the IDL, and the reply is tagged with the
+        commit watermark (count of processed ordered payloads) so the
+        client can only combine replies computed on the same prefix. A
+        refused read is simply dropped — the client's timeout resubmits it
+        through the ordered path.
+        """
+        if self.diverged:
+            self.reads_refused += 1
+            return
+        record = self.incoming.get(envelope.conn_id)
+        key = self.key_store.key_for(envelope.conn_id, envelope.key_id)
+        if record is None or key is None:
+            self.reads_refused += 1
+            return
+        if record.client != src or envelope.sender != src:
+            self.reads_refused += 1
+            return
+        if record.client_kind != "singleton":
+            # Replicated clients vote their *requests* through the ordered
+            # path (§3.6); the fast path is a singleton-client shortcut.
+            self.reads_refused += 1
+            return
+        if envelope.read_id <= record.last_read_id:
+            self.reads_refused += 1  # duplicate delivery: nonce already used
+            return
+        try:
+            plaintext = decrypt(key, envelope.ciphertext)
+            message = decode_message(self.directory.repository, plaintext)
+        except Exception:  # noqa: BLE001 - undecryptable/garbled: drop
+            self.reads_refused += 1
+            return
+        if not isinstance(message, RequestMessage):
+            self.reads_refused += 1
+            return
+        op = self.directory.repository.lookup(message.interface_name).operation(
+            message.operation
+        )
+        if not op.read_only:
+            # The IDL contract is enforced server-side: a mutation can
+            # never sneak past ordering by arriving as a ReadRequest.
+            self.reads_refused += 1
+            return
+        record.last_read_id = envelope.read_id
+        watermark = self.queue.processed_count
+        t = self.telemetry
+        if t.enabled:
+            t.point(
+                "read.serve",
+                pid=self.pid,
+                conn=envelope.conn_id,
+                read=envelope.read_id,
+                wm=watermark,
+                tier=self.READ_TIER,
+            )
+            t.registry.counter(
+                "read_tentative_served_total",
+                "Tentative read executions served, by tier",
+                labels=("tier",),
+            ).labels(tier=self.READ_TIER).inc()
+        try:
+            result = self.orb.dispatch(message)
+        except Exception as exc:  # noqa: BLE001 - deterministic servant errors vote too
+            reply_wire = self.orb.marshal_exception_reply(message, exc)
+        else:
+            if hasattr(result, "send") and hasattr(result, "throw"):
+                # Nested invocations need ordering; drop and let the client
+                # fall back rather than tentatively deciding an error.
+                result.close()
+                self.reads_refused += 1
+                return
+            reply_wire = self.orb.marshal_reply(message, result)
+        self.reads_served += 1
+        nonce = traffic_nonce(envelope.conn_id, envelope.read_id, self.pid, "trd")
+        self.send(
+            src,
+            ReadReply(
+                conn_id=envelope.conn_id,
+                read_id=envelope.read_id,
+                key_id=key.key_id,
+                ciphertext=encrypt(key, reply_wire, nonce),
+                sender=self.pid,
+                signature=self.signer.sign(
+                    canonical_bytes({"wm": watermark, "body": reply_wire})
+                ),
+                watermark=watermark,
+                tier=self.READ_TIER,
+            ),
+        )
+
+    def _serve_read_sync(self, src: str, request: ReadSyncRequest) -> None:
+        """Answer a lagging read-tier element's catch-up fetch."""
+        if request.domain_id != self.domain_id or request.requester != src:
+            return
+        if src not in self.domain_info.read_only_ids:
+            return
+        if self.diverged:
+            return
+        self.send(
+            src,
+            ReadSyncResponse(
+                sender=self.pid,
+                domain_id=self.domain_id,
+                attempt=request.attempt,
+                appended=self.queue.total_appended,
+                chain=self._append_chain,
+                snapshot=self.queue.snapshot(),
+                app_state=canonical_bytes({"app": self.app_state_fn()}),
             ),
         )
 

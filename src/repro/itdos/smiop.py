@@ -30,6 +30,11 @@ class SmiopConnectionAdapter(Connection):
     def __init__(self, connection: OutgoingConnection) -> None:
         self.connection = connection
         self._send_queue: list[tuple[bytes, ReplyHandler]] = []
+        # Fast-path reads have their own one-outstanding discipline and
+        # queue: a read may be in flight *concurrently* with an ordered
+        # request (reads touch no ordered state), but reads serialise among
+        # themselves so the read-id space mirrors §3.6's request-id rules.
+        self._read_queue: list[tuple[bytes, ReplyHandler]] = []
 
     @property
     def connected(self) -> bool:
@@ -39,10 +44,25 @@ class SmiopConnectionAdapter(Connection):
     def queued(self) -> int:
         return len(self._send_queue)
 
-    def send_request(self, wire: bytes, on_reply: ReplyHandler | None) -> None:
+    @property
+    def queued_reads(self) -> int:
+        return len(self._read_queue)
+
+    def send_request(
+        self, wire: bytes, on_reply: ReplyHandler | None, read_only: bool = False
+    ) -> None:
         if on_reply is None:
             # Oneway: no reply slot consumed, never queued.
             self.connection.send_request(wire, None)
+            return
+        if (
+            read_only
+            and self.connection.endpoint.directory.read_fastpath
+        ):
+            if self.connection.outstanding_read or self._read_queue:
+                self._read_queue.append((wire, on_reply))
+                return
+            self._dispatch_read(wire, on_reply)
             return
         if self.connection.outstanding or self._send_queue:
             self._send_queue.append((wire, on_reply))
@@ -66,8 +86,34 @@ class SmiopConnectionAdapter(Connection):
             wire, on_reply = self._send_queue.pop(0)
             self._dispatch(wire, on_reply)
 
+    # -- read fast path -------------------------------------------------------
+
+    def _dispatch_read(self, wire: bytes, on_reply: ReplyHandler) -> None:
+        def chained(reply: bytes) -> None:
+            try:
+                on_reply(reply)
+            finally:
+                self._pump_reads()
+
+        def fallback() -> None:
+            # Timeout or divergence: resubmit the *same* GIOP wire through
+            # the ordered path, transparently to the caller. Tentative
+            # execution touched no server state and consumed no ordered
+            # request id, so this cannot double-execute; the ordered path's
+            # own retransmission then guarantees the reply decides.
+            self.send_request(wire, on_reply, read_only=False)
+            self._pump_reads()
+
+        self.connection.read_request(wire, chained, fallback)
+
+    def _pump_reads(self) -> None:
+        while self._read_queue and not self.connection.outstanding_read:
+            wire, on_reply = self._read_queue.pop(0)
+            self._dispatch_read(wire, on_reply)
+
     def close(self) -> None:
         self._send_queue.clear()
+        self._read_queue.clear()
         self.connection.close()
 
 

@@ -41,11 +41,13 @@ from repro.itdos.messages import (
     GmShareEnvelope,
     OpenRequest,
     ProofItem,
+    ReadReply,
+    ReadRequest,
     SmiopReply,
     SmiopRequest,
     key_share_from_dict,
 )
-from repro.itdos.voter import ReplyVoter, VoteOutcome
+from repro.itdos.voter import ReadOutcome, ReadVoter, ReplyVoter, VoteOutcome
 from repro.sim.process import Process
 
 
@@ -149,6 +151,31 @@ class OutgoingConnection:
         # voter, not once per element. Pure memoization: voting still
         # happens on the decoded values via the §3.6 comparators.
         self._decode_memo: MemoCache = MemoCache(maxsize=64)
+        # Read fast path (Castro–Liskov read-only optimization). Reads live
+        # in their own id space, seeded like request ids for incarnation
+        # safety; they never consume ordered request ids, so any number of
+        # fast-path reads leaves the §3.6 ordered discipline untouched.
+        self._next_read_id = endpoint.request_id_base
+        self.read_voter = ReadVoter(
+            n=target.n,
+            f=target.f,
+            core_ids=target.element_ids,
+            on_decide=self._read_decided,
+            on_exhausted=self._read_exhausted,
+            telemetry=endpoint.owner.telemetry,
+            owner=endpoint.owner.pid,
+        )
+        self._read_handler: Callable[[bytes], None] | None = None
+        self._read_fallback_cb: Callable[[], None] | None = None
+        self._read_timer: Any = None
+        self._read_span = None
+        self.reads_sent = 0
+        self.read_fastpath_hits = 0
+        self.read_fastpath_fallbacks = 0
+        # (read_id, decided watermark) per fast-path decision — the chaos
+        # InvariantChecker compares these against the committed prefix.
+        self.read_decisions: list[tuple[int, int]] = []
+        self._read_decided_wm: int | None = None
 
     @property
     def connected(self) -> bool:
@@ -248,6 +275,211 @@ class OutgoingConnection:
         if self._retry_timer is not None:
             self.endpoint.owner.cancel_timer(self._retry_timer)
             self._retry_timer = None
+
+    # -- read fast path --------------------------------------------------------
+
+    @property
+    def outstanding_read(self) -> bool:
+        return self._read_handler is not None
+
+    def read_request(
+        self,
+        wire: bytes,
+        on_reply: Callable[[bytes], None],
+        on_fallback: Callable[[], None],
+    ) -> None:
+        """Fan a read-only request out for tentative execution.
+
+        Point-to-point to every element of the target domain (core and read
+        tier), bypassing BFT ordering entirely. Decides on 2f+1 core
+        replies matching on (watermark, value); on timeout or divergence,
+        ``on_fallback`` fires exactly once and the caller resubmits the
+        same GIOP wire through the ordered path (which allocates a fresh
+        ordered request id — no id-space interference, no duplicate
+        execution, because the tentative execution touched no state).
+        """
+        if self._read_handler is not None:
+            raise RuntimeError(
+                f"connection {self.conn_id} already has an outstanding read"
+            )
+        key = self.endpoint.key_store.current_key(self.conn_id)
+        if key is None:
+            raise RuntimeError(f"connection {self.conn_id} has no communication key")
+        self._next_read_id += 1
+        read_id = self._next_read_id
+        header = peek_request_header(wire)
+        comparator = reply_value_comparator(
+            self.endpoint.directory, header.interface_name, header.operation
+        )
+        self.read_voter.begin(read_id, comparator)
+        self._read_handler = on_reply
+        self._read_fallback_cb = on_fallback
+        self._read_decided_wm = None
+        nonce = traffic_nonce(self.conn_id, read_id, self.endpoint.owner.pid, "trq")
+        envelope = ReadRequest(
+            conn_id=self.conn_id,
+            read_id=read_id,
+            key_id=key.key_id,
+            ciphertext=encrypt(key, wire, nonce),
+            sender=self.endpoint.owner.pid,
+        )
+        self.reads_sent += 1
+        t = self.endpoint.owner.telemetry
+        if t.enabled:
+            self._read_span = t.begin(
+                "smiop.read",
+                parent=t.current,
+                pid=self.endpoint.owner.pid,
+                conn=self.conn_id,
+                read=read_id,
+                iface=header.interface_name,
+                op=header.operation,
+            )
+        for pid in self.target.element_ids + self.target.read_only_ids:
+            self.endpoint.owner.send(pid, envelope)
+        self._read_timer = self.endpoint.owner.set_timer(
+            self.endpoint.directory.read_timeout,
+            lambda: self._read_give_up(read_id, "timeout"),
+        )
+
+    def _cancel_read_timer(self) -> None:
+        if self._read_timer is not None:
+            self.endpoint.owner.cancel_timer(self._read_timer)
+            self._read_timer = None
+
+    def _finish_read_span(self, outcome: str) -> None:
+        span, self._read_span = self._read_span, None
+        t = self.endpoint.owner.telemetry
+        if not t.enabled:
+            return
+        if span is not None:
+            t.point("read.outcome", parent=span.ctx, outcome=outcome)
+            t.end(span)
+            t.registry.histogram(
+                "smiop_read_seconds",
+                "Fast-path read latency (fan-out to voted reply)",
+                labels=("domain", "outcome"),
+            ).labels(domain=self.target.domain_id, outcome=outcome).observe(
+                span.end - span.start
+            )
+
+    def handle_read_reply(self, src: str, reply: ReadReply) -> None:
+        """Feed one tentative reply through decrypt/verify/read-vote."""
+        if reply.read_id != self.read_voter.current_read_id:
+            return
+        settled = self._read_handler is None
+        if settled and not (
+            reply.tier == "read" and self._read_decided_wm is not None
+        ):
+            # Late core replies of a settled read carry no information; late
+            # *reader* replies still feed the per-tier lag metric (after
+            # signature verification below).
+            return
+        key = self.endpoint.key_store.key_for(self.conn_id, reply.key_id)
+        if key is None:
+            return  # rekey in flight: let the read fall back rather than park
+        try:
+            plaintext = decrypt(key, reply.ciphertext)
+        except AuthenticationError:
+            self.read_voter.discard("decrypt")
+            self._garbage(reply.sender, "decrypt")
+            return
+        # The signature binds the watermark to the reply body: a faulty
+        # element cannot re-label a stale value as current, nor replay
+        # another element's reply under its own watermark.
+        manifest = canonical_bytes({"wm": reply.watermark, "body": plaintext})
+        if not self.endpoint.directory.keyring.verify(
+            reply.sender, manifest, reply.signature
+        ):
+            self.read_voter.discard("signature")
+            self._garbage(reply.sender, "signature")
+            return
+        if reply.tier == "read" and self._read_decided_wm is not None:
+            self._observe_reader_lag(reply.sender, reply.watermark)
+        if settled:
+            return
+        cached = self._decode_memo.get(plaintext)
+        if cached is None:
+            try:
+                message = decode_message(
+                    self.endpoint.directory.repository, plaintext
+                )
+            except Exception:  # noqa: BLE001 - garbage from a Byzantine element
+                self.read_voter.discard("malformed")
+                self._garbage(reply.sender, "malformed")
+                return
+            if not isinstance(message, ReplyMessage):
+                self.read_voter.discard("malformed")
+                self._garbage(reply.sender, "malformed")
+                return
+            value = (int(message.reply_status), message.result)
+            self._decode_memo.put(plaintext, (value[0], _copy_value(value[1])))
+        else:
+            value = (cached[0], _copy_value(cached[1]))
+        self.read_voter.offer(
+            reply.sender,
+            reply.read_id,
+            reply.watermark,
+            value,
+            raw=plaintext,
+            tier=reply.tier,
+        )
+
+    def _observe_reader_lag(self, sender: str, watermark: int) -> None:
+        t = self.endpoint.owner.telemetry
+        if t.enabled and self._read_decided_wm is not None:
+            t.registry.histogram(
+                "read_tier_reply_lag",
+                "Committed-prefix lag of read-tier replies vs the decided "
+                "watermark (ordered payloads)",
+                labels=("element",),
+            ).labels(element=sender).observe(
+                float(self._read_decided_wm - watermark)
+            )
+
+    def _read_decided(self, outcome: ReadOutcome) -> None:
+        self._cancel_read_timer()
+        self.read_fastpath_hits += 1
+        self._read_decided_wm = outcome.watermark
+        self.read_decisions.append((outcome.read_id, outcome.watermark))
+        t = self.endpoint.owner.telemetry
+        if t.enabled:
+            t.registry.counter(
+                "read_fastpath_hits_total",
+                "Fast-path reads decided tentatively, by domain",
+                labels=("domain",),
+            ).labels(domain=self.target.domain_id).inc()
+            for sender, wm in self.read_voter.reader_ballots:
+                self._observe_reader_lag(sender, wm)
+        self._finish_read_span("hit")
+        handler, self._read_handler = self._read_handler, None
+        self._read_fallback_cb = None
+        if handler is not None:
+            handler(outcome.representative)
+
+    def _read_exhausted(self, read_id: int) -> None:
+        self._read_give_up(read_id, "divergence")
+
+    def _read_give_up(self, read_id: int, reason: str) -> None:
+        """Timeout or divergence: resubmit through the ordered path."""
+        if self._read_handler is None or read_id != self.read_voter.current_read_id:
+            self._read_timer = None
+            return
+        self._cancel_read_timer()
+        self.read_voter.abandon()
+        self.read_fastpath_fallbacks += 1
+        t = self.endpoint.owner.telemetry
+        if t.enabled:
+            t.registry.counter(
+                "read_fastpath_fallbacks_total",
+                "Fast-path reads resubmitted through ordering, by reason",
+                labels=("domain", "reason"),
+            ).labels(domain=self.target.domain_id, reason=reason).inc()
+        self._finish_read_span("fallback")
+        self._read_handler = None
+        fallback, self._read_fallback_cb = self._read_fallback_cb, None
+        if fallback is not None:
+            fallback()
 
     # -- reply path ----------------------------------------------------------
 
@@ -437,6 +669,7 @@ class OutgoingConnection:
 
     def close(self) -> None:
         self._cancel_retry()
+        self._cancel_read_timer()
         self.endpoint.drop_connection(self)
 
 
@@ -633,6 +866,12 @@ class SmiopEndpoint:
             connection = self.connections.get(payload.conn_id)
             if connection is not None and src == payload.sender:
                 connection.handle_reply(payload)
+                return True
+            return False
+        if isinstance(payload, ReadReply):
+            connection = self.connections.get(payload.conn_id)
+            if connection is not None and src == payload.sender:
+                connection.handle_read_reply(src, payload)
                 return True
             return False
         if isinstance(payload, BodyReply):

@@ -30,6 +30,7 @@ from repro.itdos.vvm import (
     ballot_key,
     dissenting_senders,
     majority_vote,
+    watermarked_comparator,
 )
 from repro.obs.telemetry import NOOP_TELEMETRY, Telemetry
 
@@ -246,6 +247,165 @@ class ReplyVoter:
         ]
         for sender in senders:
             self.on_fault(sender, self.current_request_id or 0, evidence)
+
+
+@dataclass(frozen=True)
+class ReadOutcome:
+    """A concluded tentative-read vote (read fast path)."""
+
+    read_id: int
+    watermark: int
+    value: Any
+    representative: Any  # raw of one supporter (the reply plaintext)
+    supporters: tuple[str, ...]
+    dissenters: tuple[str, ...]
+
+
+class ReadVoter:
+    """Client-side voter for the tentative read fast path.
+
+    The Castro–Liskov read-only optimization acceptance rule: ``2f+1``
+    ballots matching on *(watermark, value)* from distinct **core**
+    elements — at least f+1 of them correct, and all computed against the
+    same committed prefix, so the decided value is the one an ordered read
+    at that prefix would have returned. Read-tier ballots are recorded for
+    observability (per-tier reply lag) but are excluded from quorum
+    arithmetic entirely: correctness never rests on a non-voting reader.
+
+    Unlike the :class:`ReplyVoter`, divergence is not a fault symptom here:
+    honest elements race reads against in-flight writes, so mismatched
+    watermarks are expected. The voter therefore reports *exhaustion* (all
+    ``n`` core elements answered without agreement) instead of accusing
+    anyone — the owner falls back to the ordered path, whose ReplyVoter
+    does assign blame.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        core_ids: tuple[str, ...],
+        on_decide: Callable[[ReadOutcome], None],
+        on_exhausted: Callable[[int], None],
+        telemetry: Telemetry | None = None,
+        owner: str = "",
+    ) -> None:
+        if n < 3 * f + 1:
+            raise ValueError(f"n={n} too small for f={f}")
+        self.n = n
+        self.f = f
+        self.core_ids = frozenset(core_ids)
+        self.on_decide = on_decide
+        self.on_exhausted = on_exhausted
+        self.telemetry = telemetry or NOOP_TELEMETRY
+        self.owner = owner
+        self.current_read_id: int | None = None
+        self._comparator: Comparator = Comparator.exact()
+        self._ballots: list[tuple[str, Any]] = []  # sender -> (wm, value)
+        self._keys: list[bytes | None] = []
+        self._raw: dict[str, Any] = {}
+        # (sender, watermark) per read-tier reply for the current read.
+        self.reader_ballots: list[tuple[str, int]] = []
+        self._decided: VoteDecision | None = None
+        self._exhausted = False
+        self.discarded = 0
+
+    @property
+    def threshold(self) -> int:
+        return 2 * self.f + 1
+
+    @property
+    def decided(self) -> bool:
+        return self._decided is not None
+
+    @property
+    def ballots_held(self) -> int:
+        return len(self._ballots) + len(self.reader_ballots)
+
+    def discard(self, reason: str) -> None:
+        self.discarded += 1
+        t = self.telemetry
+        if t.enabled:
+            t.registry.counter(
+                "voter_discarded_total", "Messages voters dropped, by reason",
+                labels=("kind", "reason"),
+            ).labels(kind="read", reason=reason).inc()
+
+    def begin(self, read_id: int, value_comparator: Comparator) -> None:
+        """Start a new tentative read; GCs all prior-read state."""
+        if self.current_read_id is not None and read_id <= self.current_read_id:
+            raise ValueError("read identifiers must be strictly increasing")
+        self.current_read_id = read_id
+        self._comparator = watermarked_comparator(value_comparator)
+        self._ballots = []
+        self._keys = []
+        self._raw = {}
+        self.reader_ballots = []
+        self._decided = None
+        self._exhausted = False
+
+    def abandon(self) -> None:
+        """The owner gave up on the current read (timeout -> fallback)."""
+        self._exhausted = True
+
+    def offer(
+        self,
+        sender: str,
+        read_id: int,
+        watermark: int,
+        value: Any,
+        raw: Any = None,
+        tier: str = "core",
+    ) -> None:
+        if read_id != self.current_read_id or self._exhausted:
+            self.discard("stale")
+            return
+        if tier != "core" or sender not in self.core_ids:
+            # Non-voting tier: observability only, never quorum input. A
+            # core element claiming tier="read" is demoting itself — its
+            # ballot simply stops counting, which is never an advantage.
+            self.reader_ballots.append((sender, watermark))
+            return
+        if sender in self._raw:
+            self.discard("duplicate")
+            return
+        if len(self._ballots) >= self.n * MAX_BALLOTS_FACTOR:
+            self.discard("overflow")
+            return
+        ballot = (watermark, value)
+        self._ballots.append((sender, ballot))
+        self._keys.append(ballot_key(ballot))
+        self._raw[sender] = raw
+        if self._decided is not None:
+            return
+        decision = majority_vote(
+            self._ballots, self.threshold, self._comparator, keys=self._keys
+        )
+        if decision.decided:
+            self._decided = decision
+            t = self.telemetry
+            if t.enabled:
+                t.registry.counter(
+                    "voter_decisions_total", "Concluded votes", labels=("kind",)
+                ).labels(kind="read").inc()
+            wm, decided_value = decision.value
+            self.on_decide(
+                ReadOutcome(
+                    read_id=read_id,
+                    watermark=wm,
+                    value=decided_value,
+                    representative=self._raw.get(decision.supporters[0]),
+                    supporters=decision.supporters,
+                    dissenters=decision.dissenters,
+                )
+            )
+            return
+        if len(self._raw) >= self.n:
+            # Every core element answered and no 2f+1 (watermark, value)
+            # agreement exists — concurrent writes moved the prefix under
+            # us (or <=f elements lied). Report exhaustion exactly once.
+            self._exhausted = True
+            self.on_exhausted(read_id)
 
 
 class RequestVoter:

@@ -248,6 +248,28 @@ def adaptive_majority_vote(
     )
 
 
+def watermarked_comparator(value_comparator: Comparator) -> Comparator:
+    """Comparator over ``(watermark, value)`` ballots of the read fast path.
+
+    Watermarks compare *exactly* — a tentative reply computed against a
+    different committed prefix is a different ballot even when the value
+    happens to match, so replies from divergent prefixes can never be mixed
+    into one decision. Values compare with the operation's (possibly
+    inexact) comparator, same non-transitivity caveat as everywhere else.
+    """
+
+    def equal(a: Any, b: Any) -> bool:
+        if not isinstance(a, tuple) or not isinstance(b, tuple):
+            return False
+        if len(a) != 2 or len(b) != 2:
+            return False
+        if a[0] != b[0]:
+            return False
+        return value_comparator.equal(a[1], b[1])
+
+    return Comparator(equal=equal)
+
+
 def dissenting_senders(
     decided_value: Any,
     ballots: list[tuple[str, Any]],

@@ -10,6 +10,8 @@ that is a TOML file every node reads at boot::
     domain = "calc"
     workload = "calc"  # calc | kv
     clients = ["client-0"]
+    readers = 0        # non-voting read-tier nodes (role "read-only", E19)
+    read_fastpath = false  # allow tentative reads at the clients
 
     [net]
     host = "127.0.0.1"
@@ -17,6 +19,7 @@ that is a TOML file every node reads at boot::
 
     [client]
     requests = 20
+    read_fraction = 0.0    # share of client requests that are reads
 
     [faults]           # optional net-level degradation (repro.net.faults)
     drop = 0.01
@@ -171,6 +174,13 @@ class TopologyConfig:
     max_frame_bytes: int = DEFAULT_MAX_FRAME
     queue_limit: int = 1024
     faults: dict = field(default_factory=dict)
+    # Read fast path (E19): number of non-voting read-tier nodes (role
+    # "read-only"), whether clients may use tentative reads at all, and
+    # what fraction of the client workload is reads (0.0 = all writes,
+    # 0.9 = the 90/10 mix, 0.99 = the 99/1 mix).
+    readers: int = 0
+    read_fastpath: bool = False
+    read_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.f < 1 or self.f_gm < 1:
@@ -179,6 +189,10 @@ class TopologyConfig:
             raise TopologyError(f"unknown workload {self.workload!r}")
         if not self.clients:
             raise TopologyError("topology needs at least one client")
+        if self.readers < 0:
+            raise TopologyError("readers must be >= 0")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise TopologyError("read_fraction must be in [0, 1]")
         self.clients = tuple(self.clients)
 
     # -- derived membership (must match ItdosSystem's naming exactly) -------
@@ -192,18 +206,24 @@ class TopologyConfig:
         return tuple(f"{self.domain}-e{i}" for i in range(3 * self.f + 1))
 
     @property
+    def read_only_ids(self) -> tuple[str, ...]:
+        return tuple(f"{self.domain}-r{i}" for i in range(self.readers))
+
+    @property
     def object_key(self) -> bytes:
         return b"calc" if self.workload == "calc" else b"kv"
 
     def node_ids(self) -> tuple[str, ...]:
         """Every OS process in the cluster, in canonical boot order."""
-        return self.gm_ids + self.element_ids + self.clients
+        return self.gm_ids + self.element_ids + self.read_only_ids + self.clients
 
     def role_of(self, node_id: str) -> str:
         if node_id in self.gm_ids:
             return "gm"
         if node_id in self.element_ids:
             return "replica"
+        if node_id in self.read_only_ids:
+            return "read-only"
         if node_id in self.clients:
             return "client"
         raise TopologyError(f"unknown node {node_id!r}")
@@ -238,18 +258,21 @@ class TopologyConfig:
             seed=self.seed,
             f_gm=self.f_gm,
             repository=standard_repository(),
+            read_fastpath=self.read_fastpath,
         )
         if self.workload == "kv":
             system.add_server_domain(
                 self.domain,
                 f=self.f,
                 servants=lambda element: {b"kv": KvStoreServant()},
+                readers=self.readers,
             )
         else:
             system.add_server_domain(
                 self.domain,
                 f=self.f,
                 servants=lambda element: {b"calc": CalculatorServant()},
+                readers=self.readers,
             )
         for name in self.clients:
             system.add_client(name)
@@ -279,6 +302,9 @@ class TopologyConfig:
             max_frame_bytes=int(net.get("max_frame", DEFAULT_MAX_FRAME)),
             queue_limit=int(net.get("queue_limit", 1024)),
             faults=dict(spec.get("faults", {})),
+            readers=int(system.get("readers", 0)),
+            read_fastpath=bool(system.get("read_fastpath", False)),
+            read_fraction=float(client.get("read_fraction", 0.0)),
         )
 
     @staticmethod

@@ -31,6 +31,8 @@ def write_topology(config: TopologyConfig, path: str) -> str:
         f'domain = "{config.domain}"',
         f'workload = "{config.workload}"',
         f"clients = [{clients}]",
+        f"readers = {config.readers}",
+        f"read_fastpath = {'true' if config.read_fastpath else 'false'}",
         "",
         "[net]",
         f'host = "{config.host}"',
@@ -41,6 +43,7 @@ def write_topology(config: TopologyConfig, path: str) -> str:
         "",
         "[client]",
         f"requests = {config.requests}",
+        f"read_fraction = {config.read_fraction}",
     ]
     if config.faults:
         lines.append("")
@@ -113,8 +116,12 @@ class ClusterLauncher:
         return proc
 
     def start_servers(self, ready_timeout: float = 60.0) -> None:
-        """Boot GM + replica nodes and wait for every ``.ready`` file."""
-        server_ids = (*self.config.gm_ids, *self.config.element_ids)
+        """Boot GM + replica (+ read-tier) nodes; wait for ``.ready`` files."""
+        server_ids = (
+            *self.config.gm_ids,
+            *self.config.element_ids,
+            *self.config.read_only_ids,
+        )
         for node_id in server_ids:
             self.spawn(node_id)
         self.wait_ready(server_ids, timeout=ready_timeout)

@@ -141,6 +141,11 @@ class NodeHarness:
     async def _start_role(self) -> None:
         if self.role == "gm":
             self.element.start()
+        elif self.role == "read-only" and self.rejoin:
+            # A reader's whole state is derived from the committed stream,
+            # so a restarted reader just re-adopts it from the core tier —
+            # no GM petition, no membership change.
+            self.element.resync()
         elif self.role == "replica" and self.rejoin:
             # Background: readmission takes several protocol round trips
             # (petition through GM ordering, then transfer windows) and must
@@ -164,14 +169,41 @@ class NodeHarness:
         # without tearing the node down.
         self._export()
 
+    def _request_plan(self, index: int, written: int) -> tuple[str, tuple, Any]:
+        """The index-th request of the mixed read/write client workload.
+
+        Deterministic interleave: request ``index`` is a read iff the
+        rounded cumulative read budget ``read_fraction * (index+1)``
+        crosses an integer — so a 0.9 fraction yields exactly the 90/10
+        pattern every node and every run agrees on.
+        """
+        fraction = self.config.read_fraction
+        is_read = int(fraction * (index + 1)) > int(fraction * index)
+        if self.config.workload == "kv":
+            if is_read:
+                key = f"k{written - 1}" if written else "k-none"
+                return "get", (key,), (f"v{written - 1}" if written else "")
+            return "put", (f"k{written}", f"v{written}"), None
+        if is_read:
+            return "mean", ([float(index), 1000.0],), (float(index) + 1000.0) / 2.0
+        return "add", (float(index), 1000.0), float(index) + 1000.0
+
     async def _run_workload(self) -> dict:
-        """The client driver: ordered echo requests over the real wire."""
+        """The client driver: mixed read/write requests over the real wire.
+
+        Writes go through BFT ordering as always; with ``read_fastpath``
+        on, reads take the tentative path (2f+1 matching core replies at
+        one watermark) and transparently fall back to ordering otherwise.
+        """
         config = self.config
         loop = asyncio.get_running_loop()
         ref = self.system.ref(config.domain, config.object_key)
         latencies: list[float] = []
+        read_latencies: list[float] = []
         errors: list[str] = []
         okay = 0
+        written = 0
+        reads = 0
         for index in range(config.requests):
             future: asyncio.Future[Any] = loop.create_future()
 
@@ -180,24 +212,26 @@ class NodeHarness:
                     future.set_result(value)
 
             started = loop.time()
-            if config.workload == "kv":
-                operation, args = "put", (f"k{index}", f"v{index}")
-                expected: Any = None
-            else:
-                operation, args = "add", (float(index), 1000.0)
-                expected = float(index) + 1000.0
+            operation, args, expected = self._request_plan(index, written)
+            is_read = operation in ("get", "mean")
             self.element.async_invoke(ref, operation, args, on_result)
             try:
                 value = await asyncio.wait_for(future, timeout=60.0)
             except asyncio.TimeoutError:
                 errors.append(f"request {index}: timed out")
                 break
-            latencies.append(loop.time() - started)
+            elapsed = loop.time() - started
+            latencies.append(elapsed)
+            if is_read:
+                reads += 1
+                read_latencies.append(elapsed)
+            else:
+                written += 1
             if expected is not None and value != expected:
                 errors.append(f"request {index}: got {value!r} != {expected!r}")
             else:
                 okay += 1
-        return {
+        report = {
             "node": self.node_id,
             "workload": config.workload,
             "requests": config.requests,
@@ -205,6 +239,24 @@ class NodeHarness:
             "okay": okay,
             "errors": errors,
             "latencies": latencies,
+            "reads": reads,
+            "read_latencies": read_latencies,
+        }
+        report.update(self._read_path_stats())
+        return report
+
+    def _read_path_stats(self) -> dict:
+        """Fast-path counters across the client's SMIOP connections."""
+        endpoint = getattr(self.element, "endpoint", None)
+        hits = fallbacks = sent = 0
+        for connection in getattr(endpoint, "connections", {}).values():
+            hits += getattr(connection, "read_fastpath_hits", 0)
+            fallbacks += getattr(connection, "read_fastpath_fallbacks", 0)
+            sent += getattr(connection, "reads_sent", 0)
+        return {
+            "read_fastpath_hits": hits,
+            "read_fastpath_fallbacks": fallbacks,
+            "reads_sent": sent,
         }
 
     # -- shutdown ------------------------------------------------------------
@@ -261,7 +313,20 @@ class NodeHarness:
                 "diverged": self.element.diverged,
                 "last_executed": self.element.last_executed,
                 "undecryptable_skipped": self.element.undecryptable_skipped,
+                "reads_served": self.element.reads_served,
+                "reads_refused": self.element.reads_refused,
             }
+        elif self.role == "read-only":
+            stats["read_only"] = {
+                "feeds_applied": self.element.feeds_applied,
+                "watermark": self.element.queue.processed_count,
+                "reads_served": self.element.reads_served,
+                "reads_refused": self.element.reads_refused,
+                "syncs_completed": self.element.syncs_completed,
+                "diverged": self.element.diverged,
+            }
+        elif self.role == "client":
+            stats["client"] = self._read_path_stats()
         _write_json(
             os.path.join(self.out_dir, f"{self.node_id}.stats.json"), stats
         )

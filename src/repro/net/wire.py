@@ -228,6 +228,11 @@ def _register_builtin_types() -> None:
         itdos.SmiopReply,
         itdos.BodyRequest,
         itdos.BodyReply,
+        itdos.ReadRequest,
+        itdos.ReadReply,
+        itdos.CommitFeed,
+        itdos.ReadSyncRequest,
+        itdos.ReadSyncResponse,
         itdos.GmShareEnvelope,
         itdos.OpenRequest,
         itdos.ProofItem,

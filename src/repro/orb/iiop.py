@@ -138,7 +138,10 @@ class _IiopConnection(Connection):
         self._next_request_id += 1
         return self._next_request_id
 
-    def send_request(self, wire: bytes, on_reply: ReplyHandler | None) -> None:
+    def send_request(
+        self, wire: bytes, on_reply: ReplyHandler | None, read_only: bool = False
+    ) -> None:
+        # IIOP has no fast path; the read_only hint is accepted and ignored.
         if not self._open:
             raise CommFailure("connection not established")
         message = self.client.orb.unmarshal_request(wire)

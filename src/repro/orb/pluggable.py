@@ -21,11 +21,19 @@ class Connection(ABC):
     """One established (possibly virtual) connection to a target."""
 
     @abstractmethod
-    def send_request(self, wire: bytes, on_reply: ReplyHandler | None) -> None:
+    def send_request(
+        self,
+        wire: bytes,
+        on_reply: ReplyHandler | None,
+        read_only: bool = False,
+    ) -> None:
         """Transmit one marshalled GIOP request.
 
         ``on_reply`` receives the (voted, decrypted) marshalled GIOP reply;
-        pass None for oneway operations.
+        pass None for oneway operations. ``read_only`` asserts the request
+        invokes an IDL-declared side-effect-free operation; a transport may
+        then serve it on a read fast path (SMIOP's tentative execution) —
+        or ignore the hint entirely, as plain IIOP does.
         """
 
     @abstractmethod

@@ -47,6 +47,34 @@ def sensor_readings(
     return rounds
 
 
+def read_write_mix(
+    rng: random.Random, count: int, read_fraction: float
+) -> list[str]:
+    """A shuffled ``count``-long schedule of ``"read"``/``"write"`` slots.
+
+    The read count is exact (``round(count * read_fraction)``), so a
+    90/10 schedule of 100 requests holds exactly 90 reads — benchmark
+    cells compare like with like across seeds. The shuffle order is the
+    only randomness.
+    """
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError("read_fraction must be in [0, 1]")
+    reads = round(count * read_fraction)
+    schedule = ["read"] * reads + ["write"] * (count - reads)
+    rng.shuffle(schedule)
+    return schedule
+
+
+def mix_90_10(rng: random.Random, count: int) -> list[str]:
+    """The read-heavy OLTP-ish preset: 90% reads."""
+    return read_write_mix(rng, count, 0.9)
+
+
+def mix_99_1(rng: random.Random, count: int) -> list[str]:
+    """The read-dominated preset: 99% reads (E19's headline cell)."""
+    return read_write_mix(rng, count, 0.99)
+
+
 class ClosedLoopDriver:
     """Issues operations one at a time and records simulated latencies.
 

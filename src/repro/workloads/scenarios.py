@@ -30,9 +30,12 @@ CALCULATOR = InterfaceDef(
     (
         Operation("add", (Parameter("a", TC_DOUBLE), Parameter("b", TC_DOUBLE)), TC_DOUBLE),
         Operation("divide", (Parameter("a", TC_DOUBLE), Parameter("b", TC_DOUBLE)), TC_DOUBLE),
-        Operation("mean", (Parameter("xs", SequenceType(TC_DOUBLE)),), TC_DOUBLE),
+        Operation(
+            "mean", (Parameter("xs", SequenceType(TC_DOUBLE)),), TC_DOUBLE,
+            read_only=True,
+        ),
         Operation("store", (Parameter("v", TC_DOUBLE),), TC_VOID),
-        Operation("history", (), SequenceType(TC_DOUBLE)),
+        Operation("history", (), SequenceType(TC_DOUBLE), read_only=True),
     ),
 )
 
@@ -40,7 +43,7 @@ LEDGER = InterfaceDef(
     "Ledger",
     (
         Operation("record", (Parameter("entry", TC_STRING),), TC_LONG),
-        Operation("count", (), TC_LONG),
+        Operation("count", (), TC_LONG, read_only=True),
     ),
 )
 
@@ -57,7 +60,9 @@ BANK = InterfaceDef(
             (Parameter("account", TC_STRING), Parameter("amount", TC_DOUBLE)),
             TC_DOUBLE,
         ),
-        Operation("balance", (Parameter("account", TC_STRING),), TC_DOUBLE),
+        Operation(
+            "balance", (Parameter("account", TC_STRING),), TC_DOUBLE, read_only=True
+        ),
         Operation(
             "audited_deposit",
             (Parameter("account", TC_STRING), Parameter("amount", TC_DOUBLE)),
@@ -74,8 +79,8 @@ SENSOR_FUSION = InterfaceDef(
     "SensorFusion",
     (
         Operation("fuse", (Parameter("readings", SequenceType(READING)),), TC_DOUBLE),
-        Operation("estimate", (), TC_DOUBLE),
-        Operation("rounds", (), TC_LONG),
+        Operation("estimate", (), TC_DOUBLE, read_only=True),
+        Operation("rounds", (), TC_LONG, read_only=True),
     ),
 )
 
@@ -83,8 +88,8 @@ KVSTORE = InterfaceDef(
     "KvStore",
     (
         Operation("put", (Parameter("key", TC_STRING), Parameter("value", TC_STRING)), TC_VOID),
-        Operation("get", (Parameter("key", TC_STRING),), TC_STRING),
-        Operation("size", (), TC_LONG),
+        Operation("get", (Parameter("key", TC_STRING),), TC_STRING, read_only=True),
+        Operation("size", (), TC_LONG, read_only=True),
     ),
 )
 
@@ -265,6 +270,35 @@ def build_bank_system(
         servants=lambda element: {
             b"bank": BankServant(element=element, ledger_ref=ledger_ref)
         },
+    )
+    return system
+
+
+def build_read_heavy_system(
+    f: int = 1,
+    seed: int = 0,
+    readers: int = 2,
+    read_fastpath: bool = True,
+    **kwargs: Any,
+) -> ItdosSystem:
+    """KV domain tuned for the read fast path (E19): a non-voting read
+    tier behind the core elements, tentative reads enabled at clients.
+
+    Drive it with :func:`repro.workloads.generators.read_write_mix` —
+    ``get``/``size`` ride the fast path, ``put`` goes through ordering.
+    """
+    system = ItdosSystem(
+        seed=seed,
+        repository=standard_repository(),
+        heterogeneous=False,
+        read_fastpath=read_fastpath,
+        **kwargs,
+    )
+    system.add_server_domain(
+        "kv",
+        f=f,
+        servants=lambda element: {b"kv": KvStoreServant()},
+        readers=readers,
     )
     return system
 

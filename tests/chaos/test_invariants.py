@@ -157,3 +157,91 @@ def test_deep_check_runs_on_interval_only():
     checker.on_deliver("a", "b", b"x")
     with pytest.raises(InvariantViolation):
         checker.on_deliver("a", "b", b"x")  # 4th delivery -> deep check
+
+
+# -- E19 read staleness bound ------------------------------------------------
+
+
+def _read_world(appended=3, corrupt=()):
+    """Four core elements in one domain, each ``appended`` deep."""
+    elements = []
+    for i in range(4):
+        replica = make_replica(f"e{i}")
+        replica.queue = SimpleNamespace(total_appended=appended)
+        elements.append(replica)
+    system = make_system(elements)
+    system.directory = SimpleNamespace(
+        domains={
+            "calc": SimpleNamespace(
+                element_ids=tuple(f"e{i}" for i in range(4))
+            )
+        }
+    )
+    return InvariantChecker(system, corrupt=set(corrupt))
+
+
+def _read_reply(sender, watermark):
+    from repro.itdos.messages import ReadReply
+
+    return ReadReply(
+        conn_id=7,
+        read_id=1,
+        key_id=1,
+        ciphertext=b"",
+        sender=sender,
+        signature=b"",
+        watermark=watermark,
+    )
+
+
+def test_honest_read_beyond_commit_detected():
+    checker = _read_world(appended=3)
+    payload = _read_reply("e0", watermark=5)
+    expect(checker, "read-beyond-commit",
+           lambda: checker.check_read_reply("e0", payload))
+
+
+def test_stale_read_reply_is_legal():
+    checker = _read_world(appended=3)
+    checker.check_read_reply("e0", _read_reply("e0", watermark=1))
+    assert checker.violations == []
+
+
+def test_corrupt_sender_forgery_is_not_an_honest_violation():
+    # A designated-Byzantine element may lie on the wire; the invariant
+    # only indicts *honest* elements (the client quorum handles liars).
+    checker = _read_world(appended=3, corrupt={"e0"})
+    checker.check_read_reply("e0", _read_reply("e0", watermark=50))
+    assert checker.violations == []
+
+
+def _client_with_read_decisions(decisions):
+    connection = SimpleNamespace(
+        read_decisions=list(decisions),
+        target=SimpleNamespace(domain_id="calc", f=1),
+    )
+    return SimpleNamespace(
+        pid="alice",
+        endpoint=SimpleNamespace(connections={7: connection}),
+        key_store=None,
+    )
+
+
+def test_read_decided_beyond_commit_detected():
+    checker = _read_world(appended=3)
+    client = _client_with_read_decisions([(1, 9)])
+    checker.system.clients = {"alice": client}
+    expect(checker, "read-decided-beyond-commit", checker.check_read_decisions)
+
+
+def test_read_decisions_scan_is_incremental():
+    checker = _read_world(appended=3)
+    client = _client_with_read_decisions([(1, 2)])
+    checker.system.clients = {"alice": client}
+    checker.check_read_decisions()  # clean; position advances past (1, 2)
+    connection = client.endpoint.connections[7]
+    connection.read_decisions.append((2, 3))
+    checker.check_read_decisions()
+    assert checker.violations == []
+    connection.read_decisions.append((3, 4))  # beyond the prefix
+    expect(checker, "read-decided-beyond-commit", checker.check_read_decisions)

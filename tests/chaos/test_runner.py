@@ -129,3 +129,18 @@ def test_shrinker_returns_empty_for_a_passing_cell():
             return RunResult(scenario=scenario, seed=seed, ok=True)
 
     assert _Shrinker(_AlwaysOk(), Scenario(), seed=0).shrink() == []
+
+
+# -- E19 read fast path cell -------------------------------------------------
+
+
+def test_read_fastpath_cell_pinned():
+    """The representative read-fastpath cell: tentative reads under the
+    full adversary with a watermark-forging element, a lagging reader,
+    and a mid-storm reader restart. Pinned at seed 0 so any regression in
+    the read staleness invariants reproduces deterministically."""
+    scenario = Scenario(read_fastpath=True)
+    assert scenario.label == "b1-p0-fw-rd"
+    result = run_cell(scenario, seed=0)
+    assert result.ok, describe(result)
+    assert result.fault_candidates > 0

@@ -1,0 +1,260 @@
+"""E19 read fast path: tentative reads, fallback, and the read tier.
+
+The Castro–Liskov read-only optimization at the ITDOS layer: ``read_only``
+operations skip ordering, every element executes them tentatively against
+its committed prefix, and the client accepts 2f+1 matching
+(watermark, value) core replies — falling back to ordered resubmission of
+the same request wire when the replies diverge or time out. A non-voting
+read-tier element rides the committed stream for capacity, never quorums.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.byzantine import ForgedWatermarkElement, LaggingReader
+from repro.itdos.bootstrap import ItdosSystem
+from repro.itdos.messages import (
+    CommitFeed,
+    ReadReply,
+    ReadRequest,
+    ReadSyncRequest,
+    ReadSyncResponse,
+)
+from repro.workloads.scenarios import KvStoreServant, standard_repository
+
+READ_MESSAGE_TYPES = (
+    ReadRequest,
+    ReadReply,
+    CommitFeed,
+    ReadSyncRequest,
+    ReadSyncResponse,
+)
+
+
+def make_kv(
+    readers: int = 0,
+    read_fastpath: bool = True,
+    byzantine: dict | None = None,
+    reader_class: type | None = None,
+    seed: int = 0,
+) -> ItdosSystem:
+    system = ItdosSystem(
+        seed=seed,
+        repository=standard_repository(),
+        heterogeneous=False,
+        read_fastpath=read_fastpath,
+    )
+    system.add_server_domain(
+        "kv",
+        f=1,
+        servants=lambda element: {b"kv": KvStoreServant()},
+        readers=readers,
+        byzantine=byzantine,
+        reader_class=reader_class,
+    )
+    system.settle(1.0)  # GM bootstrap
+    return system
+
+
+def client_and_stub(system):
+    client = system.add_client("alice")
+    stub = client.stub(system.ref("kv", b"kv"))
+    return client, stub
+
+
+def the_connection(client):
+    assert len(client.endpoint.connections) == 1
+    return next(iter(client.endpoint.connections.values()))
+
+
+def honest_prefix(system, skip=()):
+    return max(
+        element.queue.total_appended
+        for pid, element in system.elements.items()
+        if pid not in skip and not pid.startswith("kv-r")
+    )
+
+
+# -- the fast path ----------------------------------------------------------
+
+
+def test_read_decides_tentatively_within_commit_bound():
+    system = make_kv()
+    client, stub = client_and_stub(system)
+    stub.put("k", "v1")
+    assert stub.get("k") == "v1"
+    connection = the_connection(client)
+    assert connection.read_fastpath_hits == 1
+    assert connection.read_fastpath_fallbacks == 0
+    [(read_id, watermark)] = connection.read_decisions
+    assert read_id == 1
+    assert watermark <= honest_prefix(system)
+
+
+def test_fastpath_off_never_puts_read_messages_on_the_wire(monkeypatch):
+    from repro.net.transport import SimTransport
+
+    seen: list[str] = []
+    real = SimTransport.transmit
+
+    def spy(self, src, dst, payload, size, extra_delay):
+        if isinstance(payload, READ_MESSAGE_TYPES):
+            seen.append(type(payload).__name__)
+        return real(self, src, dst, payload, size, extra_delay)
+
+    monkeypatch.setattr(SimTransport, "transmit", spy)
+    system = make_kv(read_fastpath=False)
+    client, stub = client_and_stub(system)
+    stub.put("k", "v1")
+    assert stub.get("k") == "v1"
+    assert stub.size() == 1
+    connection = the_connection(client)
+    assert connection.reads_sent == 0
+    assert connection.read_fastpath_hits == 0
+    assert seen == []  # feature off = inert: the E19 wire surface is absent
+
+
+def test_divergent_replies_fall_back_transparently():
+    """Two forged-watermark elements split the ballots 2/2: no 2f+1
+    agreement can form, the voter reports exhaustion, and the read is
+    resubmitted through ordering — the caller just sees the right value.
+
+    (Two liars exceed the f=1 safety budget on purpose: the point here is
+    the fallback *mechanics*, which must work no matter why replies
+    diverge.)
+    """
+    system = make_kv(
+        byzantine={1: ForgedWatermarkElement, 2: ForgedWatermarkElement}
+    )
+    client, stub = client_and_stub(system)
+    stub.put("k", "v1")
+    assert stub.get("k") == "v1"
+    connection = the_connection(client)
+    assert connection.read_fastpath_hits == 0
+    assert connection.read_fastpath_fallbacks == 1
+    # The fallback is per-read, not sticky: the next read tries the fast
+    # path again (and falls back again — no voter starvation, no wedging).
+    assert stub.get("k") == "v1"
+    assert connection.read_fastpath_fallbacks == 2
+    # The ordered resubmission executed exactly once per element: request
+    # ids in every dispatch log are strictly increasing, no replays.
+    for element in system.elements.values():
+        ids = [request_id for _, request_id in element.dispatch_log]
+        assert ids == sorted(set(ids))
+    # Writes after the fallback are unaffected.
+    stub.put("k", "v2")
+    assert stub.get("k") == "v2"
+
+
+def test_forged_watermark_within_f_cannot_steer_a_decision():
+    system = make_kv(byzantine={1: ForgedWatermarkElement})
+    client, stub = client_and_stub(system)
+    stub.put("k", "v1")
+    stub.put("k", "v2")
+    assert stub.get("k") == "v2"
+    connection = the_connection(client)
+    # Three honest elements agree, so the read still decides on the fast
+    # path — and the decided watermark sits inside the committed prefix.
+    assert connection.read_fastpath_hits == 1
+    for _, watermark in connection.read_decisions:
+        assert watermark <= honest_prefix(system, skip=("kv-e1",))
+
+
+def test_interleaved_reads_and_writes_all_account():
+    system = make_kv(readers=1)
+    client, stub = client_and_stub(system)
+    for i in range(6):
+        stub.put(f"k{i}", f"v{i}")
+        assert stub.get(f"k{i}") == f"v{i}"
+        assert stub.size() == i + 1
+    connection = the_connection(client)
+    assert connection.reads_sent == 12
+    assert (
+        connection.read_fastpath_hits + connection.read_fastpath_fallbacks
+        == connection.reads_sent
+    )
+
+
+# -- the read tier ----------------------------------------------------------
+
+
+def test_read_tier_rides_the_commit_feed():
+    system = make_kv(readers=1)
+    _, stub = client_and_stub(system)
+    for i in range(3):
+        stub.put(f"k{i}", f"v{i}")
+    system.settle(0.5)
+    [reader] = system.read_tier("kv")
+    assert reader.queue.total_appended == 3
+    assert reader.feeds_applied == 3
+    assert not reader.diverged
+    # Byte-identical committed history: the reader's append chain matches
+    # the core's.
+    core = system.elements["kv-e0"]
+    assert reader._append_chain == core._append_chain
+    servant = reader.orb.adapter.servant_for(b"kv")
+    assert servant.data == {f"k{i}": f"v{i}" for i in range(3)}
+
+
+def test_reader_restart_catches_up_via_state_sync():
+    system = make_kv(readers=1)
+    _, stub = client_and_stub(system)
+    for i in range(3):
+        stub.put(f"k{i}", f"v{i}")
+    system.settle(0.5)
+    [reader] = system.read_tier("kv")
+    reader.restart()
+    for i in range(3, 6):
+        stub.put(f"k{i}", f"v{i}")
+    system.settle(2.0)
+    assert reader.syncs_completed >= 1
+    assert not reader.diverged
+    assert reader.queue.total_appended == 6
+    assert reader._append_chain == system.elements["kv-e0"]._append_chain
+
+
+def test_lagging_reader_recovers_through_the_stall_timer():
+    system = make_kv(readers=1, reader_class=LaggingReader)
+    client, stub = client_and_stub(system)
+    for i in range(5):
+        stub.put(f"k{i}", f"v{i}")
+    system.settle(0.5)
+    [reader] = system.read_tier("kv")
+    # The reader dropped most of its feed: stale but legal — reads still
+    # decide from the core quorum without it.
+    assert reader.queue.total_appended < 5
+    assert stub.get("k4") == "v4"
+    assert the_connection(client).read_fastpath_hits == 1
+    # The buffered out-of-order feed arms the stall timer; once it fires
+    # the reader state-syncs back to the committed prefix.
+    system.settle(LaggingReader.FEED_STALL_TIMEOUT + 2.0)
+    assert reader.syncs_completed >= 1
+    assert reader.queue.total_appended == 5
+
+
+def test_reader_never_votes_in_the_read_quorum():
+    system = make_kv(readers=1)
+    client, stub = client_and_stub(system)
+    stub.put("k", "v1")
+    assert stub.get("k") == "v1"
+    connection = the_connection(client)
+    system.settle(0.5)  # let the reader's (late) reply arrive
+    # Reader ballots are recorded for lag observability only.
+    for sender, _ in connection.read_voter.reader_ballots:
+        assert sender == "kv-r0"
+
+
+def test_readers_zero_is_construction_identical():
+    """readers=0 must not perturb the RNG stream: same seed, same keys,
+    same multicast layout as a build that never heard of the read tier."""
+    plain = make_kv(readers=0, read_fastpath=False)
+    with_flag = make_kv(readers=0, read_fastpath=True)
+    assert sorted(plain.elements) == sorted(with_flag.elements)
+    for pid, element in plain.elements.items():
+        twin = with_flag.elements[pid]
+        assert element.queue.total_appended == twin.queue.total_appended
+    assert (
+        plain.network.stats.messages_sent == with_flag.network.stats.messages_sent
+    )
+    assert plain.network.stats.bytes_sent == with_flag.network.stats.bytes_sent
