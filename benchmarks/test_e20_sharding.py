@@ -1,0 +1,296 @@
+"""E20 — multi-domain sharding with BFT cross-shard commit.
+
+One replication domain is a hard throughput ceiling: every ordered write
+serialises through a single PBFT instance and a single §3.6 virtual
+connection. Sharding partitions the object space across independent
+replication domains; the client router fans independent single-key
+requests to their home shards concurrently, so aggregate ordered
+throughput scales with the shard count while each shard's replicas hold
+only their partition's message-queue state (selective replication).
+
+Cross-shard writes go through Zhao's BFT distributed commit: the 2PC
+coordinator is itself a replication domain, prepare/commit records ride
+each participant shard's ordinary BFT ordering as nested invocations, and
+the decision is screened by the participants' f+1 request voting — a
+Byzantine coordinator minority can neither forge nor split an outcome.
+That protection is paid for in messages; this benchmark prices it.
+
+Measured:
+
+* aggregate ordered requests/second of simulated time at 1, 2, and 4
+  shards over a fixed 64-request single-key workload;
+* the cross-shard tax: latency and messages per two-shard transaction
+  against single-shard ordered puts on the same deployment;
+* one real-wire cell (13-process loopback cluster, 2 shards) proving the
+  deployable artifact routes per key end to end.
+
+Asserted shape: >= 2.5x aggregate ordered req/s from 1 to 4 shards (the
+observed scaling is ~4x), 2 shards beat 1, every cross-shard transaction
+commits, and the wire run completes every request with clean exits.
+
+The numbers land in ``BENCH_E20.json`` (override with ``BENCH_E20_PATH``)
+and in pytest-benchmark's ``extra_info``.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from benchmarks.conftest import once, print_table
+from repro.net.bench import percentile, pick_base_port
+from repro.net.config import TopologyConfig
+from repro.net.launcher import ClusterLauncher
+from repro.workloads import build_sharded_kv_system, router_for
+
+SHARD_COUNTS = (1, 2, 4)
+SIM_REQUESTS = 64
+TXN_COUNT = 8
+WIRE_REQUESTS = 20
+SEED = 20
+# Same wire model as E19: 1 ms propagation + 10 µs/byte, applied to every
+# cell identically, so the shard counts compete on concurrency alone.
+PER_BYTE_DELAY = 1e-5
+
+
+def key_on_shard(shard_map, shard: int, tag: str) -> str:
+    """First ``{tag}.{n}`` whose digest lands on ``shard`` — deterministic."""
+    n = 0
+    while shard_map.shard_of(f"{tag}.{n}") != shard:
+        n += 1
+    return f"{tag}.{n}"
+
+
+def run_scaling_cell(shards: int) -> dict:
+    """SIM_REQUESTS single-key puts, spread evenly across the shards and
+    fanned concurrently by the router — per-shard traffic keeps the §3.6
+    one-outstanding discipline, shards proceed in parallel."""
+    system, shard_map = build_sharded_kv_system(
+        shards=shards, f=1, seed=SEED, cross_shard=False
+    )
+    system.network.config.per_byte_delay = PER_BYTE_DELAY
+    client = system.add_client("client-0")
+    system.settle(1.0)  # GM bootstrap off the measured path
+    router = router_for(system, client, shard_map)
+    for shard in range(shards):
+        # Warm-up: Figure 3 handshake per shard connection.
+        warm = key_on_shard(shard_map, shard, "warm")
+        router.invoke(warm, "put", warm, "w")
+
+    replies: list = []
+    started_sim = system.network.now
+    started_wall = time.perf_counter()
+    for j in range(SIM_REQUESTS // shards):
+        for shard in range(shards):
+            key = key_on_shard(shard_map, shard, f"w{j}")
+            router.submit(key, "put", (key, "v"), replies.append)
+    system.run_until(lambda: len(replies) == SIM_REQUESTS)
+    sim_elapsed = system.network.now - started_sim
+    wall = time.perf_counter() - started_wall
+
+    per_shard_history = {
+        domain_id: system.elements[
+            system.directory.domain(domain_id).element_ids[0]
+        ].queue.bytes_appended
+        for domain_id in shard_map.domain_ids
+    }
+    return {
+        "backend": "sim",
+        "kind": "scaling",
+        "shards": shards,
+        "requests": SIM_REQUESTS,
+        "sim_seconds": sim_elapsed,
+        "wall_seconds": wall,
+        "requests_per_second": SIM_REQUESTS / sim_elapsed,
+        "routed": dict(router.routed),
+        "messages_sent": system.network.stats.messages_sent,
+        "bytes_sent": system.network.stats.bytes_sent,
+        "history_bytes_per_shard": per_shard_history,
+    }
+
+
+def run_cross_shard_cell() -> dict:
+    """The cross-shard tax on a 2-shard + coordinator deployment: latency
+    and messages per two-shard transaction vs single-shard ordered puts."""
+    system, shard_map = build_sharded_kv_system(
+        shards=2, f=1, seed=SEED, cross_shard=True
+    )
+    system.network.config.per_byte_delay = PER_BYTE_DELAY
+    client = system.add_client("client-0")
+    system.settle(1.0)
+    router = router_for(system, client, shard_map)
+    warm = key_on_shard(shard_map, 0, "warm")
+    router.invoke(warm, "put", warm, "w")
+    warm_tx = [key_on_shard(shard_map, 0, "wtx"), key_on_shard(shard_map, 1, "wtx")]
+    assert router.transact(warm_tx, ["w", "w"]) == 1
+
+    put_latencies: list[float] = []
+    messages_before = system.network.stats.messages_sent
+    for j in range(TXN_COUNT):
+        key = key_on_shard(shard_map, 0, f"p{j}")
+        before = system.network.now
+        router.invoke(key, "put", key, "v")
+        put_latencies.append(system.network.now - before)
+    put_messages = (system.network.stats.messages_sent - messages_before) / TXN_COUNT
+
+    txn_latencies: list[float] = []
+    committed = 0
+    messages_before = system.network.stats.messages_sent
+    for j in range(TXN_COUNT):
+        keys = [
+            key_on_shard(shard_map, 0, f"t{j}"),
+            key_on_shard(shard_map, 1, f"t{j}"),
+        ]
+        before = system.network.now
+        committed += router.transact(keys, [f"a{j}", f"b{j}"])
+        txn_latencies.append(system.network.now - before)
+    txn_messages = (system.network.stats.messages_sent - messages_before) / TXN_COUNT
+
+    return {
+        "backend": "sim",
+        "kind": "cross-shard-cost",
+        "shards": 2,
+        "transactions": TXN_COUNT,
+        "committed": committed,
+        "put_latency_p50": percentile(put_latencies, 0.50),
+        "txn_latency_p50": percentile(txn_latencies, 0.50),
+        "put_messages_per_op": put_messages,
+        "txn_messages_per_op": txn_messages,
+        "latency_ratio": percentile(txn_latencies, 0.50)
+        / percentile(put_latencies, 0.50),
+        "message_ratio": txn_messages / put_messages,
+        "latency_unit": "simulated seconds",
+    }
+
+
+def run_wire_cell() -> dict:
+    """2-shard kv topology on the real-wire backend: loopback TCP, one OS
+    process per pid (4 GM + 2x4 shard replicas + 1 client)."""
+    config = TopologyConfig(
+        seed=SEED, requests=WIRE_REQUESTS, workload="kv", domain="kv", shards=2
+    )
+    config.base_port = pick_base_port(len(config.node_ids()))
+    work_dir = tempfile.mkdtemp(prefix="repro-e20-")
+    started_wall = time.perf_counter()
+    with ClusterLauncher(config, work_dir) as cluster:
+        cluster.start_servers()
+        report = cluster.run_client()
+        codes = cluster.shutdown()
+    elapsed = time.perf_counter() - started_wall
+    latencies = report["latencies"]
+    busy = sum(latencies)
+    cell = {
+        "backend": "wire",
+        "kind": "scaling",
+        "shards": 2,
+        "processes": len(config.node_ids()),
+        "requests": report["requests"],
+        "completed": report["completed"],
+        "okay": report["okay"],
+        "errors": report["errors"],
+        "wall_seconds": elapsed,
+        "requests_per_second": report["completed"] / busy if busy > 0 else 0.0,
+        "latency_p50": percentile(latencies, 0.50),
+        "latency_p99": percentile(latencies, 0.99),
+        "latency_unit": "real seconds",
+        "server_exit_codes": {
+            pid: code for pid, code in codes.items() if code != 0
+        },
+    }
+    shutil.rmtree(work_dir, ignore_errors=True)
+    return cell
+
+
+def test_e20_sharding(benchmark):
+    def run_all():
+        cells = [run_scaling_cell(shards) for shards in SHARD_COUNTS]
+        cells.append(run_cross_shard_cell())
+        cells.append(run_wire_cell())
+        return cells
+
+    cells = once(benchmark, run_all)
+    scaling = {c["shards"]: c for c in cells if c["kind"] == "scaling" and c["backend"] == "sim"}
+    cost = next(c for c in cells if c["kind"] == "cross-shard-cost")
+    wire = next(c for c in cells if c["backend"] == "wire")
+
+    print_table(
+        "E20: aggregate ordered throughput vs shard count (sim)",
+        ["shards", "requests", "sim s", "req/s", "messages"],
+        [
+            [
+                s,
+                scaling[s]["requests"],
+                f"{scaling[s]['sim_seconds']:.3f}",
+                f"{scaling[s]['requests_per_second']:.1f}",
+                scaling[s]["messages_sent"],
+            ]
+            for s in SHARD_COUNTS
+        ],
+    )
+    print_table(
+        "E20: the cross-shard commit tax (2 shards + coordinator domain)",
+        ["op", "p50 ms (sim)", "msgs/op"],
+        [
+            ["single-shard put", f"{cost['put_latency_p50'] * 1000.0:.2f}",
+             f"{cost['put_messages_per_op']:.0f}"],
+            ["2-shard transact", f"{cost['txn_latency_p50'] * 1000.0:.2f}",
+             f"{cost['txn_messages_per_op']:.0f}"],
+            ["ratio", f"{cost['latency_ratio']:.1f}x", f"{cost['message_ratio']:.1f}x"],
+        ],
+    )
+    print_table(
+        "E20: real-wire 2-shard cell",
+        ["processes", "done", "req/s", "p50 ms", "p99 ms"],
+        [[
+            wire["processes"],
+            wire["completed"],
+            f"{wire['requests_per_second']:.1f}",
+            f"{wire['latency_p50'] * 1000.0:.2f}",
+            f"{wire['latency_p99'] * 1000.0:.2f}",
+        ]],
+    )
+
+    # The headline claim: aggregate ordered throughput scales with shards.
+    speedup = (
+        scaling[4]["requests_per_second"] / scaling[1]["requests_per_second"]
+    )
+    assert speedup >= 2.5, f"1->4 shard speedup {speedup:.2f}x < 2.5x"
+    assert (
+        scaling[2]["requests_per_second"] > scaling[1]["requests_per_second"]
+    )
+    # Selective replication: with 4 shards no replica carried more than
+    # half the single-domain history volume.
+    single = next(iter(scaling[1]["history_bytes_per_shard"].values()))
+    for carried in scaling[4]["history_bytes_per_shard"].values():
+        assert 0 < carried < single / 2
+
+    # Cross-shard commits all decided commit, and the tax is real but
+    # bounded: the record of what atomicity costs, not a regression gate.
+    assert cost["committed"] == TXN_COUNT
+    assert cost["latency_ratio"] > 1.0
+    assert cost["message_ratio"] > 1.0
+
+    assert wire["okay"] == WIRE_REQUESTS, wire["errors"]
+    assert wire["errors"] == []
+    assert wire["server_exit_codes"] == {}
+
+    payload = {
+        "experiment": "E20",
+        "title": "multi-domain sharding with BFT cross-shard commit",
+        "workload": (
+            f"kv puts, {SIM_REQUESTS} sim requests split across "
+            f"{'/'.join(str(s) for s in SHARD_COUNTS)} shards; "
+            f"{TXN_COUNT} two-shard transactions; {WIRE_REQUESTS} wire requests"
+        ),
+        "speedup_1_to_4": speedup,
+        "cross_shard_latency_ratio": cost["latency_ratio"],
+        "cross_shard_message_ratio": cost["message_ratio"],
+        "cells": cells,
+    }
+    out_path = os.environ.get("BENCH_E20_PATH", "BENCH_E20.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+    benchmark.extra_info["speedup_1_to_4"] = speedup
+    benchmark.extra_info["cells"] = cells

@@ -190,6 +190,7 @@ def _trace_from_node(directory: str, json_path: str | None) -> int:
 def _metrics_from_node(directory: str, json_path: str | None) -> int:
     """Offline mode: one combined metrics table across all cluster nodes."""
     from repro.obs import (
+        aggregate_by_shard,
         fold_metric_records,
         fold_node_records,
         read_node_records,
@@ -209,6 +210,18 @@ def _metrics_from_node(directory: str, json_path: str | None) -> int:
     print(f"{len(by_node)} nodes: {', '.join(sorted(by_node))}")
     print()
     print(render_metrics_table(fold_metric_records(by_node)))
+    # Sharded topologies stamp a `shard` label on every node's metrics;
+    # the aggregate view sums each shard's traffic and the cluster total.
+    shards = {
+        (record.get("labels") or {}).get("shard")
+        for records in by_node.values()
+        for record in records
+        if record.get("record") == "metric"
+    }
+    if shards - {None}:
+        print()
+        print("== per-shard / cluster aggregates ==")
+        print(render_metrics_table(aggregate_by_shard(by_node)))
     if json_path is not None:
         try:
             lines = write_jsonl(json_path, fold_node_records(by_node))
@@ -762,10 +775,13 @@ def cmd_serve(args: list[str]) -> int:
 def cmd_net(args: list[str]) -> int:
     """Real-wire cluster operations: ``net smoke`` and ``net bench``.
 
-    ``python -m repro net smoke [--requests N] [--seed N] [--json PATH]``
+    ``python -m repro net smoke [--requests N] [--seed N] [--shards N]
+    [--json PATH]``
         Launch the full loopback cluster (4 GM + 4 replicas + client) as
         OS processes, drive the echo workload to quorum commit, tear down.
-        Exit 1 if any request fails — the CI PR gate.
+        Exit 1 if any request fails — the CI PR gate. ``--shards N``
+        deploys the sharded kv topology instead (one replication domain
+        per shard, keys routed to their home shards — E20).
 
     ``python -m repro net bench [--requests N] [--seed N] [--json PATH]``
         The E18 comparison: the same workload on the sim backend and on
@@ -787,6 +803,7 @@ def cmd_net(args: list[str]) -> int:
     mode, args = args[0], args[1:]
     requests = 8 if mode == "smoke" else 40
     seed = 7
+    shards = 1
     it = iter(args)
     try:
         for arg in it:
@@ -794,15 +811,19 @@ def cmd_net(args: list[str]) -> int:
                 requests = int(next(it))
             elif arg == "--seed":
                 seed = int(next(it))
+            elif arg == "--shards" and mode == "smoke":
+                shards = int(next(it))
             else:
                 print(f"net: unknown argument {arg!r}")
                 return 2
     except (StopIteration, ValueError):
-        print("net: --requests/--seed need an integer value")
+        print("net: --requests/--seed/--shards need an integer value")
         return 2
 
     if mode == "smoke":
-        report = run_wire_benchmark(requests=requests, seed=seed, telemetry=True)
+        report = run_wire_benchmark(
+            requests=requests, seed=seed, telemetry=True, shards=shards
+        )
         ok = not report["errors"] and report["okay"] == report["requests"]
         print(f"net smoke: {report['processes']} processes, "
               f"{report['okay']}/{report['requests']} voted replies, "

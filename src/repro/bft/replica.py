@@ -370,6 +370,12 @@ class BftReplica(Process):
             seq = pre_prepare.seq
             if seq <= self.last_executed:
                 continue
+            if seq > self.high_watermark:
+                # The log is a bounded buffer: a replica this far behind its
+                # own stable checkpoint must catch up through checkpoint
+                # stabilization or state transfer, not by growing the log
+                # past the window.
+                continue
             # Validate the commit certificate: 2f+1 distinct replicas over
             # the pre-prepare's digest, each individually authentic.
             if pre_prepare.request_digest != pre_prepare.batch.content_digest():

@@ -26,6 +26,9 @@ Predicates (the paper's safety story, made executable):
   furthest any honest core element has appended), and every decided
   fast-path read at a client sits within that bound too: a read can be
   stale, never futuristic (E19).
+* **cross-shard atomicity** — no transaction is ever recorded as
+  committed by one honest process and aborted by another, across shards
+  and the coordinator domain alike (E20's atomic-commit safety bar).
 
 Liveness (eventual reply under bounded loss) is asserted by the runner
 once the schedule's horizon passes, via :meth:`InvariantChecker.final`.
@@ -133,6 +136,7 @@ class InvariantChecker:
         self.check_checkpoints()
         self.check_vote_consistency()
         self.check_read_decisions()
+        self.check_cross_shard_atomicity()
 
     # -- individual predicates ----------------------------------------------
 
@@ -310,6 +314,41 @@ class InvariantChecker:
                             f"{watermark} > committed prefix {bound}",
                         )
                 self._read_decisions_pos[state_key] = len(decisions)
+
+    def check_cross_shard_atomicity(self) -> None:
+        """No honest process both commits and aborts the same transaction.
+
+        Every participant servant and every coordinator element records its
+        transaction outcomes in a ``txn_decisions`` map (E20). Atomicity of
+        BFT cross-shard commit means the union of those maps — across
+        shards, across replicas within a shard, and across the coordinator
+        domain — never assigns one transaction two different decisions.
+        A Byzantine coordinator member may *try* to send commit to one
+        shard and abort to another; the participants' f+1 request voters
+        must keep any such forgery from ever being recorded.
+        """
+        seen: dict[str, tuple[str, str]] = {}  # txn -> (decision, where)
+        for element in self.system.elements.values():
+            if element.pid in self.corrupt:
+                continue
+            adapter = getattr(getattr(element, "orb", None), "adapter", None)
+            if adapter is None:
+                continue
+            for servant in adapter._servants.values():
+                decisions = getattr(servant, "txn_decisions", None)
+                if not decisions:
+                    continue
+                for txn, decision in decisions.items():
+                    prior = seen.get(txn)
+                    if prior is None:
+                        seen[txn] = (decision, element.pid)
+                    elif prior[0] != decision:
+                        self._fail(
+                            "cross-shard-atomicity",
+                            element.pid,
+                            f"txn {txn}: {decision!r} here but "
+                            f"{prior[0]!r} at {prior[1]}",
+                        )
 
     # -- end-of-run checks ---------------------------------------------------
 

@@ -18,10 +18,14 @@ from typing import Any
 
 from repro.chaos.adversary import ChaosController, FaultEvent
 from repro.chaos.invariants import InvariantChecker, InvariantViolation, Violation
-from repro.chaos.schedule import Scenario, build_plan, scenario_matrix
+from repro.chaos.schedule import PartitionWindow, Scenario, build_plan, scenario_matrix
 from repro.giop import set_fast_wire
 from repro.itdos.bootstrap import ItdosSystem
-from repro.workloads.scenarios import CalculatorServant, standard_repository
+from repro.workloads.scenarios import (
+    CalculatorServant,
+    ShardKvServant,
+    standard_repository,
+)
 
 #: Simulated seconds of adversarial schedule after the warm-up invocation.
 CHAOS_WINDOW = 2.5
@@ -280,7 +284,26 @@ class ScheduleRunner:
         result: RunResult,
     ) -> None:
         read_cell = scenario.read_fastpath
-        if read_cell:
+        cross_cell = scenario.cross_shard
+        router = None
+        shard_map = None
+        if cross_cell:
+            # E20 cell: two shard domains plus the coordinator domain, the
+            # wire equivocator pinned to a coordinator element (the paper's
+            # worst case for atomic commit: the decision-maker lies), a
+            # scripted participant partition mid-commit, and the ambient
+            # adversary's duplicates replaying torn prepares.
+            shard_map = system.add_sharded_domain(
+                "kv",
+                shards=2,
+                f=1,
+                servants=lambda element: {b"kv": ShardKvServant()},
+            )
+            elements = [
+                system.elements[pid]
+                for pid in system.directory.domain(shard_map.domain_ids[0]).element_ids
+            ]
+        elif read_cell:
             from repro.chaos.byzantine import ForgedWatermarkElement, LaggingReader
 
             # E19 adversaries, deterministic by construction: element 1
@@ -304,18 +327,42 @@ class ScheduleRunner:
             )
         client = system.add_client("alice")
         system.settle(0.5)  # GM coin-toss bootstrap
-        ref = system.ref("calc", b"calc")
-        stub = client.stub(ref)
-        # Warm-up: Figure 3 handshake + first voted reply on a clean wire.
-        if stub.add(1.0, 2.0) != 3.0:
-            raise AssertionError("warm-up invocation returned a wrong result")
+        if cross_cell:
+            from repro.itdos.sharding import ShardRouter
+
+            router = ShardRouter.for_system(system, client, shard_map)
+
+            def key_on_shard(shard: int, tag: str) -> str:
+                # First suffix landing the key on the wanted shard; pure
+                # function of (tag, shard), so every replay agrees.
+                n = 0
+                while shard_map.shard_of(f"{tag}.{n}") != shard:
+                    n += 1
+                return f"{tag}.{n}"
+
+            # Warm-up: handshake every shard connection plus the whole
+            # coordinator path (nested prepare/commit) on a clean wire.
+            router.invoke(key_on_shard(0, "warm"), "put", key_on_shard(0, "warm"), "w")
+            warm_keys = [key_on_shard(0, "wtx"), key_on_shard(1, "wtx")]
+            if router.transact(warm_keys, ["w", "w"]) != 1:
+                raise AssertionError("warm-up transaction did not commit")
+        else:
+            ref = system.ref("calc", b"calc")
+            stub = client.stub(ref)
+            # Warm-up: Figure 3 handshake + first voted reply on a clean wire.
+            if stub.add(1.0, 2.0) != 3.0:
+                raise AssertionError("warm-up invocation returned a wrong result")
 
         # -- arm the adversary and the checker ------------------------------
-        domain_info = system.directory.domain("calc")
         plan_rng = random.Random((seed << 8) ^ 0xC4A05)
-        if read_cell:
+        if cross_cell:
+            txc_info = system.directory.domain(shard_map.coordinator_id)
+            equivocators = frozenset({txc_info.element_ids[1]})
+        elif read_cell:
+            domain_info = system.directory.domain("calc")
             equivocators = frozenset({domain_info.element_ids[1]})
         else:
+            domain_info = system.directory.domain("calc")
             equivocators = frozenset(
                 plan_rng.sample(list(domain_info.element_ids), k=domain_info.f)
             )
@@ -335,6 +382,25 @@ class ScheduleRunner:
                 plan, p_corrupt=0.0, p_equivocate=0.0, equivocators=frozenset()
             )
             equivocators = frozenset()
+        if cross_cell:
+            # Mid-commit participant partition: one shard-1 element and one
+            # coordinator element lose the network while transactions are
+            # in flight, healing before the horizon. One member per domain
+            # keeps the cut inside the f bound, so atomicity AND post-storm
+            # liveness must both survive it. (A benign fault: the control
+            # cell keeps it.)
+            cut = frozenset(
+                {
+                    system.directory.domain(shard_map.domain_ids[1]).element_ids[3],
+                    system.directory.domain(shard_map.coordinator_id).element_ids[3],
+                }
+            )
+            window = PartitionWindow(
+                start=plan.horizon - CHAOS_WINDOW * 0.65,
+                end=plan.horizon - CHAOS_WINDOW * 0.4,
+                group_a=cut,
+            )
+            plan = dataclasses.replace(plan, partitions=plan.partitions + (window,))
         result.true_faulty = sorted(equivocators)
         controller = ChaosController(
             system.network, plan, seed=seed ^ 0x5EED, disabled=disabled
@@ -347,24 +413,35 @@ class ScheduleRunner:
         # Read cells interleave fast-path reads (odd indices, ``mean`` is
         # declared read_only) with ordered writes; reads that hit divergent
         # tentative replies resubmit through ordering, so the same
-        # eventual-reply liveness bar applies to every index.
-        replies: dict[int, float] = {}
-        expected: dict[int, float] = {}
+        # eventual-reply liveness bar applies to every index. Cross-shard
+        # cells interleave single-shard puts with two-shard transactions,
+        # every second transaction carrying a poisoned key so the abort
+        # path rides the same storm the commit path does.
+        replies: dict[int, Any] = {}
+        expected: dict[int, Any] = {}
         for i in range(self.requests):
-            if read_cell and i % 2:
+            if cross_cell:
+                expected[i] = (0 if i % 4 == 3 else 1) if i % 2 else None
+            elif read_cell and i % 2:
                 expected[i] = (float(i) + 1.0) / 2.0
             else:
                 expected[i] = float(i) + 1.0
 
         def submit(i: int) -> None:
+            record = lambda value, i=i: replies.__setitem__(i, value)  # noqa: E731
+            if cross_cell:
+                if i % 2:
+                    first = f"!p{i}" if i % 4 == 3 else f"t{i}"
+                    keys = [key_on_shard(0, first), key_on_shard(1, f"t{i}")]
+                    router.submit_transact(keys, [f"v{i}", f"v{i}"], record)
+                else:
+                    router.submit(f"k{i}", "put", (f"k{i}", f"v{i}"), record)
+                return
             if read_cell and i % 2:
                 operation, args = "mean", ([float(i), 1.0],)
             else:
                 operation, args = "add", (float(i), 1.0)
-            client.async_invoke(
-                ref, operation, args,
-                lambda value, i=i: replies.__setitem__(i, value),
-            )
+            client.async_invoke(ref, operation, args, record)
 
         step = CHAOS_WINDOW / (2 * max(1, self.requests))
         for i in range(self.requests):
@@ -423,7 +500,13 @@ class ScheduleRunner:
         result.replies = len(replies)
         checker.final(pending)
         for i, value in replies.items():
-            if abs(value - expected[i]) > 1e-6:
+            want = expected[i]
+            wrong = (
+                abs(value - want) > 1e-6
+                if isinstance(want, float) and isinstance(value, (int, float))
+                else value != want
+            )
+            if wrong:
                 # The strongest vote-consistency oracle: the runner knows the
                 # semantics of the workload, so a decided-but-wrong value is
                 # caught even if the quorum arithmetic looked plausible.

@@ -112,6 +112,12 @@ class Scenario:
     # the designated Byzantine element forging read watermarks, and a
     # scripted reader restart mid-storm (catch-up under fire).
     read_fastpath: bool = False
+    # E20: a two-shard KV object space plus a coordinator domain running
+    # BFT cross-shard commit, with an equivocating coordinator element, a
+    # scripted participant partition mid-commit, and the ambient adversary
+    # replaying torn prepares. The invariants: no shard commits what
+    # another shard aborted, and atomicity holds at every intensity.
+    cross_shard: bool = False
 
     @property
     def label(self) -> str:
@@ -123,6 +129,8 @@ class Scenario:
             parts.append("vc")
         if self.read_fastpath:
             parts.append("rd")
+        if self.cross_shard:
+            parts.append("xs")
         return "-".join(parts)
 
 
@@ -142,6 +150,7 @@ SMOKE_SCENARIOS: tuple[Scenario, ...] = (
         forced_view_change=True,
     ),
     Scenario(read_fastpath=True),
+    Scenario(cross_shard=True),
 )
 
 
@@ -173,6 +182,16 @@ def scenario_matrix(full: bool = False) -> tuple[Scenario, ...]:
             Scenario(batch_size=4, pipeline_window=4, read_fastpath=True),
             Scenario(mid_run_recovery=True, read_fastpath=True),
             Scenario(forced_view_change=True, read_fastpath=True),
+        )
+    )
+    # The cross-shard-commit column (E20): the atomic-commit invariants
+    # under a Byzantine coordinator member, a mid-commit participant
+    # partition, and torn-prepare replays from the ambient adversary.
+    cells.extend(
+        (
+            Scenario(cross_shard=True),
+            Scenario(batch_size=4, pipeline_window=4, cross_shard=True),
+            Scenario(fast_wire=False, cross_shard=True),
         )
     )
     return tuple(cells)

@@ -268,6 +268,61 @@ class ItdosSystem:
                 self.read_elements[pid] = reader
         return created
 
+    def add_sharded_domain(
+        self,
+        base: str,
+        shards: int,
+        f: int,
+        servants: ServantFactory,
+        object_key: bytes = b"kv",
+        cross_shard: bool = True,
+        coordinator_f: int | None = None,
+        coordinator_byzantine: dict[int, type[ItdosServerElement]] | None = None,
+        **kwargs: Any,
+    ) -> "ShardMap":
+        """Partition one object space across ``shards`` replication domains.
+
+        Each shard ``{base}-s{i}`` is an ordinary server domain holding only
+        its partition's message-queue state (selective replication, E20);
+        ``servants``/``kwargs`` are applied to every shard. With
+        ``cross_shard=True`` a coordinator domain ``{base}-txc`` hosting a
+        :class:`~repro.itdos.sharding.TxnCoordinatorServant` is built last,
+        carrying Zhao-style BFT atomic commit across shards via nested
+        invocation.
+
+        ``shards=1`` delegates straight to :meth:`add_server_domain` under
+        the unsuffixed ``base`` id — no coordinator, no extra RNG draws —
+        so a one-shard build is byte-identical to a pre-sharding build.
+        """
+        from repro.itdos.sharding import (
+            COORDINATOR_OBJECT_KEY,
+            ShardMap,
+            TxnCoordinatorServant,
+        )
+
+        shard_map = ShardMap(base, shards)
+        if shards == 1:
+            self.add_server_domain(base, f=f, servants=servants, **kwargs)
+            return shard_map
+        for domain_id in shard_map.domain_ids:
+            self.add_server_domain(domain_id, f=f, servants=servants, **kwargs)
+        if cross_shard:
+            refs = {
+                domain_id: self.ref(domain_id, object_key)
+                for domain_id in shard_map.domain_ids
+            }
+            self.add_server_domain(
+                shard_map.coordinator_id,
+                f=coordinator_f if coordinator_f is not None else f,
+                servants=lambda element: {
+                    COORDINATOR_OBJECT_KEY: TxnCoordinatorServant(
+                        element, shard_map, refs
+                    )
+                },
+                byzantine=coordinator_byzantine,
+            )
+        return shard_map
+
     def add_client(self, name: str, platform: PlatformProfile | None = None) -> ItdosClient:
         if platform is not None:
             self.directory.platforms[name] = platform

@@ -145,6 +145,19 @@ class ItdosClient(Process):
 
         self.orb.transport_for(ref).connect(ref, on_connection)
 
+    # -- sharding ---------------------------------------------------------------
+
+    def router(self, shard_map: Any, refs: dict, txn_ref: Any = None) -> Any:
+        """A :class:`~repro.itdos.sharding.ShardRouter` over this client.
+
+        The router resolves each application key to its home shard domain
+        (E20) and fans independent requests out concurrently — one virtual
+        connection per shard, each keeping its own §3.6 discipline.
+        """
+        from repro.itdos.sharding import ShardRouter
+
+        return ShardRouter(self, shard_map, refs, txn_ref=txn_ref)
+
     @staticmethod
     def _peek_request_id(connection: Connection) -> int:
         """The id the socket will assign next (ids live in the socket layer,

@@ -46,6 +46,11 @@ class MessageQueue:
     processed_count: int = 0
     total_appended: int = 0
     bytes_held: int = 0
+    # Cumulative payload bytes ever appended: the ordered-history volume
+    # this replica carried. Under sharding (E20) this is the direct
+    # measure of selective replication — each shard's elements see only
+    # their partition's share of the traffic.
+    bytes_appended: int = 0
 
     def append(self, seq: int, payload: bytes) -> None:
         # Non-decreasing, not strictly increasing: every request of one
@@ -61,6 +66,7 @@ class MessageQueue:
         self.items.append(QueueItem(seq=seq, payload=payload))
         self.bytes_held += size
         self.total_appended += 1
+        self.bytes_appended += size
 
     def __len__(self) -> int:
         return len(self.items)
@@ -148,3 +154,4 @@ class MessageQueue:
         self.processed_count = processed
         self.bytes_held = total
         self.total_appended = processed + len(items)
+        self.bytes_appended = total

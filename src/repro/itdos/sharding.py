@@ -1,0 +1,270 @@
+"""Multi-domain sharding with BFT cross-shard commit (E20).
+
+One replication domain is a hard throughput ceiling: every ordered write
+serialises through a single PBFT instance. This module partitions the
+object space across many independent replication domains ("shards"), each
+built from the ordinary :class:`~repro.itdos.bootstrap.ItdosSystem`
+machinery and holding only its partition's message-queue state (selective
+replication — state transfer and checkpoints stay bounded per shard).
+
+* :class:`ShardMap` hashes application keys into shard indices; the layout
+  is pure data shared by clients, coordinators, and topology configs.
+* :class:`ShardRouter` sits above :class:`~repro.itdos.client.ItdosClient`
+  and fans independent requests to their home shards concurrently — each
+  shard is a separate virtual connection with its own §3.6 one-outstanding
+  discipline, so single-shard traffic scales near-linearly with shards.
+* :class:`TxnCoordinatorServant` implements Zhao's BFT distributed commit
+  (PAPERS.md): the 2PC coordinator is *itself* a replication domain, so a
+  Byzantine coordinator member cannot forge an outcome. Prepare/commit
+  records travel as nested invocations (E8) from the coordinator domain
+  into each participant shard's ordinary BFT ordering, where the
+  participant-side ``RequestVoter`` admits a record only once f+1 matching
+  copies from the coordinator's elements arrive — the commit decision is
+  quorum-voted end to end with the machinery that already exists.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.crypto.digests import digest
+from repro.giop.idl import InterfaceDef, Operation, Parameter
+from repro.giop.ior import ObjectRef
+from repro.giop.typecodes import TC_LONG, TC_STRING, SequenceType
+from repro.orb.servant import Servant
+
+#: Object key under which the coordinator servant is activated.
+COORDINATOR_OBJECT_KEY = b"txc"
+
+TXN_COORDINATOR = InterfaceDef(
+    "TxnCoordinator",
+    (
+        Operation(
+            "transact",
+            (
+                Parameter("keys", SequenceType(TC_STRING)),
+                Parameter("values", SequenceType(TC_STRING)),
+            ),
+            TC_LONG,
+        ),
+        Operation("transactions", (), TC_LONG, read_only=True),
+    ),
+)
+
+
+class ShardMap:
+    """Deterministic key → shard assignment for a sharded object space.
+
+    ``shards == 1`` degenerates to the single unsharded domain ``base`` —
+    same domain id, no coordinator — so existing deployments are a special
+    case of the map, not a parallel code path.
+    """
+
+    def __init__(self, base: str, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.base = base
+        self.shards = shards
+
+    @property
+    def domain_ids(self) -> tuple[str, ...]:
+        if self.shards == 1:
+            return (self.base,)
+        return tuple(f"{self.base}-s{i}" for i in range(self.shards))
+
+    @property
+    def coordinator_id(self) -> str:
+        """Domain id of the cross-shard commit coordinator."""
+        return f"{self.base}-txc"
+
+    def shard_of(self, key: str | bytes) -> int:
+        """Stable hash of the application key into a shard index.
+
+        Uses the repo's canonical digest (not Python's ``hash``, which is
+        salted per process) so every client, coordinator element, and
+        real-wire node agrees on the partition.
+        """
+        if isinstance(key, str):
+            key = key.encode("utf-8")
+        return int.from_bytes(digest(bytes(key))[:8], "big") % self.shards
+
+    def domain_for(self, key: str | bytes) -> str:
+        return self.domain_ids[self.shard_of(key)]
+
+    def group(
+        self, keys: list[str], values: list[str]
+    ) -> dict[str, tuple[list[str], list[str]]]:
+        """Partition parallel key/value lists by home shard domain."""
+        groups: dict[str, tuple[list[str], list[str]]] = {}
+        for key, value in zip(keys, values):
+            bucket = groups.setdefault(self.domain_for(key), ([], []))
+            bucket[0].append(key)
+            bucket[1].append(value)
+        return groups
+
+
+class ShardRouter:
+    """Client-side router: sends each request to its key's home shard.
+
+    Holds one object reference per shard domain; invocations resolve the
+    key through the :class:`ShardMap` and ride the client's ordinary SMIOP
+    machinery. Because each shard is a distinct virtual connection,
+    submissions to different shards are concurrently outstanding while
+    traffic within one shard keeps the §3.6 one-at-a-time discipline.
+    """
+
+    def __init__(
+        self,
+        client: Any,
+        shard_map: ShardMap,
+        refs: dict[str, ObjectRef],
+        txn_ref: ObjectRef | None = None,
+    ) -> None:
+        missing = [d for d in shard_map.domain_ids if d not in refs]
+        if missing:
+            raise ValueError(f"router missing refs for shards: {missing}")
+        self.client = client
+        self.shard_map = shard_map
+        self.refs = dict(refs)
+        self.txn_ref = txn_ref
+        self._stubs: dict[str, Any] = {}
+        self._txn_stub: Any = None
+        #: Requests routed per shard domain (observability and tests).
+        self.routed: dict[str, int] = {d: 0 for d in shard_map.domain_ids}
+
+    @classmethod
+    def for_system(
+        cls, system: Any, client: Any, shard_map: ShardMap, object_key: bytes = b"kv"
+    ) -> "ShardRouter":
+        """Build a router from a simulated system's directory."""
+        refs = {d: system.ref(d, object_key) for d in shard_map.domain_ids}
+        txn_ref = None
+        if shard_map.coordinator_id in system.directory.domains:
+            txn_ref = system.ref(shard_map.coordinator_id, COORDINATOR_OBJECT_KEY)
+        return cls(client, shard_map, refs, txn_ref=txn_ref)
+
+    def ref_for(self, key: str | bytes) -> ObjectRef:
+        return self.refs[self.shard_map.domain_for(key)]
+
+    def _stub_for(self, domain_id: str) -> Any:
+        stub = self._stubs.get(domain_id)
+        if stub is None:
+            stub = self.client.stub(self.refs[domain_id])
+            self._stubs[domain_id] = stub
+        return stub
+
+    # -- single-shard traffic ---------------------------------------------------
+
+    def invoke(self, key: str | bytes, operation: str, *args: Any) -> Any:
+        """Synchronous invocation on the key's home shard (drives the sim)."""
+        domain_id = self.shard_map.domain_for(key)
+        self.routed[domain_id] += 1
+        return getattr(self._stub_for(domain_id), operation)(*args)
+
+    def submit(
+        self,
+        key: str | bytes,
+        operation: str,
+        args: tuple[Any, ...],
+        on_result: Callable[[Any], None],
+    ) -> None:
+        """Asynchronous invocation; the caller drives the event loop.
+
+        Requests for different shards fan out concurrently — this is the
+        path the E20 benchmark and the real-wire workload driver use.
+        """
+        domain_id = self.shard_map.domain_for(key)
+        self.routed[domain_id] += 1
+        self.client.async_invoke(self.refs[domain_id], operation, args, on_result)
+
+    # -- cross-shard transactions -------------------------------------------------
+
+    def _require_txn_stub(self) -> Any:
+        if self.txn_ref is None:
+            raise RuntimeError(
+                "router has no coordinator ref: deploy the sharded domain "
+                "with cross_shard=True to enable transactions"
+            )
+        if self._txn_stub is None:
+            self._txn_stub = self.client.stub(self.txn_ref)
+        return self._txn_stub
+
+    def transact(self, keys: list[str], values: list[str]) -> int:
+        """Atomic multi-key write through the coordinator domain.
+
+        Returns 1 if every touched shard committed, 0 if the transaction
+        aborted everywhere — never a mix (that is the E20 invariant).
+        """
+        return self._require_txn_stub().transact(keys, values)
+
+    def submit_transact(
+        self,
+        keys: list[str],
+        values: list[str],
+        on_result: Callable[[Any], None],
+    ) -> None:
+        self._require_txn_stub()
+        self.client.async_invoke(
+            self.txn_ref, "transact", (keys, values), on_result
+        )
+
+
+class TxnCoordinatorServant(Servant):
+    """Zhao-style BFT 2PC coordinator, deployed as a replication domain.
+
+    ``transact`` runs as a generator so the E8 nested-invocation machinery
+    carries each prepare/commit record: the element parks on every
+    ``yield``, the record rides the participant shard's BFT ordering, and
+    the participant's ``RequestVoter`` only delivers it after f+1 matching
+    copies from this domain's elements — a minority of Byzantine
+    coordinator members can neither forge nor split the decision. Ordered
+    execution keeps ``_seq`` (and therefore transaction ids and the whole
+    message schedule) identical across coordinator elements.
+    """
+
+    interface = TXN_COORDINATOR
+
+    def __init__(
+        self, element: Any, shard_map: ShardMap, refs: dict[str, ObjectRef]
+    ) -> None:
+        self._element = element
+        self._map = shard_map
+        self._refs = dict(refs)
+        self._seq = 0
+        #: (txn, decision) in decision order — the chaos atomicity oracle
+        #: reads this alongside the participants' ``txn_decisions``.
+        self.decisions: list[tuple[str, str]] = []
+        self.txn_decisions: dict[str, str] = {}
+
+    def transactions(self) -> int:
+        return len(self.decisions)
+
+    def transact(self, keys: list[str], values: list[str]):
+        if len(keys) != len(values):
+            self._seq += 1  # consume the id deterministically anyway
+            return 0
+        self._seq += 1
+        txn = f"txn-{self._seq}"
+        groups = self._map.group(list(keys), list(values))
+        # Phase 1: prepare at every participant, collecting votes. All
+        # participants are always prepared (even after a no vote) so the
+        # per-transaction message count is deterministic for benchmarks.
+        votes: dict[str, int] = {}
+        for domain_id in sorted(groups):
+            group_keys, group_values = groups[domain_id]
+            participant = self._element.stub(self._refs[domain_id])
+            votes[domain_id] = yield participant.prepare(
+                txn, group_keys, group_values
+            )
+        decision = "commit" if all(v == 1 for v in votes.values()) else "abort"
+        # Phase 2: the decision record flows through every participant's
+        # ordering; abort also reaches yes-voters so staged state is freed.
+        for domain_id in sorted(groups):
+            participant = self._element.stub(self._refs[domain_id])
+            if decision == "commit":
+                yield participant.commit(txn)
+            else:
+                yield participant.abort(txn)
+        self.decisions.append((txn, decision))
+        self.txn_decisions[txn] = decision
+        return 1 if decision == "commit" else 0

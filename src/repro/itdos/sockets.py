@@ -172,6 +172,10 @@ class OutgoingConnection:
         self.reads_sent = 0
         self.read_fastpath_hits = 0
         self.read_fastpath_fallbacks = 0
+        # Read-tier load balancing: reads rotate through the domain's
+        # read-only replicas instead of always fanning to the whole set.
+        self._read_rr = 0
+        self.reader_polls: dict[str, int] = {}
         # (read_id, decided watermark) per fast-path decision — the chaos
         # InvariantChecker compares these against the committed prefix.
         self.read_decisions: list[tuple[int, int]] = []
@@ -311,7 +315,8 @@ class OutgoingConnection:
         comparator = reply_value_comparator(
             self.endpoint.directory, header.interface_name, header.operation
         )
-        self.read_voter.begin(read_id, comparator)
+        readers = self._rotate_readers()
+        self.read_voter.begin(read_id, comparator, readers_polled=readers)
         self._read_handler = on_reply
         self._read_fallback_cb = on_fallback
         self._read_decided_wm = None
@@ -335,12 +340,31 @@ class OutgoingConnection:
                 iface=header.interface_name,
                 op=header.operation,
             )
-        for pid in self.target.element_ids + self.target.read_only_ids:
+        for pid in self.target.element_ids + readers:
             self.endpoint.owner.send(pid, envelope)
         self._read_timer = self.endpoint.owner.set_timer(
             self.endpoint.directory.read_timeout,
             lambda: self._read_give_up(read_id, "timeout"),
         )
+
+    #: Read-tier replicas polled per read. The quorum always comes from the
+    #: core fan-out; readers only absorb load, so one per read suffices and
+    #: rotating the pick round-robin spreads reads evenly across the tier.
+    READ_TIER_FANOUT = 1
+
+    def _rotate_readers(self) -> tuple[str, ...]:
+        """The read-tier subset this read polls (round-robin rotation)."""
+        readers = self.target.read_only_ids
+        if len(readers) > self.READ_TIER_FANOUT:
+            start = self._read_rr % len(readers)
+            self._read_rr += 1
+            readers = tuple(
+                readers[(start + i) % len(readers)]
+                for i in range(self.READ_TIER_FANOUT)
+            )
+        for pid in readers:
+            self.reader_polls[pid] = self.reader_polls.get(pid, 0) + 1
+        return readers
 
     def _cancel_read_timer(self) -> None:
         if self._read_timer is not None:

@@ -306,6 +306,9 @@ class ReadVoter:
         self._raw: dict[str, Any] = {}
         # (sender, watermark) per read-tier reply for the current read.
         self.reader_ballots: list[tuple[str, int]] = []
+        # Read-tier replicas the current read was fanned to (rotated by the
+        # owning connection; empty when the domain has no read tier).
+        self.readers_polled: tuple[str, ...] = ()
         self._decided: VoteDecision | None = None
         self._exhausted = False
         self.discarded = 0
@@ -331,8 +334,19 @@ class ReadVoter:
                 labels=("kind", "reason"),
             ).labels(kind="read", reason=reason).inc()
 
-    def begin(self, read_id: int, value_comparator: Comparator) -> None:
-        """Start a new tentative read; GCs all prior-read state."""
+    def begin(
+        self,
+        read_id: int,
+        value_comparator: Comparator,
+        readers_polled: tuple[str, ...] = (),
+    ) -> None:
+        """Start a new tentative read; GCs all prior-read state.
+
+        ``readers_polled`` names the read-tier replicas the socket fanned
+        this read to (the connection rotates the set for load balancing) —
+        recorded so lag observability can tell "reader not polled" apart
+        from "reader silent".
+        """
         if self.current_read_id is not None and read_id <= self.current_read_id:
             raise ValueError("read identifiers must be strictly increasing")
         self.current_read_id = read_id
@@ -341,6 +355,7 @@ class ReadVoter:
         self._keys = []
         self._raw = {}
         self.reader_ballots = []
+        self.readers_polled = tuple(readers_polled)
         self._decided = None
         self._exhausted = False
 

@@ -98,13 +98,24 @@ def run_wire_benchmark(
     work_dir: str | None = None,
     telemetry: bool = False,
     keep_dir: bool = False,
+    shards: int = 1,
 ) -> dict:
-    """The E18 workload on a real 9-process loopback cluster."""
+    """The E18 workload on a real 9-process loopback cluster.
+
+    ``shards > 1`` switches to the sharded kv topology (E20): one
+    replication domain per shard, the client routing every key to its home
+    shard — 4 more processes per extra shard.
+    """
     config = TopologyConfig(
         seed=seed,
         requests=requests,
         telemetry=telemetry,
-        base_port=base_port if base_port is not None else pick_base_port(9),
+        workload="kv" if shards > 1 else "calc",
+        domain="kv" if shards > 1 else "calc",
+        shards=shards,
+    )
+    config.base_port = (
+        base_port if base_port is not None else pick_base_port(len(config.node_ids()))
     )
     owns_dir = work_dir is None
     if owns_dir:
@@ -132,6 +143,7 @@ def run_wire_benchmark(
     )
     result = {
         "backend": "wire",
+        "shards": shards,
         "processes": len(config.node_ids()),
         "requests": report["requests"],
         "completed": report["completed"],

@@ -181,6 +181,12 @@ class TopologyConfig:
     readers: int = 0
     read_fastpath: bool = False
     read_fraction: float = 0.0
+    # Sharding (E20): partition the object space across this many
+    # replication domains ("{domain}-s{i}"). shards = 1 is the unsharded
+    # topology, byte-identical to a pre-sharding deployment. The wire
+    # backend shards the kv workload's single-key traffic; cross-shard
+    # transactions (the coordinator domain) are exercised in the simulator.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.f < 1 or self.f_gm < 1:
@@ -193,6 +199,12 @@ class TopologyConfig:
             raise TopologyError("readers must be >= 0")
         if not 0.0 <= self.read_fraction <= 1.0:
             raise TopologyError("read_fraction must be in [0, 1]")
+        if self.shards < 1:
+            raise TopologyError("shards must be >= 1")
+        if self.shards > 1 and self.workload != "kv":
+            raise TopologyError("sharded topologies require the kv workload")
+        if self.shards > 1 and self.readers:
+            raise TopologyError("sharded topologies do not take a read tier")
         self.clients = tuple(self.clients)
 
     # -- derived membership (must match ItdosSystem's naming exactly) -------
@@ -201,9 +213,30 @@ class TopologyConfig:
     def gm_ids(self) -> tuple[str, ...]:
         return tuple(f"gm-{i}" for i in range(3 * self.f_gm + 1))
 
+    def shard_map(self):
+        """The key → shard-domain layout every node and client agrees on."""
+        from repro.itdos.sharding import ShardMap
+
+        return ShardMap(self.domain, self.shards)
+
+    @property
+    def domain_ids(self) -> tuple[str, ...]:
+        """Every shard replication domain (just ``domain`` when unsharded)."""
+        if self.shards == 1:
+            return (self.domain,)
+        return tuple(f"{self.domain}-s{i}" for i in range(self.shards))
+
+    def element_ids_of(self, domain_id: str) -> tuple[str, ...]:
+        return tuple(f"{domain_id}-e{i}" for i in range(3 * self.f + 1))
+
     @property
     def element_ids(self) -> tuple[str, ...]:
-        return tuple(f"{self.domain}-e{i}" for i in range(3 * self.f + 1))
+        """All replica ids across every shard, in shard order."""
+        return tuple(
+            pid
+            for domain_id in self.domain_ids
+            for pid in self.element_ids_of(domain_id)
+        )
 
     @property
     def read_only_ids(self) -> tuple[str, ...]:
@@ -236,7 +269,10 @@ class TopologyConfig:
 
     def groups(self) -> dict[str, tuple[str, ...]]:
         """Multicast address map (same shape the sim's group registry has)."""
-        return {"gm": self.gm_ids, self.domain: self.element_ids}
+        out: dict[str, tuple[str, ...]] = {"gm": self.gm_ids}
+        for domain_id in self.domain_ids:
+            out[domain_id] = self.element_ids_of(domain_id)
+        return out
 
     # -- deterministic deployment -------------------------------------------
 
@@ -251,6 +287,7 @@ class TopologyConfig:
         from repro.workloads.scenarios import (
             CalculatorServant,
             KvStoreServant,
+            ShardKvServant,
             standard_repository,
         )
 
@@ -260,7 +297,19 @@ class TopologyConfig:
             repository=standard_repository(),
             read_fastpath=self.read_fastpath,
         )
-        if self.workload == "kv":
+        if self.shards > 1:
+            # Shard domains only: single-key traffic fans out per shard on
+            # the wire; the cross-shard coordinator stays a simulator
+            # concern, so no "{domain}-txc" processes exist out here.
+            system.add_sharded_domain(
+                self.domain,
+                shards=self.shards,
+                f=self.f,
+                servants=lambda element: {b"kv": ShardKvServant()},
+                object_key=b"kv",
+                cross_shard=False,
+            )
+        elif self.workload == "kv":
             system.add_server_domain(
                 self.domain,
                 f=self.f,
@@ -305,6 +354,7 @@ class TopologyConfig:
             readers=int(system.get("readers", 0)),
             read_fastpath=bool(system.get("read_fastpath", False)),
             read_fraction=float(client.get("read_fraction", 0.0)),
+            shards=int(system.get("shards", 1)),
         )
 
     @staticmethod

@@ -33,6 +33,7 @@ def write_topology(config: TopologyConfig, path: str) -> str:
         f"clients = [{clients}]",
         f"readers = {config.readers}",
         f"read_fastpath = {'true' if config.read_fastpath else 'false'}",
+        f"shards = {config.shards}",
         "",
         "[net]",
         f'host = "{config.host}"',

@@ -124,6 +124,12 @@ class NodeHarness:
         orb = getattr(self.element, "orb", None)
         if orb is not None:
             orb.telemetry = world.telemetry
+        # Stamp every metric this process reports with its shard identity
+        # so `repro metrics --from-node` can aggregate per shard (E20).
+        if world.telemetry.enabled:
+            world.telemetry.registry.constant_labels = {
+                "shard": self.shard_label()
+            }
         # Every OS process is a fresh incarnation of its pid: seed BFT
         # client timestamps and SMIOP request ids from the local clock so
         # they stay monotonic across restarts. A reused timestamp hits the
@@ -135,6 +141,19 @@ class NodeHarness:
             incarnation = int(time.time() * 1000)
             endpoint.timestamp_base = incarnation
             endpoint.request_id_base = incarnation
+
+    def home_domain(self) -> str:
+        """The replication domain this node belongs to (replicas/readers)."""
+        for domain_id in self.config.domain_ids:
+            if self.node_id in self.config.element_ids_of(domain_id):
+                return domain_id
+        return self.config.domain
+
+    def shard_label(self) -> str:
+        """Metric label value: the node's shard domain, or its role."""
+        if self.role in ("replica", "read-only"):
+            return self.home_domain()
+        return self.role  # "gm" / "client"
 
     # -- roles ---------------------------------------------------------------
 
@@ -197,7 +216,24 @@ class NodeHarness:
         """
         config = self.config
         loop = asyncio.get_running_loop()
-        ref = self.system.ref(config.domain, config.object_key)
+        if config.shards > 1:
+            # Sharded topology: route each request to its key's home shard
+            # (one ref — one virtual connection — per shard domain).
+            shard_map = config.shard_map()
+            refs = {
+                domain_id: self.system.ref(domain_id, config.object_key)
+                for domain_id in shard_map.domain_ids
+            }
+
+            def ref_for(key: str):
+                return refs[shard_map.domain_for(key)]
+
+        else:
+            home_ref = self.system.ref(config.domain, config.object_key)
+
+            def ref_for(key: str):
+                return home_ref
+
         latencies: list[float] = []
         read_latencies: list[float] = []
         errors: list[str] = []
@@ -214,7 +250,8 @@ class NodeHarness:
             started = loop.time()
             operation, args, expected = self._request_plan(index, written)
             is_read = operation in ("get", "mean")
-            self.element.async_invoke(ref, operation, args, on_result)
+            key = str(args[0]) if self.config.workload == "kv" else ""
+            self.element.async_invoke(ref_for(key), operation, args, on_result)
             try:
                 value = await asyncio.wait_for(future, timeout=60.0)
             except asyncio.TimeoutError:
@@ -294,6 +331,7 @@ class NodeHarness:
         stats = {
             "node": self.node_id,
             "role": self.role,
+            "shard": self.shard_label(),
             "rejoin": self.rejoin,
             "rejoin_outcome": self.rejoin_outcome,
             "uptime": self.scheduler.now,
@@ -352,17 +390,27 @@ class NodeHarness:
         # crashed GM shares) are a *tolerated* condition, not a boot error.
         try:
             if self.role == "client":
-                for group, f in (
-                    (self.config.gm_ids, self.config.f_gm),
-                    (self.config.element_ids, self.config.f),
-                ):
+                # One quorum per shard domain: a client of a sharded
+                # topology talks to every shard, each with its own f budget.
+                groups = [(self.config.gm_ids, self.config.f_gm)]
+                groups.extend(
+                    (self.config.element_ids_of(domain_id), self.config.f)
+                    for domain_id in self.config.domain_ids
+                )
+                for group, f in groups:
                     await self.transport.ensure_quorum(
                         list(group), len(group) - f, timeout=30.0
                     )
             else:
+                # Servers link to the GM domain and their own shard's
+                # elements; shards never talk to each other on the wire
+                # (the cross-shard coordinator is a simulator deployment).
                 peers = [
                     pid
-                    for pid in (*self.config.gm_ids, *self.config.element_ids)
+                    for pid in (
+                        *self.config.gm_ids,
+                        *self.config.element_ids_of(self.home_domain()),
+                    )
                     if pid != self.node_id
                 ]
                 await self.transport.ensure_links(peers, timeout=30.0)

@@ -31,6 +31,7 @@ from repro.obs.detect import (
 )
 from repro.obs.export import (
     FoldedMetrics,
+    aggregate_by_shard,
     audit_records,
     detect_records,
     fold_metric_records,
@@ -87,6 +88,7 @@ __all__ = [
     "Telemetry",
     "TraceContext",
     "Tracer",
+    "aggregate_by_shard",
     "audit_records",
     "detect_records",
     "fold_metric_records",

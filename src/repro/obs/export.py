@@ -179,6 +179,83 @@ def fold_metric_records(
     return FoldedMetrics(entries)
 
 
+#: Synthetic shard label values minted by :func:`aggregate_by_shard`.
+CLUSTER_SHARD = "cluster"
+UNSHARDED = "unsharded"
+
+
+def aggregate_by_shard(
+    by_node: dict[str, list[dict[str, Any]]]
+) -> FoldedMetrics:
+    """Aggregate per-node metric records per shard plus cluster-wide (E20).
+
+    Nodes of a sharded deployment stamp every metric with a ``shard``
+    label (the shard domain the process belongs to, or ``gm``/``client``);
+    records missing the label group under ``shard="unsharded"``. Counters
+    and gauges sum within one (metric, shard, residual-labels) group.
+    Histograms merge exactly on count/sum/min/max — mean is recomputed
+    from the merged totals — while the reported p95 is the *maximum* of
+    the per-node p95s (a conservative bound: true quantiles cannot be
+    reconstructed from summaries). A parallel ``shard="cluster"`` group
+    carries the totals across every shard.
+    """
+    groups: dict[tuple, dict[str, Any]] = {}
+
+    def feed(entry: dict[str, Any], shard: str) -> None:
+        labels = {
+            k: v
+            for k, v in (entry.get("labels") or {}).items()
+            if k not in ("node", "shard")
+        }
+        key = (entry["metric"], entry["kind"], shard, tuple(sorted(labels.items())))
+        agg = groups.get(key)
+        if agg is None:
+            agg = groups[key] = {
+                "value": 0.0,
+                "count": 0.0,
+                "sum": 0.0,
+                "min": float("inf"),
+                "max": float("-inf"),
+                "p95": 0.0,
+            }
+        if entry["kind"] == "histogram":
+            count = float(entry.get("count", 0.0))
+            agg["count"] += count
+            agg["sum"] += float(entry.get("mean", 0.0)) * count
+            agg["min"] = min(agg["min"], float(entry.get("min", float("inf"))))
+            agg["max"] = max(agg["max"], float(entry.get("max", float("-inf"))))
+            agg["p95"] = max(agg["p95"], float(entry.get("p95", 0.0)))
+        else:
+            agg["value"] += float(entry.get("value", 0.0))
+
+    for node in sorted(by_node):
+        for record in by_node[node]:
+            if record.get("record") != "metric":
+                continue
+            shard = (record.get("labels") or {}).get("shard") or UNSHARDED
+            feed(record, shard)
+            feed(record, CLUSTER_SHARD)
+
+    entries: list[dict[str, Any]] = []
+    for metric, kind, shard, label_items in sorted(groups):
+        agg = groups[(metric, kind, shard, label_items)]
+        labels = dict(label_items)
+        labels["shard"] = shard
+        entry: dict[str, Any] = {"metric": metric, "kind": kind, "labels": labels}
+        if kind == "histogram":
+            count = agg["count"]
+            entry["count"] = count
+            entry["mean"] = agg["sum"] / count if count else 0.0
+            entry["p95"] = agg["p95"]
+            if count:
+                entry["min"] = agg["min"]
+                entry["max"] = agg["max"]
+        else:
+            entry["value"] = agg["value"]
+        entries.append(entry)
+    return FoldedMetrics(entries)
+
+
 def fold_node_records(
     by_node: dict[str, list[dict[str, Any]]]
 ) -> list[dict[str, Any]]:

@@ -241,6 +241,11 @@ class MetricRegistry:
 
     def __init__(self) -> None:
         self._families: dict[str, MetricFamily] = {}
+        # Labels stamped onto every collected entry — deployment identity
+        # (e.g. which shard domain a node belongs to) rather than a
+        # per-instrument dimension. Instrument-declared labels win on
+        # collision, so constant labels can never corrupt a family.
+        self.constant_labels: dict[str, str] = {}
 
     def _get(
         self, name: str, kind: str, help: str, labels: tuple[str, ...]
@@ -289,10 +294,12 @@ class MetricRegistry:
         out = []
         for family in self.families():
             for child in family.children():
+                labels = dict(self.constant_labels)
+                labels.update(child.labels_kv)
                 entry: dict[str, Any] = {
                     "metric": family.name,
                     "kind": family.kind,
-                    "labels": dict(child.labels_kv),
+                    "labels": labels,
                 }
                 entry.update(child.snapshot())
                 out.append(entry)

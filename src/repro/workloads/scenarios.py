@@ -20,6 +20,7 @@ from repro.giop.typecodes import (
     StructType,
 )
 from repro.itdos.bootstrap import ItdosSystem
+from repro.itdos.sharding import TXN_COORDINATOR, ShardMap, ShardRouter
 from repro.orb.errors import UserException
 from repro.orb.servant import Servant
 
@@ -94,9 +95,41 @@ KVSTORE = InterfaceDef(
 )
 
 
+SHARD_KV = InterfaceDef(
+    "ShardKv",
+    (
+        Operation("put", (Parameter("key", TC_STRING), Parameter("value", TC_STRING)), TC_VOID),
+        Operation("get", (Parameter("key", TC_STRING),), TC_STRING, read_only=True),
+        Operation("size", (), TC_LONG, read_only=True),
+        # BFT cross-shard commit (E20): the 2PC records the coordinator
+        # domain writes into this shard's ordering.
+        Operation(
+            "prepare",
+            (
+                Parameter("txn", TC_STRING),
+                Parameter("keys", SequenceType(TC_STRING)),
+                Parameter("values", SequenceType(TC_STRING)),
+            ),
+            TC_LONG,
+        ),
+        Operation("commit", (Parameter("txn", TC_STRING),), TC_LONG),
+        Operation("abort", (Parameter("txn", TC_STRING),), TC_LONG),
+        Operation("decision", (Parameter("txn", TC_STRING),), TC_STRING, read_only=True),
+    ),
+)
+
+
 def standard_repository() -> InterfaceRepository:
     repo = InterfaceRepository()
-    for interface in (CALCULATOR, LEDGER, BANK, SENSOR_FUSION, KVSTORE):
+    for interface in (
+        CALCULATOR,
+        LEDGER,
+        BANK,
+        SENSOR_FUSION,
+        KVSTORE,
+        SHARD_KV,
+        TXN_COORDINATOR,
+    ):
         repo.register(interface)
     return repo
 
@@ -231,6 +264,52 @@ class KvStoreServant(Servant):
         self.data = dict(state or {})
 
 
+class ShardKvServant(KvStoreServant):
+    """KV participant in the BFT cross-shard commit (E20).
+
+    ``prepare`` stages a transaction's writes for this shard's partition
+    (voting no deterministically on any ``!``-prefixed key — the poison
+    hook tests and chaos use to force aborts); ``commit``/``abort`` apply
+    or drop the staged writes and record the decision. All three arrive
+    through the shard's BFT ordering from the coordinator *domain*, so the
+    participant-side request voting has already screened out records a
+    Byzantine coordinator minority forged.
+    """
+
+    interface = SHARD_KV
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.pending: dict[str, list[tuple[str, str]]] = {}
+        #: txn -> "commit" | "abort" — the chaos atomicity oracle reads this.
+        self.txn_decisions: dict[str, str] = {}
+
+    def prepare(self, txn: str, keys: list[str], values: list[str]) -> int:
+        if txn in self.txn_decisions:
+            return 0  # torn-prepare replay of an already-decided transaction
+        if any(key.startswith("!") for key in keys):
+            return 0
+        self.pending[txn] = list(zip(keys, values))
+        return 1
+
+    def commit(self, txn: str) -> int:
+        staged = self.pending.pop(txn, None)
+        if staged is None:
+            return 0  # commit without a live prepare: refuse, change nothing
+        for key, value in staged:
+            self.data[key] = value
+        self.txn_decisions[txn] = "commit"
+        return 1
+
+    def abort(self, txn: str) -> int:
+        self.pending.pop(txn, None)
+        self.txn_decisions[txn] = "abort"
+        return 1
+
+    def decision(self, txn: str) -> str:
+        return self.txn_decisions.get(txn, "")
+
+
 # -- deployments --------------------------------------------------------------------
 
 
@@ -301,6 +380,47 @@ def build_read_heavy_system(
         readers=readers,
     )
     return system
+
+
+def build_sharded_kv_system(
+    shards: int = 2,
+    f: int = 1,
+    seed: int = 0,
+    cross_shard: bool = True,
+    coordinator_byzantine: dict[int, type] | None = None,
+    **kwargs: Any,
+) -> tuple[ItdosSystem, ShardMap]:
+    """KV object space partitioned across ``shards`` replication domains (E20).
+
+    Every shard domain hosts a :class:`ShardKvServant` and owns one key
+    range of the hash space; with ``cross_shard=True`` (and more than one
+    shard) a coordinator domain carries BFT atomic commit for multi-shard
+    writes. Route traffic with :func:`router_for` — single-key operations
+    go straight to the home shard, ``transact`` spans shards atomically.
+    """
+    system = ItdosSystem(
+        seed=seed,
+        repository=standard_repository(),
+        heterogeneous=False,
+        **kwargs,
+    )
+    shard_map = system.add_sharded_domain(
+        "kv",
+        shards=shards,
+        f=f,
+        servants=lambda element: {b"kv": ShardKvServant()},
+        object_key=b"kv",
+        cross_shard=cross_shard,
+        coordinator_byzantine=coordinator_byzantine,
+    )
+    return system, shard_map
+
+
+def router_for(
+    system: ItdosSystem, client: Any, shard_map: ShardMap, object_key: bytes = b"kv"
+) -> ShardRouter:
+    """Client-side shard router bound to a simulated sharded system."""
+    return ShardRouter.for_system(system, client, shard_map, object_key=object_key)
 
 
 def build_kv_system(

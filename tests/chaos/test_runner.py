@@ -144,3 +144,30 @@ def test_read_fastpath_cell_pinned():
     result = run_cell(scenario, seed=0)
     assert result.ok, describe(result)
     assert result.fault_candidates > 0
+
+
+# -- E20 cross-shard commit cell ----------------------------------------------
+
+
+def test_cross_shard_cell_pinned():
+    """The representative cross-shard-commit cell: a two-shard KV space
+    plus the coordinator domain, the wire equivocator pinned to a
+    coordinator element, a scripted participant partition mid-commit, and
+    poisoned transactions forcing aborts through the same storm. Pinned at
+    seed 0 so any regression in the atomicity invariant reproduces
+    deterministically."""
+    scenario = Scenario(cross_shard=True)
+    assert scenario.label == "b1-p0-fw-xs"
+    result = run_cell(scenario, seed=0)
+    assert result.ok, describe(result)
+    assert result.fault_candidates > 0
+
+
+def test_cross_shard_cell_pinned_batched():
+    """b4-p4-fw-xs seed 0 — log fill pushed a lagging coordinator element
+    past its own high watermark (bft/replica.py fill watermark gate); the
+    cell must stay clean so the bounded-log property holds under fill."""
+    scenario = Scenario(batch_size=4, pipeline_window=4, cross_shard=True)
+    assert scenario.label == "b4-p4-fw-xs"
+    result = run_cell(scenario, seed=0)
+    assert result.ok, describe(result)

@@ -61,14 +61,17 @@ def test_smoke_slice_covers_every_dimension():
     assert any(s.mid_run_recovery for s in SMOKE_SCENARIOS)
     assert any(s.forced_view_change for s in SMOKE_SCENARIOS)
     assert any(s.read_fastpath for s in SMOKE_SCENARIOS)
+    assert any(s.cross_shard for s in SMOKE_SCENARIOS)
 
 
 def test_full_matrix_is_the_cross_product():
-    # 32-cell ordered cross product + the 4-cell read-fastpath column.
+    # 32-cell ordered cross product + the 4-cell read-fastpath column
+    # + the 3-cell cross-shard column.
     cells = scenario_matrix(full=True)
-    assert len(cells) == 36
-    assert len(set(cells)) == 36
+    assert len(cells) == 39
+    assert len(set(cells)) == 39
     assert sum(1 for s in cells if s.read_fastpath) == 4
+    assert sum(1 for s in cells if s.cross_shard) == 3
 
 
 def test_scenario_labels_are_unique():
